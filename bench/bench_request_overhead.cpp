@@ -1,0 +1,109 @@
+// Empirical R-row of Table 1: per-request latency, inter-replica bandwidth,
+// CPU and energy of every FTM, measured on a live deployment serving the
+// KV workload. This is where "PBR: bandwidth high / CPU low" and "LFR:
+// bandwidth low / CPU high (two replicas compute)" become measured numbers.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rcs/core/system.hpp"
+
+using namespace rcs;
+
+namespace {
+
+struct Profile {
+  double latency_ms{0};
+  double replica_bytes_per_request{0};
+  double primary_cpu_ms{0};
+  double total_cpu_ms{0};
+  double energy{0};
+};
+
+Profile measure(const ftm::FtmConfig& config, int requests, std::uint64_t seed) {
+  core::SystemOptions options;
+  options.seed = seed;
+  options.start_monitoring = false;
+  core::ResilientSystem system(options);
+  (void)system.deploy_and_wait(config);
+  (void)system.roundtrip(
+      Value::map().set("op", "put").set("key", "k").set("value", "warm"));
+
+  const auto& link_stats =
+      system.sim().network().link_stats(system.replica(0).id(),
+                                        system.replica(1).id());
+  const auto bytes_before = link_stats.bytes;
+  const auto cpu0_before = system.replica(0).meter().cpu_used();
+  const auto cpu1_before = system.replica(1).meter().cpu_used();
+
+  for (int i = 0; i < requests; ++i) {
+    (void)system.roundtrip(
+        Value::map().set("op", "incr").set("key", "k").set("by", 1));
+  }
+
+  Profile profile;
+  const auto& stats = system.client().stats();
+  sim::Duration latency_sum = 0;
+  for (std::size_t i = stats.latencies.size() - requests;
+       i < stats.latencies.size(); ++i) {
+    latency_sum += stats.latencies[i];
+  }
+  profile.latency_ms = sim::to_ms(latency_sum) / requests;
+  profile.replica_bytes_per_request =
+      static_cast<double>(link_stats.bytes - bytes_before) / requests;
+  profile.primary_cpu_ms =
+      sim::to_ms(system.replica(0).meter().cpu_used() - cpu0_before) / requests;
+  profile.total_cpu_ms =
+      sim::to_ms((system.replica(0).meter().cpu_used() - cpu0_before) +
+                 (system.replica(1).meter().cpu_used() - cpu1_before)) /
+      requests;
+  profile.energy =
+      (system.replica(0).meter().energy_used(system.replica(0).capacity()) +
+       system.replica(1).meter().energy_used(system.replica(1).capacity()));
+  return profile;
+}
+
+}  // namespace
+
+int main() {
+  const int requests = 50;
+  bench::title("Per-request resource profile of every FTM (Table 1 R row, "
+               "measured)");
+  std::printf("%d requests per FTM; kv application, 5 ms/request reference "
+              "CPU, 4 KB state\n\n",
+              requests);
+  std::printf("%-8s %10s %14s %12s %12s %10s\n", "FTM", "latency", "link "
+              "B/req", "primary CPU", "total CPU", "energy");
+  bench::rule();
+
+  std::map<std::string, Profile> profiles;
+  for (const auto& config : ftm::FtmConfig::standard_set()) {
+    const Profile p = measure(config, requests, 42);
+    profiles[config.name] = p;
+    std::printf("%-8s %8.1fms %12.0f %10.1fms %10.1fms %10.2f\n",
+                config.name.c_str(), p.latency_ms, p.replica_bytes_per_request,
+                p.primary_cpu_ms, p.total_cpu_ms, p.energy);
+  }
+
+  bench::rule();
+  const auto& pbr = profiles.at("PBR");
+  const auto& lfr = profiles.at("LFR");
+  const auto& pbr_tr = profiles.at("PBR_TR");
+  std::printf("SHAPE CHECK: PBR bandwidth HIGH vs LFR LOW: %s (%.0f vs %.0f "
+              "B/req)\n",
+              pbr.replica_bytes_per_request > 3 * lfr.replica_bytes_per_request
+                  ? "PASS"
+                  : "FAIL",
+              pbr.replica_bytes_per_request, lfr.replica_bytes_per_request);
+  std::printf("SHAPE CHECK: LFR total CPU ~2x PBR (both replicas compute): "
+              "%s (%.1f vs %.1f ms)\n",
+              lfr.total_cpu_ms > 1.6 * pbr.total_cpu_ms ? "PASS" : "FAIL",
+              lfr.total_cpu_ms, pbr.total_cpu_ms);
+  std::printf("SHAPE CHECK: TR primary CPU ~2x plain compute: %s (%.1f vs "
+              "%.1f ms)\n",
+              pbr_tr.primary_cpu_ms > 1.6 * pbr.primary_cpu_ms ? "PASS" : "FAIL",
+              pbr_tr.primary_cpu_ms, pbr.primary_cpu_ms);
+  std::printf("SHAPE CHECK: computation-heavy FTMs cost more energy: %s\n",
+              pbr_tr.energy > pbr.energy && lfr.energy > pbr.energy ? "PASS"
+                                                                     : "FAIL");
+  return 0;
+}

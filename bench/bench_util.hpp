@@ -1,0 +1,57 @@
+// Shared helpers for the reproduction benchmarks: stats, table printing,
+// and environment-controlled run counts.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace rcs::bench {
+
+/// Number of seeded runs to average (paper: "averages over 100 test runs").
+/// Override with RCS_RUNS=n for quicker smoke runs.
+inline int runs(int fallback = 100) {
+  if (const char* env = std::getenv("RCS_RUNS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+struct Stats {
+  double mean{0};
+  double stddev{0};
+  double min{0};
+  double max{0};
+};
+
+inline Stats stats_of(const std::vector<double>& samples) {
+  Stats s;
+  if (samples.empty()) return s;
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  double sq = 0;
+  for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(samples.size()));
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  return s;
+}
+
+inline void rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void title(const std::string& text) {
+  std::printf("\n");
+  rule('=');
+  std::printf("%s\n", text.c_str());
+  rule('=');
+}
+
+}  // namespace rcs::bench

@@ -1,0 +1,140 @@
+// Satellite mission: a long-lived space system rides out environment changes
+// by adapting its fault tolerance on-line (the paper's primary motivation:
+// systems that cannot be stopped for off-line maintenance).
+//
+// Mission timeline (all detected by the monitoring engine or commanded by
+// the ground segment = system manager):
+//   phase 1  LEOP          PBR on the full downlink
+//   phase 2  cruise        downlink budget collapses -> mandatory PBR->LFR
+//   phase 3  radiation     ground proactively strengthens the fault model
+//                          (transients) before crossing the South Atlantic
+//                          Anomaly -> LFR->LFR⊕TR
+//   phase 4  aging         persistent value-fault evidence -> permanent
+//                          faults suspected -> A&Duplex
+//   phase 5  new hardware  ground swaps the payload computer and approves
+//                          the possible transition back to LFR
+// Telemetry keeps flowing through every phase; the example prints the FTM
+// history and verifies no phase lost requests.
+#include <cstdio>
+
+#include "rcs/core/system.hpp"
+
+using namespace rcs;
+
+namespace {
+
+struct Telemetry {
+  int sent{0};
+  int ok{0};
+  int phase_sent{0};
+  int phase_ok{0};
+  void new_phase() { phase_sent = phase_ok = 0; }
+};
+
+void beam_telemetry(core::ResilientSystem& system, Telemetry& telemetry,
+                    int count) {
+  for (int i = 0; i < count; ++i) {
+    ++telemetry.sent;
+    ++telemetry.phase_sent;
+    system.client().send(
+        Value::map().set("op", "incr").set("key", "frames").set("by", 1),
+        [&telemetry](const Value& reply) {
+          if (!reply.has("error")) {
+            ++telemetry.ok;
+            ++telemetry.phase_ok;
+          }
+        });
+    system.sim().run_for(400 * sim::kMillisecond);
+  }
+  system.sim().run_for(5 * sim::kSecond);
+}
+
+void phase(core::ResilientSystem& system, const char* name,
+           Telemetry* telemetry = nullptr) {
+  if (telemetry != nullptr) telemetry->new_phase();
+  std::printf("\n== %-42s t=%7.1fs  FTM=%s\n", name,
+              static_cast<double>(system.sim().now()) / sim::kSecond,
+              system.engine().current().name.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Satellite mission scenario ===\n");
+
+  core::SystemOptions options;
+  options.app_type = "app.kvstore";  // telemetry store with checkpointable state
+  options.monitor_interval = 300 * sim::kMillisecond;
+  core::ResilientSystem system(options);
+  Telemetry telemetry;
+
+  phase(system, "phase 1: LEOP, full downlink, deploy PBR");
+  system.deploy_and_wait(ftm::FtmConfig::pbr());
+  beam_telemetry(system, telemetry, 5);
+
+  phase(system, "phase 2: cruise, downlink budget collapses", &telemetry);
+  system.sim()
+      .network()
+      .link(system.replica(0).id(), system.replica(1).id())
+      .bandwidth_bps = 400'000.0;  // probes fire, transition is MANDATORY
+  system.sim().run_for(20 * sim::kSecond);
+  beam_telemetry(system, telemetry, 5);
+  std::printf("   monitoring forced %s (checkpoints no longer fit)\n",
+              system.engine().current().name.c_str());
+
+  phase(system, "phase 3: approaching radiation zone (proactive)", &telemetry);
+  // Ground commands a stronger fault model BEFORE the faults arrive (§5.4).
+  system.manager().notify_fault_model_change(
+      core::FaultModel{true, true, false}, "South Atlantic Anomaly crossing");
+  system.sim().run_for(20 * sim::kSecond);
+  std::printf("   proactive transition to %s complete\n",
+              system.engine().current().name.c_str());
+  // The anomaly hits: bit flips on the primary payload computer. TR masks.
+  system.faults().transient_campaign(
+      system.replica(0).id(), system.sim().now(),
+      system.sim().now() + 10 * sim::kSecond, 0.4);
+  beam_telemetry(system, telemetry, 10);
+  std::printf("   TR masked %llu mismatching executions\n",
+              static_cast<unsigned long long>(
+                  system.monitoring().events_observed("tr_mismatch")));
+
+  phase(system, "phase 4: payload computer aging (permanent faults)", &telemetry);
+  system.replica(0).faults().permanent = true;
+  beam_telemetry(system, telemetry, 10);
+  system.sim().run_for(30 * sim::kSecond);
+  std::printf("   evidence-driven escalation to %s\n",
+              system.engine().current().name.c_str());
+  system.replica(0).faults().permanent = true;  // hardware is still bad
+  beam_telemetry(system, telemetry, 5);
+
+  phase(system, "phase 5: hardware replaced, ground approves relaxation", &telemetry);
+  system.replica(0).faults().permanent = false;
+  system.manager().set_approval_policy(
+      [](const ftm::FtmConfig& target, const std::string& reason) {
+        std::printf("   [ground] approving transition to %s: %s\n",
+                    target.name.c_str(), reason.c_str());
+        return true;
+      });
+  system.manager().notify_fault_model_change(core::FaultModel{true, false, false},
+                                             "payload computer replaced");
+  system.sim().run_for(30 * sim::kSecond);
+  beam_telemetry(system, telemetry, 5);
+
+  std::printf("\n=== Mission summary ===\n");
+  std::printf("telemetry frames: %d sent, %d acknowledged\n", telemetry.sent,
+              telemetry.ok);
+  std::printf("(frames can be lost only in phase 4, between the first\n"
+              " permanent-fault symptoms and the A&Duplex transition)\n");
+  std::printf("adaptation history:\n");
+  for (const auto& entry : system.manager().history()) {
+    if (entry.to.empty()) continue;
+    std::printf("  %-48s %-9s %s -> %s%s\n", entry.cause.c_str(),
+                to_string(entry.decision), entry.from.c_str(), entry.to.c_str(),
+                entry.executed ? "" : "  (not executed)");
+  }
+  std::printf("final FTM: %s\n", system.engine().current().name.c_str());
+  // Success criteria: the final phase is clean and the system relaxed back.
+  const bool final_phase_clean = telemetry.phase_sent == telemetry.phase_ok;
+  const bool relaxed = system.engine().current().name == "LFR";
+  return final_phase_clean && relaxed ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#include "rcs/app/app_base.hpp"
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/interfaces.hpp"
+#include "rcs/sim/fault_injector.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::app {
+
+Value AppServerBase::on_invoke(const std::string& service,
+                               const std::string& op, const Value& args) {
+  if (service == "srv") {
+    if (op == "process" || op == "process_alt") {
+      const Value& request = args.at("request");
+      Value result = op == "process" ? compute(request)
+                                     : compute_alternate(request);
+      sim::Duration cpu = cpu_per_request();
+      if (host() != nullptr) {
+        cpu = host()->charge_compute(cpu);
+        // Hardware value faults strike the computation's output.
+        result = sim::FaultInjector::apply(*host(), std::move(result),
+                                           host()->sim().rng());
+      }
+      Value out = Value::map();
+      out.set("result", std::move(result))
+          .set("cpu_us", static_cast<std::int64_t>(cpu));
+      return out;
+    }
+    throw FtmError(strf("app.srv: unknown op '", op, "'"));
+  }
+  if (service == "state") {
+    if (op == "get") return state_get();
+    if (op == "set") {
+      state_set(args);
+      return {};
+    }
+    throw FtmError(strf("app.state: unknown op '", op, "'"));
+  }
+  if (service == "assert") {
+    if (op == "check") {
+      return Value(assertion(args.at("request"), args.at("result")));
+    }
+    throw FtmError(strf("app.assert: unknown op '", op, "'"));
+  }
+  throw FtmError(strf("app: unknown service '", service, "'"));
+}
+
+Value AppServerBase::state_get() {
+  throw FtmError(strf("application '", type_name(), "' has no accessible state"));
+}
+
+void AppServerBase::state_set(const Value& /*state*/) {
+  throw FtmError(strf("application '", type_name(), "' has no accessible state"));
+}
+
+bool AppServerBase::assertion(const Value& /*request*/, const Value& /*result*/) {
+  return true;
+}
+
+sim::Duration AppServerBase::cpu_per_request() const {
+  const Value v = property("cpu_us");
+  return v.is_int() ? v.as_int() : kDefaultCpuPerRequest;
+}
+
+Value AppServerBase::with_checksum(Value result) {
+  ensure(result.is_map(), "with_checksum: result must be a map");
+  result.as_map().erase("check");
+  const auto digest = static_cast<std::int64_t>(fnv1a(result.encode()));
+  result.set("check", digest);
+  return result;
+}
+
+bool AppServerBase::checksum_ok(const Value& result) {
+  if (!result.is_map() || !result.has("check")) return false;
+  const Value& check = result.at("check");
+  if (!check.is_int()) return false;
+  Value stripped = result;
+  stripped.as_map().erase("check");
+  return check.as_int() == static_cast<std::int64_t>(fnv1a(stripped.encode()));
+}
+
+std::vector<comp::PortSpec> app_services(bool state_access, bool has_assertion) {
+  std::vector<comp::PortSpec> services{{"srv", ftm::iface::kServer}};
+  if (state_access) services.push_back({"state", ftm::iface::kStateManager});
+  if (has_assertion) services.push_back({"assert", ftm::iface::kAssertion});
+  return services;
+}
+
+}  // namespace rcs::app

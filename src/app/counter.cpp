@@ -1,0 +1,51 @@
+// Minimal counter application (quickstart): a single integer of state.
+//
+// Requests: {"op": "incr", "by"?} -> {"value"}; {"op": "read"} -> {"value"}.
+#include "rcs/app/app_base.hpp"
+#include "rcs/app/apps.hpp"
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::app {
+
+namespace {
+
+class Counter final : public AppServerBase {
+ protected:
+  Value compute(const Value& request) override {
+    const auto& op = request.at("op").as_string();
+    if (op == "incr") {
+      value_ += request.get_or("by", Value(1)).as_int();
+    } else if (op != "read") {
+      throw FtmError(strf("counter: unknown op '", op, "'"));
+    }
+    return Value::map().set("value", value_);
+  }
+
+  Value state_get() override { return Value::map().set("value", value_); }
+
+  void state_set(const Value& state) override {
+    value_ = state.at("value").as_int();
+  }
+
+ private:
+  std::int64_t value_{0};
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo counter_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = kCounter;
+  info.description = "deterministic stateful counter (quickstart app)";
+  info.category = comp::TypeCategory::kApplication;
+  info.services = app_services(/*state_access=*/true, /*has_assertion=*/false);
+  info.default_properties.set(
+      "cpu_us", static_cast<std::int64_t>(AppServerBase::kDefaultCpuPerRequest));
+  info.code_size = 12'000;
+  info.source_file = "src/app/counter.cpp";
+  info.factory = [] { return std::make_unique<Counter>(); };
+  return info;
+}
+
+}  // namespace rcs::app

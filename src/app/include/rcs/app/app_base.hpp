@@ -1,0 +1,64 @@
+// Application server components.
+//
+// An application is the FTM composite's `server` child (the base level of
+// the paper's two-layer architecture, §2). It provides:
+//   - "srv"   (rcs.Server):       process {request} -> {result, cpu_us}
+//   - "state" (rcs.StateManager): get -> state, set(state)   [if accessible]
+//   - "assert"(rcs.Assertion):    check {request, result} -> bool [if provided]
+//
+// process() runs the primary variant; process_alt the diversified alternate
+// (recovery blocks). Both charge the host's CPU meter and pass
+// the result through the host's hardware-fault state — this is where injected
+// transient/permanent value faults corrupt computations (§2's FT dimension).
+// The assertion is the paper's "application defined assertion" hook: a safety
+// property evaluated on (request, result) pairs, exported to the meta level
+// through a clearly identified hook without breaking separation of concerns.
+#pragma once
+
+#include <string>
+
+#include "rcs/component/component.hpp"
+#include "rcs/ftm/app_spec.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::app {
+
+class AppServerBase : public comp::Component {
+ public:
+  static constexpr sim::Duration kDefaultCpuPerRequest = 5 * sim::kMillisecond;
+
+  /// Attach a content checksum to a result map so that generic executable
+  /// assertions can detect value corruption (the "check" member).
+  [[nodiscard]] static Value with_checksum(Value result);
+  /// Verify the checksum attached by with_checksum.
+  [[nodiscard]] static bool checksum_ok(const Value& result);
+
+ protected:
+  Value on_invoke(const std::string& service, const std::string& op,
+                  const Value& args) final;
+
+  /// Business logic: request -> raw result (before fault injection).
+  virtual Value compute(const Value& request) = 0;
+
+  /// Diversified alternate implementation (recovery blocks' second version).
+  /// Defaults to the primary; applications declaring has_alternate override
+  /// it with an independently written path.
+  virtual Value compute_alternate(const Value& request) { return compute(request); }
+
+  /// State capture/restore; default implementations reject (stateless or
+  /// state-inaccessible applications simply don't declare the service).
+  virtual Value state_get();
+  virtual void state_set(const Value& state);
+
+  /// Safety assertion over a (request, result) pair; default accepts all.
+  virtual bool assertion(const Value& request, const Value& result);
+
+  /// CPU cost of one request on the reference host (property-overridable).
+  [[nodiscard]] sim::Duration cpu_per_request() const;
+};
+
+/// Standard port sets for application types.
+[[nodiscard]] std::vector<comp::PortSpec> app_services(bool state_access,
+                                                       bool has_assertion);
+
+}  // namespace rcs::app

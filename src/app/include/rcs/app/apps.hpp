@@ -1,0 +1,32 @@
+// The example application servers and their A-characteristics.
+//
+//   app.kvstore     deterministic, stateful, state access, checksum assertion
+//                   — the workhorse for PBR/TR/composition experiments.
+//   app.counter     deterministic, stateful, state access — minimal demo app.
+//   app.transformer deterministic, stateless, checksum assertion — pure
+//                   request/response (any FTM applies).
+//   app.sensor      NON-deterministic (measurement noise), stateless,
+//                   range assertion — the paper's "new version makes the
+//                   application non-deterministic" scenario: invalid under
+//                   LFR/TR, fine under PBR and A&Duplex.
+#pragma once
+
+#include "rcs/component/registry.hpp"
+#include "rcs/ftm/app_spec.hpp"
+
+namespace rcs::app {
+
+inline constexpr const char* kKvStore = "app.kvstore";
+inline constexpr const char* kCounter = "app.counter";
+inline constexpr const char* kTransformer = "app.transformer";
+inline constexpr const char* kSensor = "app.sensor";
+
+/// Register every application type. Idempotent.
+void register_components(
+    comp::ComponentRegistry& registry = comp::ComponentRegistry::instance());
+
+/// The AppSpec (A characteristics + resource profile) for a registered
+/// application type; throws FtmError for unknown types.
+[[nodiscard]] ftm::AppSpec spec_for(const std::string& type_name);
+
+}  // namespace rcs::app

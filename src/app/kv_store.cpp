@@ -1,0 +1,118 @@
+// Key-value store application.
+//
+// Requests: {"op": "put", "key", "value"} -> {"ok": true}
+//           {"op": "get", "key"}          -> {"found": bool, "value"?}
+//           {"op": "incr", "key", "by"?}  -> {"value": new count}
+// Every result carries a content checksum; the assertion recomputes it, so
+// any value fault that corrupts a result is detectable (an "executable
+// assertion" in the paper's sense). The state exposes a filler blob sized by
+// the "state_size" property, making checkpoint traffic realistic.
+#include <map>
+
+#include "rcs/app/app_base.hpp"
+#include "rcs/app/apps.hpp"
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::app {
+
+namespace {
+
+class KvStore final : public AppServerBase {
+ protected:
+  Value compute(const Value& request) override {
+    // The "primary_bug" property plants a development fault in THIS variant
+    // only: increments come out negated — wrong, checksummed, and caught
+    // only by a semantic acceptance test (the recovery-blocks scenario).
+    const bool buggy = property("primary_bug").is_bool() &&
+                       property("primary_bug").as_bool();
+    Value result = execute(request, buggy);
+    return with_checksum(std::move(result));
+  }
+
+  Value compute_alternate(const Value& request) override {
+    // Independently written variant (design diversity): never carries the
+    // planted primary bug.
+    return with_checksum(execute(request, /*buggy=*/false));
+  }
+
+  Value execute(const Value& request, bool buggy) {
+    const auto& op = request.at("op").as_string();
+    Value result = Value::map();
+    if (op == "put") {
+      data_[request.at("key").as_string()] = request.at("value");
+      result.set("ok", true);
+    } else if (op == "get") {
+      const auto it = data_.find(request.at("key").as_string());
+      result.set("found", it != data_.end());
+      if (it != data_.end()) result.set("value", it->second);
+    } else if (op == "incr") {
+      const auto& key = request.at("key").as_string();
+      const auto by = request.get_or("by", Value(1)).as_int();
+      auto& slot = data_[key];
+      const auto current = slot.is_int() ? slot.as_int() : 0;
+      slot = Value(current + by);
+      result.set("value", buggy ? -(current + by) : current + by);
+    } else {
+      throw FtmError(strf("kvstore: unknown op '", op, "'"));
+    }
+    return result;
+  }
+
+  Value state_get() override {
+    Value entries = Value::map();
+    for (const auto& [key, value] : data_) entries.set(key, value);
+    const auto filler_size = property("state_size");
+    Value state = Value::map();
+    state.set("entries", std::move(entries));
+    // Pad to the configured state size so checkpoints cost realistic
+    // bandwidth (the R dimension of PBR vs LFR in Table 1).
+    const auto target = static_cast<std::size_t>(
+        filler_size.is_int() ? filler_size.as_int() : 4096);
+    const auto base = state.encoded_size();
+    state.set("filler", Value(Bytes(base < target ? target - base : 0, 0x5A)));
+    return state;
+  }
+
+  void state_set(const Value& state) override {
+    data_.clear();
+    for (const auto& [key, value] : state.at("entries").as_map()) {
+      data_[key] = value;
+    }
+  }
+
+  bool assertion(const Value& /*request*/, const Value& result) override {
+    if (!checksum_ok(result)) return false;
+    // Semantic safety property (the recovery-blocks acceptance test):
+    // counters never go negative.
+    if (result.has("value") && result.at("value").is_int() &&
+        result.at("value").as_int() < 0) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::map<std::string, Value> data_;
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo kv_store_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = kKvStore;
+  info.description = "deterministic stateful key-value store";
+  info.category = comp::TypeCategory::kApplication;
+  info.services = app_services(/*state_access=*/true, /*has_assertion=*/true);
+  info.default_properties
+      .set("cpu_us",
+           static_cast<std::int64_t>(AppServerBase::kDefaultCpuPerRequest))
+      .set("state_size", std::int64_t{4096})
+      .set("primary_bug", false);
+  info.code_size = 30'000;
+  info.source_file = "src/app/kv_store.cpp";
+  info.factory = [] { return std::make_unique<KvStore>(); };
+  return info;
+}
+
+}  // namespace rcs::app

@@ -1,0 +1,61 @@
+#include "rcs/app/apps.hpp"
+
+#include "rcs/app/app_base.hpp"
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::app {
+
+// Defined in the per-application translation units.
+comp::ComponentTypeInfo kv_store_type();
+comp::ComponentTypeInfo counter_type();
+comp::ComponentTypeInfo transformer_type();
+comp::ComponentTypeInfo sensor_type();
+
+void register_components(comp::ComponentRegistry& registry) {
+  registry.register_type(kv_store_type());
+  registry.register_type(counter_type());
+  registry.register_type(transformer_type());
+  registry.register_type(sensor_type());
+}
+
+ftm::AppSpec spec_for(const std::string& type_name) {
+  ftm::AppSpec spec;
+  spec.type_name = type_name;
+  if (type_name == kKvStore) {
+    spec.deterministic = true;
+    spec.stateful = true;
+    spec.state_access = true;
+    spec.has_assertion = true;
+    spec.has_alternate = true;  // independently written second variant
+    spec.state_size = 4096;
+    return spec;
+  }
+  if (type_name == kCounter) {
+    spec.deterministic = true;
+    spec.stateful = true;
+    spec.state_access = true;
+    spec.has_assertion = false;
+    spec.state_size = 256;
+    return spec;
+  }
+  if (type_name == kTransformer) {
+    spec.deterministic = true;
+    spec.stateful = false;
+    spec.state_access = false;
+    spec.has_assertion = true;
+    spec.state_size = 0;
+    return spec;
+  }
+  if (type_name == kSensor) {
+    spec.deterministic = false;
+    spec.stateful = false;
+    spec.state_access = false;
+    spec.has_assertion = true;
+    spec.state_size = 0;
+    return spec;
+  }
+  throw FtmError(strf("spec_for: unknown application '", type_name, "'"));
+}
+
+}  // namespace rcs::app

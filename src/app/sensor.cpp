@@ -1,0 +1,67 @@
+// Non-deterministic sensor application.
+//
+// Models the paper's A-variation scenario: a new application version becomes
+// non-deterministic (here: measurement noise on every reading), invalidating
+// LFR (replicas diverge) and TR (repeated runs differ) while PBR and
+// A&Duplex remain applicable. The assertion is a *semantic* safety property —
+// readings lie in the physical range [0, 100] — which tolerates
+// non-determinism, exactly why A&Duplex supports non-deterministic
+// applications in Table 1.
+#include "rcs/app/app_base.hpp"
+#include "rcs/app/apps.hpp"
+#include "rcs/common/error.hpp"
+#include "rcs/common/rng.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::app {
+
+namespace {
+
+class Sensor final : public AppServerBase {
+ protected:
+  Value compute(const Value& request) override {
+    const double target = request.get_or("target", Value(50.0)).as_double();
+    // Measurement noise: the source of behavioural non-determinism.
+    Rng& rng = host() != nullptr ? host()->sim().rng() : fallback_rng_;
+    const double noise = rng.normal(0.0, 0.5);
+    double reading = target + noise;
+    if (reading < 0.0) reading = 0.0;
+    if (reading > 100.0) reading = 100.0;
+    Value result = Value::map();
+    result.set("reading", reading).set("unit", "percent");
+    return result;
+  }
+
+  bool assertion(const Value& /*request*/, const Value& result) override {
+    // Safety property from the (simulated) FMECA: a physically plausible
+    // reading with the expected shape.
+    if (!result.is_map() || !result.has("reading")) return false;
+    const Value& reading = result.at("reading");
+    if (!reading.is_number()) return false;
+    const double v = reading.as_double();
+    return v >= 0.0 && v <= 100.0 &&
+           result.get_or("unit", Value("")).as_string() == "percent";
+  }
+
+ private:
+  Rng fallback_rng_{0xBEEF};
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo sensor_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = kSensor;
+  info.description = "non-deterministic sensor sampling (range assertion)";
+  info.category = comp::TypeCategory::kApplication;
+  info.services = app_services(/*state_access=*/false, /*has_assertion=*/true);
+  info.default_properties.set(
+      "cpu_us", static_cast<std::int64_t>(AppServerBase::kDefaultCpuPerRequest));
+  info.code_size = 16'000;
+  info.source_file = "src/app/sensor.cpp";
+  info.factory = [] { return std::make_unique<Sensor>(); };
+  return info;
+}
+
+}  // namespace rcs::app

@@ -1,0 +1,55 @@
+// Stateless transformer application: a pure request -> response function
+// (uppercasing + aggregate statistics), with a checksum assertion.
+//
+// Being stateless and deterministic, every FTM in the set applies to it —
+// useful as the neutral workload for transition benchmarks.
+#include <cctype>
+
+#include "rcs/app/app_base.hpp"
+#include "rcs/app/apps.hpp"
+#include "rcs/common/error.hpp"
+
+namespace rcs::app {
+
+namespace {
+
+class Transformer final : public AppServerBase {
+ protected:
+  Value compute(const Value& request) override {
+    const auto& text = request.at("text").as_string();
+    std::string upper;
+    upper.reserve(text.size());
+    std::int64_t checksum = 0;
+    for (const char c : text) {
+      upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      checksum += static_cast<unsigned char>(c);
+    }
+    Value result = Value::map();
+    result.set("upper", std::move(upper))
+        .set("length", static_cast<std::int64_t>(text.size()))
+        .set("sum", checksum);
+    return with_checksum(std::move(result));
+  }
+
+  bool assertion(const Value& /*request*/, const Value& result) override {
+    return checksum_ok(result);
+  }
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo transformer_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = kTransformer;
+  info.description = "stateless deterministic text transformer";
+  info.category = comp::TypeCategory::kApplication;
+  info.services = app_services(/*state_access=*/false, /*has_assertion=*/true);
+  info.default_properties.set(
+      "cpu_us", static_cast<std::int64_t>(AppServerBase::kDefaultCpuPerRequest));
+  info.code_size = 14'000;
+  info.source_file = "src/app/transformer.cpp";
+  info.factory = [] { return std::make_unique<Transformer>(); };
+  return info;
+}
+
+}  // namespace rcs::app

@@ -1,0 +1,67 @@
+// Byte buffers and a small binary codec.
+//
+// Checkpoints, messages and deployable component packages are serialized to
+// Bytes so the simulated network can account for their size (bandwidth is one
+// of the paper's R parameters). Encoding is little-endian with varint lengths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcs {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buffer_(std::move(initial)) {}
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f64(double v);
+  void write_varint(std::uint64_t v);
+  void write_string(std::string_view s);
+  void write_bytes(const Bytes& b);
+
+  [[nodiscard]] const Bytes& buffer() const { return buffer_; }
+  [[nodiscard]] Bytes take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Reads primitive values back; throws ValueError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buffer) : buffer_(buffer) {}
+
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::int64_t read_i64();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] std::uint64_t read_varint();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] Bytes read_bytes();
+
+  [[nodiscard]] bool at_end() const { return pos_ == buffer_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  const Bytes& buffer_;
+  std::size_t pos_{0};
+};
+
+/// FNV-1a digest, used for package integrity checks in the repository.
+[[nodiscard]] std::uint64_t fnv1a(const Bytes& data);
+
+}  // namespace rcs

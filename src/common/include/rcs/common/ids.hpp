@@ -1,0 +1,65 @@
+// Strong identifier types shared across the library.
+//
+// A StrongId wraps an integral value with a tag type so that a HostId cannot
+// be passed where a RequestId is expected. Ids are ordered, hashable and
+// stream-printable (prefix letter + number, e.g. "h2", "r17").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace rcs {
+
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << Tag::prefix << id.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+struct HostTag {
+  static constexpr char prefix = 'h';
+};
+struct RequestTag {
+  static constexpr char prefix = 'r';
+};
+struct TimerTag {
+  static constexpr char prefix = 't';
+};
+struct TransitionTag {
+  static constexpr char prefix = 'x';
+};
+
+/// Identifies a simulated host (a "PC" in the paper's testbed).
+using HostId = StrongId<HostTag, std::uint32_t>;
+/// Identifies a client request; carried end-to-end for at-most-once semantics.
+using RequestId = StrongId<RequestTag, std::uint64_t>;
+/// Handle for a scheduled simulation event, usable for cancellation.
+using TimerId = StrongId<TimerTag, std::uint64_t>;
+/// Identifies one runtime FTM transition (for tracing / step breakdown).
+using TransitionId = StrongId<TransitionTag, std::uint64_t>;
+
+}  // namespace rcs
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<rcs::StrongId<Tag, Rep>> {
+  size_t operator()(const rcs::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,114 @@
+// Leveled, tagged logging with pluggable time source.
+//
+// The simulation installs a virtual-clock time source so log lines carry
+// virtual timestamps; tests can attach a capturing sink to assert on emitted
+// records. The default sink writes WARN and above to stderr, keeping test and
+// benchmark output clean while preserving diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcs/common/strf.hpp"
+
+namespace rcs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+struct LogRecord {
+  LogLevel level;
+  std::int64_t time_us;  // from the installed time source (virtual or real)
+  std::string tag;
+  std::string message;
+};
+
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+  using TimeSource = std::function<std::int64_t()>;
+
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  /// Minimum level that reaches sinks at all (cheap early filter).
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replace the time source (the simulation installs its virtual clock).
+  void set_time_source(TimeSource source);
+  /// Restore the default (real-time) source.
+  void reset_time_source();
+
+  /// Add a sink; returns an id usable with remove_sink.
+  std::size_t add_sink(Sink sink);
+  void remove_sink(std::size_t id);
+  /// Level threshold of the built-in stderr sink (default WARN).
+  void set_stderr_level(LogLevel level) { stderr_level_ = level; }
+
+  void log(LogLevel level, std::string tag, std::string message);
+
+  template <typename... Args>
+  void trace(std::string tag, const Args&... args) {
+    if (level_ <= LogLevel::kTrace) log(LogLevel::kTrace, std::move(tag), strf(args...));
+  }
+  template <typename... Args>
+  void debug(std::string tag, const Args&... args) {
+    if (level_ <= LogLevel::kDebug) log(LogLevel::kDebug, std::move(tag), strf(args...));
+  }
+  template <typename... Args>
+  void info(std::string tag, const Args&... args) {
+    if (level_ <= LogLevel::kInfo) log(LogLevel::kInfo, std::move(tag), strf(args...));
+  }
+  template <typename... Args>
+  void warn(std::string tag, const Args&... args) {
+    if (level_ <= LogLevel::kWarn) log(LogLevel::kWarn, std::move(tag), strf(args...));
+  }
+  template <typename... Args>
+  void error(std::string tag, const Args&... args) {
+    if (level_ <= LogLevel::kError) log(LogLevel::kError, std::move(tag), strf(args...));
+  }
+
+ private:
+  Logger();
+
+  LogLevel level_{LogLevel::kInfo};
+  LogLevel stderr_level_{LogLevel::kWarn};
+  TimeSource time_source_;
+  std::vector<std::pair<std::size_t, Sink>> sinks_;
+  std::size_t next_sink_id_{1};
+};
+
+/// Shorthand for Logger::instance().
+inline Logger& log() { return Logger::instance(); }
+
+/// RAII sink that records every log line at or above `level`; for tests.
+class CapturingLog {
+ public:
+  explicit CapturingLog(LogLevel level = LogLevel::kTrace);
+  ~CapturingLog();
+  CapturingLog(const CapturingLog&) = delete;
+  CapturingLog& operator=(const CapturingLog&) = delete;
+
+  [[nodiscard]] const std::vector<LogRecord>& records() const { return records_; }
+  [[nodiscard]] bool contains(const std::string& needle) const;
+  [[nodiscard]] std::size_t count_level(LogLevel level) const;
+
+ private:
+  LogLevel level_;
+  std::size_t sink_id_;
+  LogLevel previous_logger_level_;
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace rcs

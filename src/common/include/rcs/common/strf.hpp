@@ -1,0 +1,31 @@
+// Minimal variadic string formatting (GCC 12 lacks <format>).
+//
+// strf("deploy took ", ms, "ms on host ", host) builds a std::string by
+// streaming every argument through an ostringstream. Any type with an
+// operator<< works; doubles print with 6 significant digits by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rcs {
+
+namespace detail {
+inline void strf_append(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void strf_append(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  strf_append(os, rest...);
+}
+}  // namespace detail
+
+/// Concatenate all arguments into one string via operator<<.
+template <typename... Args>
+std::string strf(const Args&... args) {
+  std::ostringstream os;
+  detail::strf_append(os, args...);
+  return os.str();
+}
+
+}  // namespace rcs

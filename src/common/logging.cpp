@@ -1,0 +1,89 @@
+#include "rcs/common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace rcs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+std::int64_t real_time_us() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+}
+}  // namespace
+
+Logger::Logger() : time_source_(real_time_us) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_time_source(TimeSource source) {
+  time_source_ = std::move(source);
+}
+
+void Logger::reset_time_source() { time_source_ = real_time_us; }
+
+std::size_t Logger::add_sink(Sink sink) {
+  const auto id = next_sink_id_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void Logger::remove_sink(std::size_t id) {
+  std::erase_if(sinks_, [id](const auto& entry) { return entry.first == id; });
+}
+
+void Logger::log(LogLevel level, std::string tag, std::string message) {
+  if (level < level_) return;
+  const LogRecord record{level, time_source_(), std::move(tag), std::move(message)};
+  if (level >= stderr_level_) {
+    std::fprintf(stderr, "[%8lld us] %-5s %-16s %s\n",
+                 static_cast<long long>(record.time_us), to_string(level),
+                 record.tag.c_str(), record.message.c_str());
+  }
+  for (const auto& [id, sink] : sinks_) sink(record);
+}
+
+CapturingLog::CapturingLog(LogLevel level)
+    : level_(level), previous_logger_level_(log().level()) {
+  if (level < previous_logger_level_) log().set_level(level);
+  sink_id_ = log().add_sink([this](const LogRecord& record) {
+    if (record.level >= level_) records_.push_back(record);
+  });
+}
+
+CapturingLog::~CapturingLog() {
+  log().remove_sink(sink_id_);
+  log().set_level(previous_logger_level_);
+}
+
+bool CapturingLog::contains(const std::string& needle) const {
+  for (const auto& record : records_) {
+    if (record.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::size_t CapturingLog::count_level(LogLevel level) const {
+  std::size_t n = 0;
+  for (const auto& record : records_) {
+    if (record.level == level) ++n;
+  }
+  return n;
+}
+
+}  // namespace rcs

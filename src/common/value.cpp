@@ -1,0 +1,279 @@
+#include "rcs/common/value.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs {
+
+const char* Value::type_name(Type t) {
+  switch (t) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kInt: return "int";
+    case Type::kDouble: return "double";
+    case Type::kString: return "string";
+    case Type::kBytes: return "bytes";
+    case Type::kList: return "list";
+    case Type::kMap: return "map";
+  }
+  return "unknown";
+}
+
+void Value::type_mismatch(Type expected) const {
+  throw ValueError(strf("Value type mismatch: expected ", type_name(expected),
+                        ", got ", type_name(), " (", to_string(), ")"));
+}
+
+bool Value::as_bool() const {
+  if (!is_bool()) type_mismatch(Type::kBool);
+  return std::get<bool>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  if (!is_int()) type_mismatch(Type::kInt);
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  if (!is_double()) type_mismatch(Type::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) type_mismatch(Type::kString);
+  return std::get<std::string>(data_);
+}
+
+const Bytes& Value::as_bytes() const {
+  if (!is_bytes()) type_mismatch(Type::kBytes);
+  return std::get<Bytes>(data_);
+}
+
+const ValueList& Value::as_list() const {
+  if (!is_list()) type_mismatch(Type::kList);
+  return std::get<ValueList>(data_);
+}
+
+ValueList& Value::as_list() {
+  if (!is_list()) type_mismatch(Type::kList);
+  return std::get<ValueList>(data_);
+}
+
+const ValueMap& Value::as_map() const {
+  if (!is_map()) type_mismatch(Type::kMap);
+  return std::get<ValueMap>(data_);
+}
+
+ValueMap& Value::as_map() {
+  if (!is_map()) type_mismatch(Type::kMap);
+  return std::get<ValueMap>(data_);
+}
+
+bool Value::has(const std::string& key) const {
+  return is_map() && as_map().contains(key);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto& m = as_map();
+  const auto it = m.find(key);
+  if (it == m.end()) {
+    throw ValueError(strf("Value::at: missing key '", key, "' in ", to_string()));
+  }
+  return it->second;
+}
+
+Value Value::get_or(const std::string& key, Value fallback) const {
+  const auto& m = as_map();
+  const auto it = m.find(key);
+  return it == m.end() ? std::move(fallback) : it->second;
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  if (is_null()) data_ = ValueMap{};
+  as_map()[key] = std::move(v);
+  return *this;
+}
+
+Value& Value::push_back(Value v) {
+  if (is_null()) data_ = ValueList{};
+  as_list().push_back(std::move(v));
+  return *this;
+}
+
+const Value& Value::at(std::size_t index) const {
+  const auto& l = as_list();
+  if (index >= l.size()) {
+    throw ValueError(strf("Value::at: index ", index, " out of range (size ",
+                          l.size(), ")"));
+  }
+  return l[index];
+}
+
+std::size_t Value::size() const {
+  if (is_list()) return as_list().size();
+  if (is_map()) return as_map().size();
+  type_mismatch(Type::kList);
+}
+
+void Value::encode(ByteWriter& w) const {
+  w.write_u8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      w.write_u8(std::get<bool>(data_) ? 1 : 0);
+      break;
+    case Type::kInt:
+      w.write_i64(std::get<std::int64_t>(data_));
+      break;
+    case Type::kDouble:
+      w.write_f64(std::get<double>(data_));
+      break;
+    case Type::kString:
+      w.write_string(std::get<std::string>(data_));
+      break;
+    case Type::kBytes:
+      w.write_bytes(std::get<Bytes>(data_));
+      break;
+    case Type::kList: {
+      const auto& l = std::get<ValueList>(data_);
+      w.write_varint(l.size());
+      for (const auto& v : l) v.encode(w);
+      break;
+    }
+    case Type::kMap: {
+      const auto& m = std::get<ValueMap>(data_);
+      w.write_varint(m.size());
+      for (const auto& [k, v] : m) {
+        w.write_string(k);
+        v.encode(w);
+      }
+      break;
+    }
+  }
+}
+
+Bytes Value::encode() const {
+  ByteWriter w;
+  encode(w);
+  return w.take();
+}
+
+Value Value::decode(ByteReader& r) {
+  const auto tag = r.read_u8();
+  if (tag > static_cast<std::uint8_t>(Type::kMap)) {
+    throw ValueError(strf("Value::decode: bad type tag ", int(tag)));
+  }
+  switch (static_cast<Type>(tag)) {
+    case Type::kNull:
+      return {};
+    case Type::kBool: {
+      const auto byte = r.read_u8();
+      // Strict: exactly 0 or 1, so every encoding is canonical and any
+      // corruption of the payload byte is detectable.
+      if (byte > 1) throw ValueError("Value::decode: non-canonical bool");
+      return Value(byte == 1);
+    }
+    case Type::kInt:
+      return Value(r.read_i64());
+    case Type::kDouble:
+      return Value(r.read_f64());
+    case Type::kString:
+      return Value(r.read_string());
+    case Type::kBytes:
+      return Value(r.read_bytes());
+    case Type::kList: {
+      const auto n = r.read_varint();
+      ValueList l;
+      l.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) l.push_back(decode(r));
+      return Value(std::move(l));
+    }
+    case Type::kMap: {
+      const auto n = r.read_varint();
+      ValueMap m;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        auto key = r.read_string();
+        m.emplace(std::move(key), decode(r));
+      }
+      return Value(std::move(m));
+    }
+  }
+  throw ValueError("Value::decode: unreachable");
+}
+
+Value Value::decode(const Bytes& data) {
+  ByteReader r(data);
+  auto v = decode(r);
+  if (!r.at_end()) {
+    throw ValueError("Value::decode: trailing bytes after value");
+  }
+  return v;
+}
+
+std::size_t Value::encoded_size() const { return encode().size(); }
+
+namespace {
+void render(std::ostream& os, const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      os << "null";
+      break;
+    case Value::Type::kBool:
+      os << (v.as_bool() ? "true" : "false");
+      break;
+    case Value::Type::kInt:
+      os << v.as_int();
+      break;
+    case Value::Type::kDouble:
+      os << v.as_double();
+      break;
+    case Value::Type::kString:
+      os << '"' << v.as_string() << '"';
+      break;
+    case Value::Type::kBytes:
+      os << "bytes[" << v.as_bytes().size() << ']';
+      break;
+    case Value::Type::kList: {
+      os << '[';
+      bool first = true;
+      for (const auto& e : v.as_list()) {
+        if (!first) os << ',';
+        first = false;
+        render(os, e);
+      }
+      os << ']';
+      break;
+    }
+    case Value::Type::kMap: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_map()) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << k << "\":";
+        render(os, e);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+}  // namespace
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  render(os, *this);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  render(os, v);
+  return os;
+}
+
+}  // namespace rcs

@@ -1,0 +1,109 @@
+// Component base class.
+//
+// A component is an instance of a registered type living inside a Composite.
+// It exposes its services through dynamic invocation
+// (invoke(service, op, args) -> Value) and reaches other components only
+// through its references (call(reference, op, args)), which the composite
+// resolves through the current wire set. This indirection is the paper's key
+// enabler: a reconfiguration script can replace the component at the other
+// end of a wire between two requests, and the caller never notices.
+#pragma once
+
+#include <string>
+
+#include "rcs/common/value.hpp"
+#include "rcs/component/ports.hpp"
+#include "rcs/component/registry.hpp"
+
+namespace rcs::sim {
+class Host;
+}
+
+namespace rcs::comp {
+
+class Composite;
+
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ComponentTypeInfo& info() const { return *info_; }
+  [[nodiscard]] const std::string& type_name() const { return info_->type_name; }
+  [[nodiscard]] LifecycleState state() const { return state_; }
+  [[nodiscard]] bool started() const { return state_ == LifecycleState::kStarted; }
+
+  /// The composite this component lives in (null until added).
+  [[nodiscard]] Composite* composite() const { return composite_; }
+  /// The simulated host the composite is deployed on (may be null in tests).
+  [[nodiscard]] sim::Host* host() const;
+
+  // --- Properties -------------------------------------------------------
+  [[nodiscard]] const Value& properties() const { return properties_; }
+  [[nodiscard]] Value property(const std::string& key) const;
+  void set_property(const std::string& key, Value value);
+
+  // --- Dynamic invocation -------------------------------------------------
+  /// Invoke an operation on one of this component's services. Throws
+  /// ComponentError if the component is stopped or the service is undeclared.
+  Value invoke(const std::string& service, const std::string& op, const Value& args);
+
+ protected:
+  Component() = default;
+
+  /// Service dispatch, implemented by subclasses.
+  virtual Value on_invoke(const std::string& service, const std::string& op,
+                          const Value& args) = 0;
+
+  /// Lifecycle hooks.
+  virtual void on_start() {}
+  virtual void on_stop() {}
+  virtual void on_property_changed(const std::string& /*key*/) {}
+
+  /// Call through one of this component's references; resolved by the
+  /// composite against the current wires.
+  Value call(const std::string& reference, const std::string& op,
+             const Value& args = {});
+
+  /// True if the reference is currently wired (for optional references).
+  [[nodiscard]] bool wired(const std::string& reference) const;
+
+ private:
+  friend class Composite;
+
+  std::string name_;
+  const ComponentTypeInfo* info_{nullptr};
+  Composite* composite_{nullptr};
+  LifecycleState state_{LifecycleState::kStopped};
+  Value properties_{Value::map()};
+};
+
+/// A component implemented by a single std::function — handy for tests and
+/// tiny adapters. Dispatches every (service, op) pair to the handler.
+class LambdaComponent : public Component {
+ public:
+  using Handler =
+      std::function<Value(const std::string& service, const std::string& op,
+                          const Value& args)>;
+
+  static ComponentTypeInfo make_type(std::string type_name,
+                                     std::vector<PortSpec> services,
+                                     std::vector<PortSpec> references,
+                                     Handler handler);
+
+ protected:
+  Value on_invoke(const std::string& service, const std::string& op,
+                  const Value& args) override {
+    return handler_(service, op, args);
+  }
+
+ private:
+  explicit LambdaComponent(Handler handler) : handler_(std::move(handler)) {}
+
+  Handler handler_;
+};
+
+}  // namespace rcs::comp

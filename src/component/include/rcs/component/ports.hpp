@@ -1,0 +1,46 @@
+// Port and lifecycle vocabulary of the component model.
+//
+// Following SCA terminology (the paper builds on FraSCAti/SCA): a component
+// *provides* services and *requires* references; a wire connects one
+// component's reference to another component's service. Interfaces are named
+// contracts; a wire is type-correct when both ends name the same interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rcs::comp {
+
+/// Declares one service or reference of a component type.
+struct PortSpec {
+  std::string name;            // port name, unique per component side
+  std::string interface_name;  // contract, e.g. "rcs.SyncBefore"
+  /// References only: a required reference must be wired before the
+  /// component may start. Services ignore this flag.
+  bool required{true};
+};
+
+enum class LifecycleState {
+  kStopped,  // installed, not processing; the only state allowing removal
+  kStarted,  // processing; all required references are wired
+};
+
+[[nodiscard]] constexpr const char* to_string(LifecycleState s) {
+  switch (s) {
+    case LifecycleState::kStopped: return "STOPPED";
+    case LifecycleState::kStarted: return "STARTED";
+  }
+  return "?";
+}
+
+/// A wire inside a composite: from.reference -> to.service.
+struct WireInfo {
+  std::string from_component;
+  std::string reference;
+  std::string to_component;
+  std::string service;
+
+  bool operator==(const WireInfo&) const = default;
+};
+
+}  // namespace rcs::comp

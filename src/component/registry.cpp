@@ -1,0 +1,59 @@
+#include "rcs/component/registry.hpp"
+
+#include "rcs/common/strf.hpp"
+#include "rcs/component/component.hpp"
+
+namespace rcs::comp {
+
+const PortSpec* ComponentTypeInfo::find_service(const std::string& name) const {
+  for (const auto& port : services) {
+    if (port.name == name) return &port;
+  }
+  return nullptr;
+}
+
+const PortSpec* ComponentTypeInfo::find_reference(const std::string& name) const {
+  for (const auto& port : references) {
+    if (port.name == name) return &port;
+  }
+  return nullptr;
+}
+
+ComponentRegistry& ComponentRegistry::instance() {
+  static ComponentRegistry registry;
+  return registry;
+}
+
+void ComponentRegistry::register_type(ComponentTypeInfo info) {
+  ensure(!info.type_name.empty(), "register_type: empty type name");
+  ensure(static_cast<bool>(info.factory),
+         strf("register_type: type '", info.type_name, "' has no factory"));
+  // Idempotent re-registration keeps tests simple (register_components() may
+  // be called from several fixtures); the first registration wins.
+  types_.emplace(info.type_name, std::move(info));
+}
+
+bool ComponentRegistry::has(const std::string& type_name) const {
+  return types_.contains(type_name);
+}
+
+const ComponentTypeInfo& ComponentRegistry::info(const std::string& type_name) const {
+  const auto it = types_.find(type_name);
+  if (it == types_.end()) {
+    throw ComponentError(strf("unknown component type '", type_name, "'"));
+  }
+  return it->second;
+}
+
+std::vector<std::string> ComponentRegistry::type_names() const {
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [name, _] : types_) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<Component> ComponentRegistry::create(const std::string& type_name) const {
+  return info(type_name).factory();
+}
+
+}  // namespace rcs::comp

@@ -1,0 +1,167 @@
+#include "rcs/core/capability.hpp"
+
+#include "rcs/common/strf.hpp"
+
+namespace rcs::core {
+
+std::string FaultModel::to_string() const {
+  std::string out;
+  if (crash) out += "crash ";
+  if (transient_value) out += "transient ";
+  if (permanent_value) out += "permanent ";
+  if (development) out += "development ";
+  if (out.empty()) return "(none)";
+  out.pop_back();
+  return out;
+}
+
+const char* Capability::bandwidth_class() const {
+  if (inter_replica_bytes_per_request <= 0.0) return "n/a";
+  return inter_replica_bytes_per_request >= 2048.0 ? "high" : "low";
+}
+
+const char* Capability::cpu_class() const {
+  return cpu_factor >= 2.0 ? "high" : "low";
+}
+
+Capability capability_of(const ftm::FtmConfig& config, const ftm::AppSpec& app) {
+  using namespace ftm;
+  Capability cap;
+
+  const bool tr_proceed = config.proceed == brick::kProceedTr;
+  const bool rb_proceed = config.proceed == brick::kProceedRb;
+  const bool asserting = config.sync_after == brick::kSyncAfterPbrAssert ||
+                         config.sync_after == brick::kSyncAfterLfrAssert;
+  const bool pbr_after = config.sync_after == brick::kSyncAfterPbr ||
+                         config.sync_after == brick::kSyncAfterPbrAssert;
+  const bool lfr_bricks = config.sync_before == brick::kSyncBeforeLfr;
+
+  // --- FT coverage ----------------------------------------------------------
+  cap.coverage.crash = config.duplex;
+  // TR masks transients by repetition; an asserting duplex masks them by
+  // detection + re-execution on the peer; RB's acceptance test catches them
+  // and the alternate run masks them locally.
+  cap.coverage.transient_value = tr_proceed || asserting || rb_proceed;
+  // Only re-execution on a *different* node outlives a permanent fault.
+  cap.coverage.permanent_value = asserting && config.duplex;
+  // Only DESIGN DIVERSITY outlives a development fault: the recovery-blocks
+  // alternate is an independently written variant (§2, §3.2.1).
+  cap.coverage.development = rb_proceed;
+
+  // --- A requirements ---------------------------------------------------
+  // Active replication compares replica results; repetition compares
+  // repeated runs: both need behavioural determinism. Assertions are
+  // semantic predicates and do not (§3.2.1, Table 1).
+  cap.requires_determinism = lfr_bricks || tr_proceed;
+  // Checkpointing (PBR after) and state restore between runs (TR proceed)
+  // need the state manager — but only when there is state to manage.
+  cap.needs_state_when_stateful = pbr_after || tr_proceed || rb_proceed;
+  cap.requires_assertion = asserting || rb_proceed;
+  cap.requires_alternate = rb_proceed;
+
+  // --- R profile ----------------------------------------------------------
+  const double request_bytes = 200.0;  // forwarded request (LFR)
+  const double notify_bytes = 150.0;
+  const double checkpoint_bytes = static_cast<double>(app.state_size) + 400.0;
+  cap.inter_replica_bytes_per_request = 0.0;
+  if (config.duplex) {
+    if (pbr_after) {
+      cap.inter_replica_bytes_per_request += checkpoint_bytes + 100.0;  // +ack
+    } else {
+      cap.inter_replica_bytes_per_request += notify_bytes;
+    }
+    if (lfr_bricks) cap.inter_replica_bytes_per_request += request_bytes;
+  }
+
+  // CPU: one execution on the primary; LFR doubles the total (the follower
+  // computes everything, though each host still pays ~1x); TR multiplies the
+  // per-host cost by ~2 (+1 on faults).
+  double per_host = 1.0;
+  if (tr_proceed) per_host *= 2.1;
+  if (rb_proceed) per_host *= 1.15;  // alternate runs only on rejection
+  cap.cpu_factor_per_host = per_host;
+  cap.cpu_factor = lfr_bricks ? per_host * 2.0 : per_host;
+
+  return cap;
+}
+
+ValidityReport resource_viable(const ftm::FtmConfig& config,
+                               const FtarState& state) {
+  const Capability cap = capability_of(config, state.app);
+  ValidityReport report;
+
+  const double bw_need =
+      cap.inter_replica_bytes_per_request * state.resources.request_rate;
+  const double bw_budget =
+      kBandwidthBudgetFraction * state.resources.bandwidth_bps;
+  if (bw_need > bw_budget) {
+    report.reasons.push_back(strf(
+        "needs ", bw_need / 1e3, " KB/s of replica-link bandwidth but only ",
+        bw_budget / 1e3, " KB/s is budgeted"));
+  }
+
+  const double cpu_seconds_per_request =
+      static_cast<double>(state.app.cpu_per_request) / sim::kSecond;
+  const double cpu_need = cpu_seconds_per_request * cap.cpu_factor_per_host *
+                          state.resources.request_rate;
+  const double cpu_budget = kCpuBudgetFraction * state.resources.cpu_speed;
+  if (cpu_need > cpu_budget) {
+    report.reasons.push_back(strf("needs ", cpu_need,
+                                  " host-CPUs of compute but only ", cpu_budget,
+                                  " is budgeted"));
+  }
+
+  report.valid = report.reasons.empty();
+  return report;
+}
+
+ValidityReport validate(const ftm::FtmConfig& config, const FtarState& state) {
+  const Capability cap = capability_of(config, state.app);
+  ValidityReport report;
+
+  if (!state.fault_model.covered_by(cap.coverage)) {
+    report.reasons.push_back(
+        strf("fault model {", state.fault_model.to_string(), "} not covered by {",
+             cap.coverage.to_string(), "}"));
+  }
+  if (cap.requires_determinism && !state.app.deterministic) {
+    report.reasons.push_back("requires a deterministic application");
+  }
+  if (cap.needs_state_when_stateful && state.app.stateful &&
+      !state.app.state_access) {
+    report.reasons.push_back(
+        "requires state access for checkpointing/restoration");
+  }
+  if (cap.requires_assertion && !state.app.has_assertion) {
+    report.reasons.push_back("requires an application-defined assertion");
+  }
+  if (cap.requires_alternate && !state.app.has_alternate) {
+    report.reasons.push_back(
+        "requires a diversified alternate implementation");
+  }
+  report.valid = report.reasons.empty();
+  return report;
+}
+
+double resource_cost(const ftm::FtmConfig& config, const FtarState& state) {
+  const Capability cap = capability_of(config, state.app);
+
+  // Link utilization: fraction of available bandwidth one request-per-second
+  // of workload would consume (dimensionless, scaled for readability).
+  const double bandwidth_term =
+      state.resources.bandwidth_bps > 0.0
+          ? cap.inter_replica_bytes_per_request / state.resources.bandwidth_bps *
+                1e3
+          : 1e9;
+
+  // CPU demand vs capacity.
+  const double cpu_term = cap.cpu_factor / state.resources.cpu_speed;
+
+  // Energy-constrained platforms weigh computation more heavily (§2's
+  // battery/energy resource and the AFT-for-CPS motivation).
+  const double energy_weight = state.resources.energy_constrained ? 2.0 : 1.0;
+
+  return bandwidth_term + energy_weight * cpu_term;
+}
+
+}  // namespace rcs::core

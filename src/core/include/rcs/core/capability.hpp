@@ -1,0 +1,82 @@
+// FTM capability model: Table 1 derived mechanically from the architecture.
+//
+// Instead of hand-maintaining the (FT, A, R) matrix, the fault-model coverage
+// and applicability requirements of an FTM are derived from which bricks fill
+// its slots: duplex bricks tolerate crash; the TR proceed and the asserting
+// syncAfters tolerate value faults; LFR bricks and the TR proceed demand
+// determinism; checkpointing and state-restoring bricks demand state access
+// for stateful applications. The resource profile (bandwidth/CPU per request)
+// follows the same mechanics and is validated empirically by
+// bench_request_overhead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcs/core/change_model.hpp"
+#include "rcs/ftm/config.hpp"
+
+namespace rcs::core {
+
+struct Capability {
+  /// FT: fault classes this FTM tolerates.
+  FaultModel coverage;
+
+  /// A: requirements on the application.
+  bool requires_determinism{false};
+  /// Requires state capture/restore *if the application is stateful*.
+  bool needs_state_when_stateful{false};
+  bool requires_assertion{false};
+  /// Needs a diversified alternate implementation (recovery blocks).
+  bool requires_alternate{false};
+
+  /// R: resource profile.
+  /// Approximate replica-link bytes per request (app-dependent; computed
+  /// against an AppSpec).
+  double inter_replica_bytes_per_request{0.0};
+  /// Total CPU cost per request across all replicas, as a multiple of one
+  /// plain execution.
+  double cpu_factor{1.0};
+  /// CPU cost per request on the busiest single host (what that host's
+  /// capacity must sustain).
+  double cpu_factor_per_host{1.0};
+
+  /// Qualitative labels used when printing Table 1.
+  [[nodiscard]] const char* bandwidth_class() const;
+  [[nodiscard]] const char* cpu_class() const;
+};
+
+/// Derive the capability of an FTM configuration, for a given application.
+[[nodiscard]] Capability capability_of(const ftm::FtmConfig& config,
+                                       const ftm::AppSpec& app);
+
+/// Why an FTM is (in)valid for a state; empty reasons = valid.
+struct ValidityReport {
+  bool valid{true};
+  std::vector<std::string> reasons;
+};
+
+/// Check an FTM against the current (FT, A, R) values (the consistency the
+/// resilient system must maintain, §3.1).
+[[nodiscard]] ValidityReport validate(const ftm::FtmConfig& config,
+                                      const FtarState& state);
+
+/// Resource-oriented cost of running `config` under `state` — used to rank
+/// the valid candidates (lower is better). Combines link utilization, CPU
+/// demand vs capacity, and an energy penalty for computation-heavy FTMs.
+[[nodiscard]] double resource_cost(const ftm::FtmConfig& config,
+                                   const FtarState& state);
+
+/// Whether `config` can sustain the nominal workload within the available
+/// resources. Running a non-viable FTM "affects its performance" in the
+/// paper's words, which makes leaving it a MANDATORY transition (§5.4) even
+/// though the mechanism stays functionally correct.
+[[nodiscard]] ValidityReport resource_viable(const ftm::FtmConfig& config,
+                                             const FtarState& state);
+
+/// Limits used by resource_viable: an FTM may claim at most these fractions
+/// of the link and of one host's CPU.
+inline constexpr double kBandwidthBudgetFraction = 0.4;
+inline constexpr double kCpuBudgetFraction = 0.8;
+
+}  // namespace rcs::core

@@ -1,0 +1,68 @@
+// The (FT, A, R) parameter space (§2).
+//
+// FT — the fault model the system must currently tolerate;
+// A  — the application characteristics (AppSpec, src/ftm/app_spec.hpp);
+// R  — the available resources.
+//
+// An FtarState snapshot is what the resilience manager evaluates FTM validity
+// against; its variations (new threats, application versioning, resource
+// loss) are the adaptation triggers of §3.2.2.
+#pragma once
+
+#include <string>
+
+#include "rcs/common/value.hpp"
+#include "rcs/ftm/app_spec.hpp"
+
+namespace rcs::core {
+
+/// Fault classes of the paper's fault-model classification (crash faults,
+/// transient value faults, permanent value faults; §2).
+struct FaultModel {
+  bool crash{true};
+  bool transient_value{false};
+  bool permanent_value{false};
+  /// Development (software design) faults — §2's third fault class. Only
+  /// design diversity tolerates these (recovery blocks, N-version).
+  bool development{false};
+
+  bool operator==(const FaultModel&) const = default;
+
+  /// True when `coverage` tolerates every fault class this model requires.
+  [[nodiscard]] bool covered_by(const FaultModel& coverage) const {
+    return (!crash || coverage.crash) &&
+           (!transient_value || coverage.transient_value) &&
+           (!permanent_value || coverage.permanent_value) &&
+           (!development || coverage.development);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Available resources (the R class of parameters). These are *capacities*;
+/// usage is observed by the monitoring engine.
+struct Resources {
+  /// Replica-link bandwidth, bytes per second.
+  double bandwidth_bps{12'500'000.0};
+  /// Relative CPU capacity of the replica hosts (1.0 = reference).
+  double cpu_speed{1.0};
+  /// True when the platform is under an energy budget (battery operation):
+  /// penalizes computation-heavy FTMs.
+  bool energy_constrained{false};
+  /// Nominal workload intensity (requests per second) the deployment must
+  /// sustain; used to judge whether an FTM's per-request resource needs fit
+  /// within the available capacity.
+  double request_rate{50.0};
+
+  bool operator==(const Resources&) const = default;
+};
+
+struct FtarState {
+  FaultModel fault_model;
+  ftm::AppSpec app;
+  Resources resources;
+
+  bool operator==(const FtarState&) const = default;
+};
+
+}  // namespace rcs::core

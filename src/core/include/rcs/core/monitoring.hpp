@@ -1,0 +1,125 @@
+// Monitoring engine (§3.1).
+//
+// Two observation planes, as in the paper:
+//  - resource probes: periodic sampling of the replica link's available
+//    bandwidth and the replicas' CPU capacity (the R parameters), with
+//    hysteresis thresholds so a value oscillating near a threshold does not
+//    flap triggers;
+//  - non-functional behaviour: fault events reported by the FTM kernels
+//    (TR mismatches, assertion failures, LFR divergences) arrive as
+//    "monitor.event" messages from the node agents; sliding-window counters
+//    turn rare error events into fault-model triggers — a burst of TR
+//    mismatches evidences transient faults, persistent assertion failures
+//    evidence hardware aging (permanent faults), divergences evidence a
+//    non-deterministic application under an active strategy.
+//
+// Computed triggers are delivered to the resilience manager. The paper
+// explicitly scopes trigger *logic* out ("we consider that triggers ... are
+// already available"); thresholds + hysteresis is our faithful minimum.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::core {
+
+enum class TriggerKind {
+  kBandwidthDrop,
+  kBandwidthRestored,
+  kLinkSaturated,   // measured traffic approaches the link capacity
+  kLinkRelaxed,
+  kCpuDrop,
+  kCpuRestored,
+  kTransientFaults,       // transient value faults observed
+  kPermanentFaultSuspected,  // hardware aging
+  kDivergence,            // replica disagreement (non-determinism symptom)
+};
+
+[[nodiscard]] const char* to_string(TriggerKind kind);
+
+struct Trigger {
+  TriggerKind kind;
+  double measured{0.0};  // bandwidth bps / cpu speed / event count in window
+  sim::Time at{0};
+  std::string detail;
+};
+
+struct MonitoringThresholds {
+  double bandwidth_low_bps{3e6};
+  double bandwidth_high_bps{8e6};  // > low: hysteresis band
+  /// Utilization fractions for the saturation latch (measured bytes/s over
+  /// link capacity).
+  double utilization_high{0.35};
+  double utilization_low{0.15};
+  double cpu_low{0.6};
+  double cpu_high{0.9};
+  sim::Duration event_window{20 * sim::kSecond};
+  int transient_events{2};   // tr_mismatch/assertion count → transient faults
+  int permanent_events{5};   // sustained assertion failures → aging
+  int divergence_events{2};
+};
+
+class MonitoringEngine {
+ public:
+  using TriggerListener = std::function<void(const Trigger&)>;
+
+  MonitoringEngine(sim::Host& manager, std::vector<HostId> replicas,
+                   MonitoringThresholds thresholds = {});
+
+  void set_trigger_listener(TriggerListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Begin periodic probing (and keep probing forever).
+  void start(sim::Duration sample_interval = 500 * sim::kMillisecond);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const std::vector<Trigger>& trigger_log() const {
+    return triggers_;
+  }
+  /// Latest measured service throughput (replies/s across the group).
+  [[nodiscard]] double request_rate() const { return request_rate_; }
+  [[nodiscard]] std::uint64_t events_observed(const std::string& kind) const;
+
+ private:
+  void sample();
+  void on_event(const Value& payload);
+  void fire(TriggerKind kind, double measured, std::string detail);
+  [[nodiscard]] std::size_t window_count(const std::string& kind);
+
+  sim::Host& manager_;
+  std::vector<HostId> replicas_;
+  MonitoringThresholds thresholds_;
+  TriggerListener listener_;
+  bool running_{false};
+  sim::Duration interval_{500 * sim::kMillisecond};
+  std::uint64_t last_link_bytes_{0};
+  sim::Time last_sample_{0};
+  /// Latest per-replica reply counters ("monitor.stats") and the previous
+  /// group total, for request-rate estimation.
+  std::map<std::uint32_t, std::int64_t> replies_by_host_;
+  /// (time, group reply total) samples over a sliding horizon; the rate is
+  /// computed across the whole horizon so it does not beat against the
+  /// agents' reporting period.
+  std::deque<std::pair<sim::Time, std::int64_t>> reply_samples_;
+  double request_rate_{0.0};
+
+  // Hysteresis latches.
+  bool bandwidth_low_{false};
+  bool saturated_{false};
+  bool cpu_low_{false};
+  bool transient_latched_{false};
+  bool permanent_latched_{false};
+  bool divergence_latched_{false};
+
+  std::map<std::string, std::deque<sim::Time>> event_times_;
+  std::map<std::string, std::uint64_t> event_totals_;
+  std::vector<Trigger> triggers_;
+};
+
+}  // namespace rcs::core

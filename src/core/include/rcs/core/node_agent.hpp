@@ -1,0 +1,87 @@
+// Node agent: the adaptation engine's arm on one replica host.
+//
+// Executes the "hot resilient computing" side of Fig. 7 locally:
+//   - applies full deployments and differential transition packages shipped
+//     by the adaptation engine, charging the virtual CostModel for package
+//     installation, script execution and residual removal so the timing
+//     experiments reproduce Table 3 / Fig. 9;
+//   - enforces quiescence around every reconfiguration (§5.3);
+//   - on a script failure, kills the local replica (fail-silent, §5.3) so
+//     the failure detector hands the service to the peer;
+//   - logs the committed configuration to stable storage and, on restart,
+//     recovers automatically: queries the peer for the configuration it
+//     completed, redeploys as backup, and rejoins (§5.3 "recovery of
+//     adaptation");
+//   - forwards the kernel's fault events to the monitoring engine.
+//
+// Message protocol (from the engine):
+//   "adapt.deploy"   {txn, package, params}            -> "adapt.ack"
+//   "adapt.apply"    {txn, package, target, sabotage?} -> "adapt.ack"
+//   "adapt.monolithic" {txn, package, params}          -> "adapt.ack"
+//   "adapt.query_config" {}                            -> "adapt.config"
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "rcs/core/cost_model.hpp"
+#include "rcs/core/repository.hpp"
+#include "rcs/ftm/runtime.hpp"
+
+namespace rcs::core {
+
+class NodeAgent {
+ public:
+  /// Per-step timings of one reconfiguration on this replica (virtual us).
+  struct StepTimings {
+    sim::Duration quiesce{0};
+    sim::Duration deploy{0};   // package transfer+install (Fig. 9 step 1)
+    sim::Duration script{0};   // reconfiguration script    (Fig. 9 step 2)
+    sim::Duration removal{0};  // residual cleanup           (Fig. 9 step 3)
+    sim::Duration state_transfer{0};  // monolithic baseline only
+    [[nodiscard]] sim::Duration total() const {
+      return deploy + script + removal + state_transfer;
+    }
+
+    [[nodiscard]] Value to_value() const;
+    [[nodiscard]] static StepTimings from_value(const Value& value);
+  };
+
+  NodeAgent(sim::Host& host, CostModel cost = {},
+            const comp::ComponentRegistry* registry = nullptr);
+
+  [[nodiscard]] ftm::FtmRuntime& runtime() { return runtime_; }
+  [[nodiscard]] sim::Host& host() { return host_; }
+  [[nodiscard]] comp::HostLibrary& library() { return library_; }
+
+  /// Report kernel fault events (tr_mismatch, assertion_failed, divergence)
+  /// to the monitoring engine on `manager` as "monitor.event" messages.
+  void report_events_to(HostId manager);
+
+  /// Deploy locally without going through the engine (used by fixtures).
+  void deploy_local(const ftm::DeployParams& params);
+
+ private:
+  void handle_deploy(const Value& request, HostId engine);
+  void handle_apply(const Value& request, HostId engine);
+  void handle_monolithic(const Value& request, HostId engine);
+  void handle_intra(const Value& request, HostId engine);
+  void handle_query_config(HostId requester);
+  void on_restart();
+  void attach_kernel_listeners();
+  void report_stats();
+  void ack(HostId engine, const Value& txn, bool ok, const std::string& error,
+           const StepTimings& timings);
+  void register_handlers();
+
+  sim::Host& host_;
+  CostModel cost_;
+  const comp::ComponentRegistry* registry_;
+  comp::HostLibrary library_;
+  ftm::FtmRuntime runtime_;
+  std::optional<HostId> monitor_;
+  bool recovering_{false};
+};
+
+}  // namespace rcs::core

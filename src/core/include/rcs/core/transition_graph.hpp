@@ -1,0 +1,88 @@
+// Transition graphs (Fig. 2 and Fig. 8).
+//
+// Figure 2 is the FTM-level graph: vertices are FTMs, edges are labeled with
+// the (FT, A, R) parameter class whose variation triggers the transition.
+// Figure 8 refines it into a *scenario* graph: vertices are FTM+context
+// states (PBR with/without determinism, LFR with/without state access, ...),
+// edges carry the concrete event, whether a probe or the system manager
+// detects it, whether the transition is mandatory / possible / intra-FTM,
+// and whether it is reactive or proactive (§5.4).
+//
+// Both graphs are encoded from the paper and cross-validated against the
+// capability model: a mandatory edge's source FTM must actually be invalid
+// (or non-viable) in the destination context, a possible edge's source must
+// remain usable, and every destination FTM must be valid in its context —
+// validate_against_model() checks all of it mechanically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcs/core/capability.hpp"
+
+namespace rcs::core {
+
+enum class EdgeKind { kMandatory, kPossible, kIntra };
+enum class EdgeDetection { kProbe, kManager };
+enum class EdgeNature { kReactive, kProactive };
+
+[[nodiscard]] const char* to_string(EdgeKind kind);
+[[nodiscard]] const char* to_string(EdgeDetection detection);
+[[nodiscard]] const char* to_string(EdgeNature nature);
+
+struct GraphNode {
+  std::string name;      // e.g. "PBR (non-determinism)"
+  std::string ftm_name;  // e.g. "PBR"; empty for "No generic solution"
+  FtarState context;     // the (FT, A, R) values this state represents
+};
+
+struct GraphEdge {
+  std::string from;
+  std::string to;
+  std::string label;  // "Bandwidth drop", "State access loss", ...
+  EdgeKind kind{EdgeKind::kMandatory};
+  EdgeDetection detection{EdgeDetection::kProbe};
+  EdgeNature nature{EdgeNature::kReactive};
+  /// The (FT, A, R) state right after the edge's event (Figure 8 edges
+  /// only); classification is evaluated against it.
+  bool has_after{false};
+  FtarState after;
+};
+
+class TransitionGraph {
+ public:
+  /// The coarse FTM-level graph of Figure 2 (edge labels are the parameter
+  /// classes FT / A / R).
+  [[nodiscard]] static TransitionGraph figure2();
+  /// The extended scenario graph of Figure 8.
+  [[nodiscard]] static TransitionGraph figure8();
+
+  [[nodiscard]] const std::vector<GraphNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const { return edges_; }
+  [[nodiscard]] const GraphNode& node(const std::string& name) const;
+
+  /// Classify what an event leading to `after` means for a system running
+  /// `from`'s FTM: mandatory when that FTM is invalid or non-viable under
+  /// `after`, intra when the destination keeps the same FTM, possible
+  /// otherwise.
+  [[nodiscard]] EdgeKind classify(const GraphNode& from, const GraphNode& to,
+                                  const FtarState& after) const;
+
+  /// Cross-check every edge against the capability model; returns
+  /// human-readable inconsistencies (empty = the encoded paper graph agrees
+  /// with the mechanics).
+  [[nodiscard]] std::vector<std::string> validate_against_model() const;
+
+  /// Render as a table (one row per edge) for the graph benchmark.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  void add_node(GraphNode node) { nodes_.push_back(std::move(node)); }
+  void add_edge(GraphEdge edge) { edges_.push_back(std::move(edge)); }
+
+  std::string name_;
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+};
+
+}  // namespace rcs::core

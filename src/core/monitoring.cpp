@@ -1,0 +1,196 @@
+#include "rcs/core/monitoring.hpp"
+
+#include <algorithm>
+
+#include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::core {
+
+const char* to_string(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kBandwidthDrop: return "bandwidth_drop";
+    case TriggerKind::kBandwidthRestored: return "bandwidth_restored";
+    case TriggerKind::kLinkSaturated: return "link_saturated";
+    case TriggerKind::kLinkRelaxed: return "link_relaxed";
+    case TriggerKind::kCpuDrop: return "cpu_drop";
+    case TriggerKind::kCpuRestored: return "cpu_restored";
+    case TriggerKind::kTransientFaults: return "transient_faults";
+    case TriggerKind::kPermanentFaultSuspected: return "permanent_fault_suspected";
+    case TriggerKind::kDivergence: return "divergence";
+  }
+  return "?";
+}
+
+MonitoringEngine::MonitoringEngine(sim::Host& manager,
+                                   std::vector<HostId> replicas,
+                                   MonitoringThresholds thresholds)
+    : manager_(manager),
+      replicas_(std::move(replicas)),
+      thresholds_(thresholds) {
+  manager_.register_handler("monitor.event", [this](const sim::Message& m) {
+    on_event(m.payload);
+  });
+  manager_.register_handler("monitor.stats", [this](const sim::Message& m) {
+    replies_by_host_[static_cast<std::uint32_t>(
+        m.payload.at("host").as_int())] = m.payload.at("replies").as_int();
+  });
+}
+
+void MonitoringEngine::start(sim::Duration sample_interval) {
+  interval_ = sample_interval;
+  running_ = true;
+  sample();
+}
+
+std::uint64_t MonitoringEngine::events_observed(const std::string& kind) const {
+  const auto it = event_totals_.find(kind);
+  return it == event_totals_.end() ? 0 : it->second;
+}
+
+void MonitoringEngine::fire(TriggerKind kind, double measured,
+                            std::string detail) {
+  Trigger trigger{kind, measured, manager_.sim().now(), std::move(detail)};
+  log().info("monitor", "trigger: ", to_string(kind), " (", trigger.detail, ")");
+  triggers_.push_back(trigger);
+  if (listener_) listener_(trigger);
+}
+
+void MonitoringEngine::sample() {
+  if (!running_) return;
+
+  // --- R probe: replica-link bandwidth (hysteresis latch) -----------------
+  if (replicas_.size() >= 2) {
+    const double bandwidth =
+        manager_.sim().network().link(replicas_[0], replicas_[1]).bandwidth_bps;
+    if (!bandwidth_low_ && bandwidth < thresholds_.bandwidth_low_bps) {
+      bandwidth_low_ = true;
+      fire(TriggerKind::kBandwidthDrop, bandwidth,
+           strf("replica link at ", bandwidth / 1e6, " MB/s"));
+    } else if (bandwidth_low_ && bandwidth > thresholds_.bandwidth_high_bps) {
+      bandwidth_low_ = false;
+      fire(TriggerKind::kBandwidthRestored, bandwidth,
+           strf("replica link back at ", bandwidth / 1e6, " MB/s"));
+    }
+
+    // --- R probe: replica-link UTILIZATION (resource usage, §3.1) ---------
+    // The capacity may be intact while the workload outgrows the FTM's
+    // traffic profile: measure actual bytes/s on the group's links.
+    std::uint64_t link_bytes = 0;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      for (std::size_t j = i + 1; j < replicas_.size(); ++j) {
+        link_bytes +=
+            manager_.sim().network().link_stats(replicas_[i], replicas_[j]).bytes;
+      }
+    }
+    const sim::Time now = manager_.sim().now();
+    if (last_sample_ > 0 && now > last_sample_) {
+      const double window_s =
+          static_cast<double>(now - last_sample_) / sim::kSecond;
+      const double byte_rate =
+          static_cast<double>(link_bytes - last_link_bytes_) / window_s;
+      std::int64_t total_replies = 0;
+      for (const auto& [host, replies] : replies_by_host_) {
+        total_replies += replies;
+      }
+      reply_samples_.emplace_back(now, total_replies);
+      while (reply_samples_.size() > 1 &&
+             now - reply_samples_.front().first > 2 * sim::kSecond) {
+        reply_samples_.pop_front();
+      }
+      if (reply_samples_.size() > 1) {
+        const auto& oldest = reply_samples_.front();
+        const double span_s =
+            static_cast<double>(now - oldest.first) / sim::kSecond;
+        request_rate_ = std::max(
+            0.0,
+            static_cast<double>(total_replies - oldest.second) / span_s);
+      }
+
+      const double utilization = bandwidth > 0 ? byte_rate / bandwidth : 0.0;
+      if (!saturated_ && utilization > thresholds_.utilization_high) {
+        saturated_ = true;
+        // The trigger carries the measured SERVICE rate: the workload
+        // intensity the next FTM must sustain.
+        fire(TriggerKind::kLinkSaturated, request_rate_,
+             strf("replica links carrying ", byte_rate / 1e3, " KB/s (",
+                  100 * utilization, "% of capacity) at ", request_rate_,
+                  " req/s"));
+      } else if (saturated_ && utilization < thresholds_.utilization_low) {
+        saturated_ = false;
+        fire(TriggerKind::kLinkRelaxed, request_rate_,
+             strf("replica links down to ", byte_rate / 1e3, " KB/s"));
+      }
+    }
+    last_link_bytes_ = link_bytes;
+    last_sample_ = now;
+  }
+
+  // --- R probe: replica CPU capacity --------------------------------------
+  double cpu = 1e9;
+  for (const auto& replica : replicas_) {
+    cpu = std::min(cpu, manager_.sim().host(replica).capacity().cpu_speed);
+  }
+  if (!replicas_.empty()) {
+    if (!cpu_low_ && cpu < thresholds_.cpu_low) {
+      cpu_low_ = true;
+      fire(TriggerKind::kCpuDrop, cpu, strf("replica cpu at ", cpu, "x"));
+    } else if (cpu_low_ && cpu > thresholds_.cpu_high) {
+      cpu_low_ = false;
+      fire(TriggerKind::kCpuRestored, cpu, strf("replica cpu back at ", cpu, "x"));
+    }
+  }
+
+  manager_.schedule_after(interval_, [this] { sample(); }, "monitor.sample");
+}
+
+std::size_t MonitoringEngine::window_count(const std::string& kind) {
+  auto& times = event_times_[kind];
+  const sim::Time horizon = manager_.sim().now() - thresholds_.event_window;
+  while (!times.empty() && times.front() < horizon) times.pop_front();
+  return times.size();
+}
+
+void MonitoringEngine::on_event(const Value& payload) {
+  const auto& kind = payload.at("kind").as_string();
+  event_times_[kind].push_back(manager_.sim().now());
+  ++event_totals_[kind];
+
+  // FT evidence: TR mismatches, assertion failures and recovery-block
+  // acceptance rejections all witness value faults striking computations.
+  const auto transient_evidence = window_count("tr_mismatch") +
+                                  window_count("assertion_failed") +
+                                  window_count("acceptance_failed");
+  if (!transient_latched_ &&
+      transient_evidence >= static_cast<std::size_t>(thresholds_.transient_events)) {
+    transient_latched_ = true;
+    fire(TriggerKind::kTransientFaults,
+         static_cast<double>(transient_evidence),
+         strf(transient_evidence, " value-fault events in window"));
+  }
+
+  // Sustained assertion failures and TR votes that never converge point at
+  // hardware aging (permanent value faults).
+  const auto permanent_evidence = window_count("assertion_failed") +
+                                  window_count("both_replicas_faulty") +
+                                  window_count("tr_no_majority") +
+                                  window_count("both_variants_rejected");
+  if (!permanent_latched_ &&
+      permanent_evidence >= static_cast<std::size_t>(thresholds_.permanent_events)) {
+    permanent_latched_ = true;
+    fire(TriggerKind::kPermanentFaultSuspected,
+         static_cast<double>(permanent_evidence),
+         strf(permanent_evidence, " assertion failures in window"));
+  }
+
+  // A evidence: replica divergence under an active strategy.
+  const auto divergences = window_count("divergence");
+  if (!divergence_latched_ &&
+      divergences >= static_cast<std::size_t>(thresholds_.divergence_events)) {
+    divergence_latched_ = true;
+    fire(TriggerKind::kDivergence, static_cast<double>(divergences),
+         strf(divergences, " replica divergences in window"));
+  }
+}
+
+}  // namespace rcs::core

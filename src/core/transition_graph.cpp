@@ -1,0 +1,316 @@
+#include "rcs/core/transition_graph.hpp"
+
+#include <sstream>
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::core {
+
+const char* to_string(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kMandatory: return "mandatory";
+    case EdgeKind::kPossible: return "possible";
+    case EdgeKind::kIntra: return "intra-FTM";
+  }
+  return "?";
+}
+
+const char* to_string(EdgeDetection detection) {
+  switch (detection) {
+    case EdgeDetection::kProbe: return "probe";
+    case EdgeDetection::kManager: return "manager";
+  }
+  return "?";
+}
+
+const char* to_string(EdgeNature nature) {
+  switch (nature) {
+    case EdgeNature::kReactive: return "reactive";
+    case EdgeNature::kProactive: return "proactive";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Reference application of the scenario graph: deterministic, stateful,
+/// state-accessible, with an assertion (a KV-store-like workload).
+ftm::AppSpec graph_app() {
+  ftm::AppSpec app;
+  app.type_name = "app.kvstore";
+  app.deterministic = true;
+  app.stateful = true;
+  app.state_access = true;
+  app.has_assertion = true;
+  app.cpu_per_request = 5 * sim::kMillisecond;
+  app.state_size = 4096;
+  return app;
+}
+
+Resources ample_resources() {
+  Resources r;
+  r.bandwidth_bps = 12'500'000.0;  // 100 Mbit/s
+  r.cpu_speed = 1.0;
+  r.request_rate = 50.0;
+  return r;
+}
+
+Resources scarce_bandwidth() {
+  Resources r = ample_resources();
+  r.bandwidth_bps = 400'000.0;  // 3.2 Mbit/s: checkpoints no longer fit
+  return r;
+}
+
+FtarState make_state(FaultModel ft, bool deterministic, bool state_access,
+                     Resources resources) {
+  FtarState state;
+  state.fault_model = ft;
+  state.app = graph_app();
+  state.app.deterministic = deterministic;
+  state.app.state_access = state_access;
+  state.resources = resources;
+  return state;
+}
+
+constexpr FaultModel kCrashOnly{true, false, false};
+constexpr FaultModel kCrashTransient{true, true, false};
+constexpr FaultModel kCrashValue{true, true, true};
+
+}  // namespace
+
+const GraphNode& TransitionGraph::node(const std::string& name) const {
+  for (const auto& node : nodes_) {
+    if (node.name == name) return node;
+  }
+  throw LogicError(strf("TransitionGraph: unknown node '", name, "'"));
+}
+
+TransitionGraph TransitionGraph::figure2() {
+  TransitionGraph graph;
+  graph.name_ = "Figure 2: transitions between FTMs";
+  const auto add = [&graph](const std::string& ftm, FaultModel ft,
+                            bool deterministic, bool state_access,
+                            Resources resources) {
+    graph.add_node(GraphNode{
+        ftm, ftm, make_state(ft, deterministic, state_access, resources)});
+  };
+  add("PBR", kCrashOnly, true, true, ample_resources());
+  add("LFR", kCrashOnly, true, true, scarce_bandwidth());
+  add("PBR_TR", kCrashTransient, true, true, ample_resources());
+  add("LFR_TR", kCrashTransient, true, true, scarce_bandwidth());
+  add("A_LFR", kCrashValue, true, true, scarce_bandwidth());
+
+  // Vertices of Fig. 2 are PBR, LFR, PBR⊕TR, LFR⊕TR and A&Duplex; edges are
+  // labeled with the parameter class whose variation triggers them.
+  const auto edge = [&graph](const char* from, const char* to, const char* label) {
+    GraphEdge e;
+    e.from = from;
+    e.to = to;
+    e.label = label;
+    graph.add_edge(std::move(e));
+  };
+  edge("PBR", "LFR", "A,R");
+  edge("LFR", "PBR", "A,R");
+  edge("PBR", "PBR_TR", "FT");
+  edge("PBR_TR", "PBR", "FT");
+  edge("LFR", "LFR_TR", "FT");
+  edge("LFR_TR", "LFR", "FT");
+  edge("PBR_TR", "LFR_TR", "A,R");
+  edge("LFR_TR", "PBR_TR", "A,R");
+  edge("PBR", "A_LFR", "FT");
+  edge("LFR", "A_LFR", "FT");
+  edge("A_LFR", "LFR", "A,FT");
+  edge("PBR_TR", "A_LFR", "A,FT");
+  edge("LFR_TR", "A_LFR", "A,FT");
+  return graph;
+}
+
+TransitionGraph TransitionGraph::figure8() {
+  TransitionGraph graph;
+  graph.name_ = "Figure 8: extended graph of transition scenarios";
+
+  graph.add_node({"PBR (determinism)", "PBR",
+                  make_state(kCrashOnly, true, true, ample_resources())});
+  graph.add_node({"PBR (non-determinism)", "PBR",
+                  make_state(kCrashOnly, false, true, ample_resources())});
+  graph.add_node({"LFR (state access)", "LFR",
+                  make_state(kCrashOnly, true, true, scarce_bandwidth())});
+  graph.add_node({"LFR (no state access)", "LFR",
+                  make_state(kCrashOnly, true, false, scarce_bandwidth())});
+  graph.add_node({"LFR+TR", "LFR_TR",
+                  make_state(kCrashTransient, true, true, scarce_bandwidth())});
+  graph.add_node({"A&Duplex", "A_LFR",
+                  make_state(kCrashValue, true, true, scarce_bandwidth())});
+  graph.add_node({"No generic solution", "",
+                  make_state(kCrashOnly, false, false, scarce_bandwidth())});
+
+  const auto edge = [&graph](const char* from, const char* to, const char* label,
+                             EdgeKind kind, EdgeDetection detection,
+                             FtarState after,
+                             EdgeNature nature = EdgeNature::kReactive) {
+    GraphEdge e{from, to, label, kind, detection, nature, true, std::move(after)};
+    graph.add_edge(std::move(e));
+  };
+
+  Resources high_cpu = ample_resources();
+  high_cpu.cpu_speed = 1.6;
+  Resources low_cpu = ample_resources();
+  low_cpu.cpu_speed = 0.7;
+
+  // --- R variations (probe-detected, reactive) ----------------------------
+  edge("PBR (determinism)", "LFR (state access)", "Bandwidth drop",
+       EdgeKind::kMandatory, EdgeDetection::kProbe,
+       make_state(kCrashOnly, true, true, scarce_bandwidth()));
+  edge("PBR (determinism)", "LFR (state access)", "CPU increase",
+       EdgeKind::kPossible, EdgeDetection::kProbe,
+       make_state(kCrashOnly, true, true, high_cpu));
+  edge("LFR (state access)", "PBR (determinism)", "Bandwidth increase",
+       EdgeKind::kPossible, EdgeDetection::kProbe,
+       make_state(kCrashOnly, true, true, ample_resources()));
+  edge("LFR (state access)", "PBR (determinism)", "CPU drop",
+       EdgeKind::kPossible, EdgeDetection::kProbe,
+       make_state(kCrashOnly, true, true, low_cpu));
+
+  // --- A variations (manager input, reactive) ------------------------------
+  edge("PBR (determinism)", "PBR (non-determinism)",
+       "Application non-determinism", EdgeKind::kIntra, EdgeDetection::kManager,
+       make_state(kCrashOnly, false, true, ample_resources()));
+  edge("PBR (non-determinism)", "PBR (determinism)", "Application determinism",
+       EdgeKind::kIntra, EdgeDetection::kManager,
+       make_state(kCrashOnly, true, true, ample_resources()));
+  edge("PBR (non-determinism)", "LFR (state access)", "Application determinism",
+       EdgeKind::kPossible, EdgeDetection::kManager,
+       make_state(kCrashOnly, true, true, ample_resources()));
+  edge("LFR (state access)", "PBR (non-determinism)",
+       "Application non-determinism", EdgeKind::kMandatory,
+       EdgeDetection::kManager,
+       make_state(kCrashOnly, false, true, ample_resources()));
+  edge("PBR (determinism)", "LFR (no state access)", "State access loss",
+       EdgeKind::kMandatory, EdgeDetection::kManager,
+       make_state(kCrashOnly, true, false, ample_resources()));
+  edge("LFR (state access)", "LFR (no state access)", "State access loss",
+       EdgeKind::kIntra, EdgeDetection::kManager,
+       make_state(kCrashOnly, true, false, scarce_bandwidth()));
+  edge("LFR (no state access)", "LFR (state access)", "State access",
+       EdgeKind::kIntra, EdgeDetection::kManager,
+       make_state(kCrashOnly, true, true, scarce_bandwidth()));
+  edge("PBR (non-determinism)", "No generic solution", "State access loss",
+       EdgeKind::kMandatory, EdgeDetection::kManager,
+       make_state(kCrashOnly, false, false, ample_resources()));
+  edge("LFR (no state access)", "No generic solution",
+       "Application non-determinism", EdgeKind::kMandatory,
+       EdgeDetection::kManager,
+       make_state(kCrashOnly, false, false, scarce_bandwidth()));
+
+  // --- FT variations (manager input / error probes, PROACTIVE §5.4) --------
+  edge("LFR (state access)", "LFR+TR", "Hardware aging", EdgeKind::kMandatory,
+       EdgeDetection::kManager,
+       make_state(kCrashTransient, true, true, scarce_bandwidth()),
+       EdgeNature::kProactive);
+  edge("LFR (state access)", "LFR+TR", "Start a more critical phase",
+       EdgeKind::kMandatory, EdgeDetection::kManager,
+       make_state(kCrashTransient, true, true, scarce_bandwidth()),
+       EdgeNature::kProactive);
+  edge("LFR+TR", "LFR (state access)", "Start a less critical phase",
+       EdgeKind::kPossible, EdgeDetection::kManager,
+       make_state(kCrashOnly, true, true, scarce_bandwidth()),
+       EdgeNature::kProactive);
+  edge("LFR+TR", "LFR (state access)", "Hardware replaced", EdgeKind::kPossible,
+       EdgeDetection::kManager,
+       make_state(kCrashOnly, true, true, scarce_bandwidth()),
+       EdgeNature::kProactive);
+  edge("LFR (state access)", "A&Duplex", "Start a more critical phase",
+       EdgeKind::kMandatory, EdgeDetection::kManager,
+       make_state(kCrashValue, true, true, scarce_bandwidth()),
+       EdgeNature::kProactive);
+  edge("LFR+TR", "A&Duplex", "Hardware aging", EdgeKind::kMandatory,
+       EdgeDetection::kManager,
+       make_state(kCrashValue, true, true, scarce_bandwidth()),
+       EdgeNature::kProactive);
+  edge("A&Duplex", "LFR (state access)", "Hardware replaced",
+       EdgeKind::kPossible, EdgeDetection::kManager,
+       make_state(kCrashOnly, true, true, scarce_bandwidth()),
+       EdgeNature::kProactive);
+  edge("A&Duplex", "LFR+TR", "Hardware replaced", EdgeKind::kPossible,
+       EdgeDetection::kManager,
+       make_state(kCrashTransient, true, true, scarce_bandwidth()),
+       EdgeNature::kProactive);
+
+  return graph;
+}
+
+EdgeKind TransitionGraph::classify(const GraphNode& from, const GraphNode& to,
+                                   const FtarState& after) const {
+  // Under the post-event state, is the source FTM still usable?
+  if (!from.ftm_name.empty()) {
+    const auto& from_ftm = ftm::FtmConfig::by_name(from.ftm_name);
+    const bool usable = validate(from_ftm, after).valid &&
+                        resource_viable(from_ftm, after).valid;
+    if (!usable) return EdgeKind::kMandatory;
+  }
+  if (from.ftm_name == to.ftm_name) return EdgeKind::kIntra;
+  return EdgeKind::kPossible;
+}
+
+std::vector<std::string> TransitionGraph::validate_against_model() const {
+  std::vector<std::string> problems;
+  for (const auto& edge : edges_) {
+    const GraphNode& from = node(edge.from);
+    const GraphNode& to = node(edge.to);
+    const FtarState& after = edge.has_after ? edge.after : to.context;
+
+    // 1. Every non-terminal destination FTM must be valid and viable under
+    //    the post-event state.
+    if (!to.ftm_name.empty()) {
+      const auto& to_ftm = ftm::FtmConfig::by_name(to.ftm_name);
+      const auto validity = validate(to_ftm, after);
+      if (!validity.valid) {
+        problems.push_back(strf("edge '", edge.label, "': destination ",
+                                to.name, " is invalid after the event: ",
+                                validity.reasons.front()));
+      }
+      if (!resource_viable(to_ftm, after).valid) {
+        problems.push_back(strf("edge '", edge.label, "': destination ",
+                                to.name, " is not viable after the event"));
+      }
+    } else {
+      // "No generic solution": really nothing should fit.
+      for (const auto& candidate : ftm::FtmConfig::standard_set()) {
+        if (validate(candidate, after).valid &&
+            resource_viable(candidate, after).valid) {
+          problems.push_back(strf("edge '", edge.label, "': ", candidate.name,
+                                  " would actually work in the 'no generic "
+                                  "solution' context"));
+        }
+      }
+    }
+
+    // 2. The paper's mandatory/possible/intra tag must match what the
+    //    capability model derives (only checkable when the edge carries its
+    //    post-event state — Figure 8).
+    if (edge.has_after) {
+      const EdgeKind derived = classify(from, to, after);
+      if (derived != edge.kind) {
+        problems.push_back(strf("edge ", from.name, " -> ", to.name, " ('",
+                                edge.label, "') tagged ", to_string(edge.kind),
+                                " but the model derives ", to_string(derived)));
+      }
+    }
+  }
+  return problems;
+}
+
+std::string TransitionGraph::render() const {
+  std::ostringstream os;
+  os << name_ << "\n";
+  os << strf("  ", nodes_.size(), " states, ", edges_.size(), " transitions\n\n");
+  for (const auto& edge : edges_) {
+    os << "  " << edge.from << " --[" << edge.label << "]--> " << edge.to
+       << "   (" << to_string(edge.kind) << ", " << to_string(edge.detection)
+       << ", " << to_string(edge.nature) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace rcs::core

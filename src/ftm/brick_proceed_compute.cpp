@@ -1,0 +1,47 @@
+// proceed brick: plain single execution ("Compute", Table 2).
+//
+// Runs the request once through the server and resumes the pipeline after the
+// CPU time the computation cost, so processing latency shows up on the
+// virtual clock (and in the per-FTM resource measurements).
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/bricks.hpp"
+#include "rcs/ftm/config.hpp"
+
+namespace rcs::ftm {
+
+namespace {
+
+class ProceedCompute final : public FtmBrick {
+ protected:
+  Value on_invoke(const std::string& /*service*/, const std::string& op,
+                  const Value& args) override {
+    if (op == "process") {
+      const Value& ctx = args;
+      const Value outcome = run_server(ctx.at("request"));
+      resume_after(ctx.at("key").as_string(), outcome.at("cpu_us").as_int(),
+                   outcome.at("result"));
+      return wait_for("");  // timer wait; control.resume_after fires it
+    }
+    if (op == "on_peer") return Value::map();
+    throw FtmError(strf("proceed.compute: unknown op '", op, "'"));
+  }
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo proceed_compute_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = brick::kProceedCompute;
+  info.description = "proceed: single execution of the request";
+  info.category = comp::TypeCategory::kBrick;
+  info.services = {{"in", iface::kProceed}};
+  info.references = {{"control", iface::kProtocolControl},
+                     {"server", iface::kServer}};
+  info.code_size = 8'000;
+  info.source_file = "src/ftm/brick_proceed_compute.cpp";
+  info.factory = [] { return std::make_unique<ProceedCompute>(); };
+  return info;
+}
+
+}  // namespace rcs::ftm

@@ -1,0 +1,92 @@
+// proceed brick: Time Redundancy ("capture state / compute twice, compare /
+// restore state", Table 2 and §3.2.1).
+//
+// The request is processed twice with the application state restored between
+// runs; if the two results differ (a transient value fault hit one of them),
+// the state is restored again and a third run votes 2-out-of-3. No majority
+// means the fault was not transient — the request fails. Following §5.2, the
+// whole TR behaviour lives in this single proceed component so that
+// LFR -> LFR⊕TR replaces exactly one brick.
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/bricks.hpp"
+#include "rcs/ftm/config.hpp"
+
+namespace rcs::ftm {
+
+namespace {
+
+class ProceedTr final : public FtmBrick {
+ protected:
+  Value on_invoke(const std::string& /*service*/, const std::string& op,
+                  const Value& args) override {
+    if (op == "process") return process(args);
+    if (op == "on_peer") return Value::map();
+    throw FtmError(strf("proceed.tr: unknown op '", op, "'"));
+  }
+
+ private:
+  Value process(const Value& ctx) {
+    const Value& request = ctx.at("request");
+    const bool has_state = wired("state");
+
+    // Capture state before the first execution (Table 2, Before column for
+    // TR; folded into proceed per §5.2).
+    Value snapshot;
+    if (has_state) snapshot = call("state", "get");
+
+    const Value first = run_server(request);
+    std::int64_t cpu = first.at("cpu_us").as_int();
+
+    if (has_state) call("state", "set", snapshot);
+    const Value second = run_server(request);
+    cpu += second.at("cpu_us").as_int();
+
+    Value result;
+    if (digest(first.at("result")) == digest(second.at("result"))) {
+      result = second.at("result");
+    } else {
+      // Results differ: transient fault suspected. Third run, majority vote.
+      report_fault("tr_mismatch");
+      if (has_state) call("state", "set", snapshot);
+      const Value third = run_server(request);
+      cpu += third.at("cpu_us").as_int();
+      const auto d1 = digest(first.at("result"));
+      const auto d2 = digest(second.at("result"));
+      const auto d3 = digest(third.at("result"));
+      if (d3 == d1) {
+        result = first.at("result");
+      } else if (d3 == d2) {
+        result = second.at("result");
+      } else {
+        // Three distinct results: the fault is not transient (permanent
+        // fault or non-deterministic application) — report the evidence to
+        // the monitoring path and fail the request.
+        report_fault("tr_no_majority");
+        return fail_with(
+            "time redundancy: no majority among three executions");
+      }
+    }
+    resume_after(ctx.at("key").as_string(), cpu, std::move(result));
+    return wait_for("");
+  }
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo proceed_tr_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = brick::kProceedTr;
+  info.description = "proceed: time redundancy (repeat, compare, vote)";
+  info.category = comp::TypeCategory::kBrick;
+  info.services = {{"in", iface::kProceed}};
+  info.references = {{"control", iface::kProtocolControl},
+                     {"server", iface::kServer},
+                     {"state", iface::kStateManager, /*required=*/false}};
+  info.code_size = 16'000;
+  info.source_file = "src/ftm/brick_proceed_tr.cpp";
+  info.factory = [] { return std::make_unique<ProceedTr>(); };
+  return info;
+}
+
+}  // namespace rcs::ftm

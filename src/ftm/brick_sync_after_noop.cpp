@@ -1,0 +1,38 @@
+// syncAfter brick with no agreement-coordination phase (single-host TR).
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/bricks.hpp"
+#include "rcs/ftm/config.hpp"
+
+namespace rcs::ftm {
+
+namespace {
+
+class SyncAfterNoop final : public FtmBrick {
+ protected:
+  Value on_invoke(const std::string& /*service*/, const std::string& op,
+                  const Value& /*args*/) override {
+    if (op == "after") return done();
+    if (op == "on_peer") return Value::map();
+    if (op == "make_join_snapshot") return Value::map();
+    if (op == "apply_join_snapshot") return {};
+    throw FtmError(strf("syncAfter.noop: unknown op '", op, "'"));
+  }
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo sync_after_noop_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = brick::kSyncAfterNoop;
+  info.description = "syncAfter: no post-processing coordination";
+  info.category = comp::TypeCategory::kBrick;
+  info.services = {{"in", iface::kSyncAfter}};
+  info.references = {{"control", iface::kProtocolControl}};
+  info.code_size = 6'000;
+  info.source_file = "src/ftm/brick_sync_after_noop.cpp";
+  info.factory = [] { return std::make_unique<SyncAfterNoop>(); };
+  return info;
+}
+
+}  // namespace rcs::ftm

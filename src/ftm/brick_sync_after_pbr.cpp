@@ -1,0 +1,112 @@
+// syncAfter brick for Primary-Backup Replication.
+//
+// Primary ("Checkpoint to Backup", Table 2): after processing, ship the
+// application state and the reply log to the backup and wait for its ack —
+// only then answer the client, so a failover never loses an acknowledged
+// request. Backup ("Process checkpoint"): apply the state, import the reply
+// log, ack.
+//
+// The same class, constructed with with_assertion=true, is the A&PBR
+// composition's syncAfter: assert the output first (re-executing on the
+// backup when the assertion fails), then checkpoint. This is why
+// PBR -> A&PBR is a one-component differential transition.
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/config.hpp"
+#include "rcs/ftm/sync_after_duplex.hpp"
+
+namespace rcs::ftm {
+
+namespace {
+
+class SyncAfterPbr final : public SyncAfterDuplexBase {
+ public:
+  explicit SyncAfterPbr(bool with_assertion)
+      : SyncAfterDuplexBase(with_assertion) {}
+
+ protected:
+  Value master_after(const Value& ctx) override {
+    const auto group = alive_peers();
+    if (group.empty() || !peer_available(ctx)) return done();  // master-alone
+    Value data = Value::map();
+    data.set("key", ctx.at("key"))
+        .set("state", capture_state())
+        .set("replies", export_replies());
+    // The current request's reply is recorded in the reply log only after
+    // this phase completes, so ship it explicitly: at-most-once must hold on
+    // the backup even if we crash right after answering the client.
+    data.set("pending_reply", Value::map()
+                                  .set("id", ctx.at("id"))
+                                  .set("result", ctx.at("result")));
+    send_peer("after", "checkpoint", std::move(data));
+    count_event("checkpoint_sent");
+    // Wait for every live backup to acknowledge before answering the client
+    // (no acknowledged request can be lost to a failover).
+    return wait_for_group("checkpoint_ack", static_cast<int>(group.size()));
+  }
+
+  Value on_solicited(const Value& /*ctx*/, const Value& message) override {
+    if (message.at("kind").as_string() == "checkpoint_ack") return done();
+    return done();  // anything else while waiting: treat as completion
+  }
+
+  Value on_unsolicited(const Value& message) override {
+    const std::string& kind = message.at("kind").as_string();
+    if (kind == "checkpoint") {
+      const Value& data = message.at("data");
+      if (!data.at("state").is_null()) restore_state(data.at("state"));
+      import_replies(data.at("replies"));
+      if (data.has("pending_reply")) {
+        call("replyLog", "record",
+             Value::map()
+                 .set("key", data.at("key"))
+                 .set("reply", data.at("pending_reply")));
+      }
+      count_event("checkpoint_applied");
+      send_peer_to(message.get_or("_from", Value(-1)).as_int(), "after",
+                   "checkpoint_ack", Value::map().set("key", data.at("key")));
+    }
+    return Value::map();
+  }
+
+  Value forwarded_after(const Value& /*ctx*/) override {
+    // PBR backups never run forwarded pipelines; nothing to synchronize.
+    return done();
+  }
+};
+
+comp::ComponentTypeInfo make_type(const char* type_name, bool with_assertion) {
+  comp::ComponentTypeInfo info;
+  info.type_name = type_name;
+  info.description = with_assertion
+                         ? "syncAfter: assert output, then PBR checkpoint"
+                         : "syncAfter: PBR checkpoint to backup";
+  info.category = comp::TypeCategory::kBrick;
+  info.services = {{"in", iface::kSyncAfter}};
+  info.references = {{"control", iface::kProtocolControl},
+                     {"replyLog", iface::kReplyLog},
+                     {"state", iface::kStateManager, /*required=*/false}};
+  if (with_assertion) {
+    // Only the asserting variant re-executes requests, locally or for a peer.
+    info.references.push_back({"server", iface::kServer, /*required=*/false});
+    info.references.push_back({"assertion", iface::kAssertion});
+  }
+  info.code_size = with_assertion ? 22'000 : 18'000;
+  info.source_file = "src/ftm/brick_sync_after_pbr.cpp";
+  info.factory = [with_assertion] {
+    return std::make_unique<SyncAfterPbr>(with_assertion);
+  };
+  return info;
+}
+
+}  // namespace
+
+comp::ComponentTypeInfo sync_after_pbr_type() {
+  return make_type(brick::kSyncAfterPbr, /*with_assertion=*/false);
+}
+
+comp::ComponentTypeInfo sync_after_pbr_assert_type() {
+  return make_type(brick::kSyncAfterPbrAssert, /*with_assertion=*/true);
+}
+
+}  // namespace rcs::ftm

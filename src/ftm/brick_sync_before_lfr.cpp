@@ -1,0 +1,64 @@
+// syncBefore brick for Leader-Follower Replication.
+//
+// Leader side ("Forward request", Table 2): every client request is forwarded
+// to the follower before processing, so both replicas compute it.
+// Follower side ("Receive request"): the unsolicited forward starts a
+// forwarded pipeline through the kernel; the follower computes the request
+// itself but never answers the client.
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/bricks.hpp"
+#include "rcs/ftm/config.hpp"
+
+namespace rcs::ftm {
+
+namespace {
+
+class SyncBeforeLfr final : public FtmBrick {
+ protected:
+  Value on_invoke(const std::string& /*service*/, const std::string& op,
+                  const Value& args) override {
+    if (op == "before") {
+      const Value& ctx = args;
+      // Follower executing a forwarded request: the "receive" already
+      // happened; nothing more to coordinate.
+      if (ctx.at("forwarded").as_bool()) return done();
+      if (is_master(ctx) && peer_available(ctx)) {
+        Value data = Value::map();
+        data.set("key", ctx.at("key"))
+            .set("client", ctx.at("client"))
+            .set("id", ctx.at("id"))
+            .set("request", ctx.at("request"));
+        send_peer("before", "request", std::move(data));
+      }
+      return done();
+    }
+    if (op == "on_peer") {
+      const Value& message = args.at("message");
+      if (args.at("ctx").is_null() &&
+          message.at("kind").as_string() == "request") {
+        // Unsolicited forward from the leader: start our own pipeline.
+        call("control", "start_forwarded", message.at("data"));
+      }
+      return Value::map();
+    }
+    throw FtmError(strf("syncBefore.lfr: unknown op '", op, "'"));
+  }
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo sync_before_lfr_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = brick::kSyncBeforeLfr;
+  info.description = "syncBefore: LFR request forwarding / reception";
+  info.category = comp::TypeCategory::kBrick;
+  info.services = {{"in", iface::kSyncBefore}};
+  info.references = {{"control", iface::kProtocolControl}};
+  info.code_size = 12'000;
+  info.source_file = "src/ftm/brick_sync_before_lfr.cpp";
+  info.factory = [] { return std::make_unique<SyncBeforeLfr>(); };
+  return info;
+}
+
+}  // namespace rcs::ftm

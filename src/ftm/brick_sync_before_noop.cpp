@@ -1,0 +1,37 @@
+// syncBefore brick for strategies with no server-coordination phase
+// (PBR, TR, A&PBR: Table 2's "Nothing" entries in the Before column).
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/bricks.hpp"
+#include "rcs/ftm/config.hpp"
+
+namespace rcs::ftm {
+
+namespace {
+
+class SyncBeforeNoop final : public FtmBrick {
+ protected:
+  Value on_invoke(const std::string& /*service*/, const std::string& op,
+                  const Value& /*args*/) override {
+    if (op == "before") return done();
+    if (op == "on_peer") return Value::map();  // nothing to coordinate
+    throw FtmError(strf("syncBefore.noop: unknown op '", op, "'"));
+  }
+};
+
+}  // namespace
+
+comp::ComponentTypeInfo sync_before_noop_type() {
+  comp::ComponentTypeInfo info;
+  info.type_name = brick::kSyncBeforeNoop;
+  info.description = "syncBefore: no pre-processing coordination";
+  info.category = comp::TypeCategory::kBrick;
+  info.services = {{"in", iface::kSyncBefore}};
+  info.references = {{"control", iface::kProtocolControl}};
+  info.code_size = 6'000;
+  info.source_file = "src/ftm/brick_sync_before_noop.cpp";
+  info.factory = [] { return std::make_unique<SyncBeforeNoop>(); };
+  return info;
+}
+
+}  // namespace rcs::ftm

@@ -1,0 +1,89 @@
+#include "rcs/ftm/client.hpp"
+
+#include <numeric>
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/logging.hpp"
+#include "rcs/ftm/interfaces.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::ftm {
+
+double Client::Stats::mean_latency_ms() const {
+  if (latencies.empty()) return 0.0;
+  const auto total =
+      std::accumulate(latencies.begin(), latencies.end(), sim::Duration{0});
+  return sim::to_ms(total) / static_cast<double>(latencies.size());
+}
+
+Client::Client(sim::Host& host, std::vector<HostId> replicas, Options options)
+    : host_(host), replicas_(std::move(replicas)), options_(options) {
+  ensure(!replicas_.empty(), "Client: needs at least one replica");
+  host_.register_handler(msg::kReply, [this](const sim::Message& message) {
+    on_reply(message.payload);
+  });
+}
+
+void Client::send(Value request, ReplyCallback callback) {
+  const auto id = next_id_++;
+  Pending pending;
+  pending.request = std::move(request);
+  pending.callback = std::move(callback);
+  pending.first_sent = host_.sim().now();
+  pending.target = preferred_target_;
+  pending_.emplace(id, std::move(pending));
+  ++stats_.sent;
+  transmit(id);
+}
+
+void Client::transmit(std::uint64_t id) {
+  auto& pending = pending_.at(id);
+  ++pending.attempts;
+  Value payload = Value::map();
+  payload.set("client", static_cast<std::int64_t>(host_.id().value()))
+      .set("id", static_cast<std::int64_t>(id))
+      .set("request", pending.request);
+  host_.send(replicas_[pending.target % replicas_.size()], msg::kRequest,
+             std::move(payload));
+  pending.timer = host_.schedule_after(
+      options_.timeout, [this, id] { on_timeout(id); }, "client.timeout");
+}
+
+void Client::on_timeout(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (pending.attempts >= options_.max_attempts) {
+    ++stats_.gave_up;
+    log().warn("client", host_.name(), ": giving up on request ", id, " after ",
+               pending.attempts, " attempts");
+    auto callback = std::move(pending.callback);
+    pending_.erase(it);
+    if (callback) callback(Value::map().set("error", "timeout"));
+    return;
+  }
+  // Failover: rotate to the next replica and retransmit the same id.
+  ++stats_.retries;
+  pending.target = (pending.target + 1) % replicas_.size();
+  preferred_target_ = pending.target;
+  transmit(id);
+}
+
+void Client::on_reply(const Value& payload) {
+  const auto id = static_cast<std::uint64_t>(payload.at("id").as_int());
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // late duplicate reply
+  Pending& pending = it->second;
+  host_.cancel(pending.timer);
+  if (payload.has("error")) {
+    ++stats_.errors;
+  } else {
+    ++stats_.ok;
+    stats_.latencies.push_back(host_.sim().now() - pending.first_sent);
+  }
+  auto callback = std::move(pending.callback);
+  pending_.erase(it);
+  if (callback) callback(payload);
+}
+
+}  // namespace rcs::ftm

@@ -1,0 +1,127 @@
+#include "rcs/ftm/failure_detector.hpp"
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/config.hpp"
+#include "rcs/ftm/interfaces.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::ftm {
+
+comp::ComponentTypeInfo FailureDetectorComponent::type_info() {
+  comp::ComponentTypeInfo info;
+  info.type_name = kernel::kFailureDetector;
+  info.description = "heartbeat failure detector (common part)";
+  info.category = comp::TypeCategory::kKernel;
+  info.services = {{"fd", iface::kFailureDetector}};
+  info.references = {{"control", iface::kProtocolControl}};
+  info.default_properties
+      .set("interval_us", static_cast<std::int64_t>(kDefaultInterval))
+      .set("timeout_us", static_cast<std::int64_t>(kDefaultTimeout))
+      .set("startup_grace_us", static_cast<std::int64_t>(kDefaultStartupGrace));
+  info.code_size = 26'000;
+  info.source_file = "src/ftm/failure_detector.cpp";
+  info.factory = [] { return std::make_unique<FailureDetectorComponent>(); };
+  return info;
+}
+
+sim::Duration FailureDetectorComponent::interval() const {
+  return property("interval_us").as_int();
+}
+
+sim::Duration FailureDetectorComponent::timeout() const {
+  return property("timeout_us").as_int();
+}
+
+std::vector<std::int64_t> FailureDetectorComponent::peer_ids() {
+  const Value info = call("control", "info");
+  std::vector<std::int64_t> peers;
+  for (const auto& entry : info.at("peers").as_list()) {
+    peers.push_back(entry.as_int());
+  }
+  return peers;
+}
+
+void FailureDetectorComponent::on_start() {
+  running_ = true;
+  suspected_.clear();
+  last_heard_.clear();
+  if (host() == nullptr) return;  // pure unit-test composite
+  start_ = host()->sim().now();
+  beat();
+  check();
+}
+
+FailureDetectorComponent::~FailureDetectorComponent() { cancel_timers(); }
+
+void FailureDetectorComponent::cancel_timers() {
+  if (host() == nullptr) return;
+  host()->cancel(beat_timer_);
+  host()->cancel(check_timer_);
+}
+
+void FailureDetectorComponent::on_stop() {
+  running_ = false;
+  cancel_timers();
+}
+
+void FailureDetectorComponent::beat() {
+  if (!running_ || host() == nullptr) return;
+  for (const auto peer : peer_ids()) {
+    if (peer < 0) continue;
+    Value payload = Value::map();
+    payload.set("from", static_cast<std::int64_t>(host()->id().value()));
+    host()->send(HostId{static_cast<std::uint32_t>(peer)}, msg::kHeartbeat,
+                 std::move(payload));
+  }
+  beat_timer_ = host()->schedule_after(interval(), [this] { beat(); }, "fd.beat");
+}
+
+void FailureDetectorComponent::check() {
+  if (!running_ || host() == nullptr) return;
+  const sim::Time now = host()->sim().now();
+  const Value grace_prop = property("startup_grace_us");
+  const sim::Duration grace =
+      grace_prop.is_int() ? grace_prop.as_int() : kDefaultStartupGrace;
+  for (const auto peer : peer_ids()) {
+    if (peer < 0 || suspected_.contains(peer)) continue;
+    const auto it = last_heard_.find(peer);
+    if (it == last_heard_.end()) {
+      // Never heard from this peer: replicas of a group boot at slightly
+      // different times (staggered deployments), so give them a startup
+      // grace before declaring them dead.
+      if (now - start_ <= grace) continue;
+    }
+    const sim::Time heard = it != last_heard_.end() ? it->second : start_ + grace;
+    if (now - heard > timeout()) {
+      suspected_.insert(peer);
+      log().info("fd", host()->name(), ": peer h", peer,
+                 " suspected (silent for ", now - heard, "us)");
+      call("control", "peer_suspected", Value::map().set("host", peer));
+    }
+  }
+  check_timer_ =
+      host()->schedule_after(interval(), [this] { check(); }, "fd.check");
+}
+
+Value FailureDetectorComponent::on_invoke(const std::string& /*service*/,
+                                          const std::string& op,
+                                          const Value& args) {
+  if (op == "on_heartbeat") {
+    const auto from = args.get_or("from", Value(-1)).as_int();
+    if (host() != nullptr) last_heard_[from] = host()->sim().now();
+    if (suspected_.erase(from) > 0) {
+      log().info("fd", host() ? host()->name() : "?", ": peer h", from,
+                 " heard again, recovered");
+      call("control", "peer_recovered", Value::map().set("host", from));
+    }
+    return {};
+  }
+  if (op == "peer_alive") return Value(suspected_.empty());
+  if (op == "suspected") return Value(!suspected_.empty());
+  throw FtmError(strf("failureDetector: unknown op '", op, "'"));
+}
+
+}  // namespace rcs::ftm

@@ -1,0 +1,65 @@
+// Application characteristics (the paper's A parameter class, §2).
+//
+// statefulness, state accessibility and behavioural determinism decide which
+// FTMs are applicable (Table 1): checkpointing strategies (PBR, TR) need
+// state access; active strategies (LFR) and repetition (TR) need determinism.
+// cpu_per_request and state_size drive the R dimension: how much CPU a
+// request costs and how large a checkpoint is on the wire.
+#pragma once
+
+#include <string>
+
+#include "rcs/common/value.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::ftm {
+
+struct AppSpec {
+  /// Registered component type implementing the application server.
+  std::string type_name;
+  /// Same inputs produce the same outputs in the absence of faults.
+  bool deterministic{true};
+  /// The application carries state between requests.
+  bool stateful{true};
+  /// The state can be captured and restored (provides rcs.StateManager).
+  bool state_access{true};
+  /// The application exposes a safety assertion (provides rcs.Assertion).
+  bool has_assertion{false};
+  /// The application ships a diversified alternate implementation (the
+  /// second "version" recovery blocks fall back to).
+  bool has_alternate{false};
+  /// Reference-host CPU cost of processing one request.
+  sim::Duration cpu_per_request{5 * sim::kMillisecond};
+  /// Approximate serialized state size (checkpoint payload), bytes.
+  std::size_t state_size{4096};
+
+  bool operator==(const AppSpec&) const = default;
+
+  [[nodiscard]] Value to_value() const {
+    Value v = Value::map();
+    v.set("type_name", type_name)
+        .set("deterministic", deterministic)
+        .set("stateful", stateful)
+        .set("state_access", state_access)
+        .set("has_assertion", has_assertion)
+        .set("has_alternate", has_alternate)
+        .set("cpu_per_request", static_cast<std::int64_t>(cpu_per_request))
+        .set("state_size", static_cast<std::int64_t>(state_size));
+    return v;
+  }
+
+  [[nodiscard]] static AppSpec from_value(const Value& value) {
+    AppSpec spec;
+    spec.type_name = value.at("type_name").as_string();
+    spec.deterministic = value.at("deterministic").as_bool();
+    spec.stateful = value.at("stateful").as_bool();
+    spec.state_access = value.at("state_access").as_bool();
+    spec.has_assertion = value.at("has_assertion").as_bool();
+    spec.has_alternate = value.get_or("has_alternate", Value(false)).as_bool();
+    spec.cpu_per_request = value.at("cpu_per_request").as_int();
+    spec.state_size = static_cast<std::size_t>(value.at("state_size").as_int());
+    return spec;
+  }
+};
+
+}  // namespace rcs::ftm

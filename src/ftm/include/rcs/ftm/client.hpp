@@ -1,0 +1,77 @@
+// Fault-tolerant client stub.
+//
+// Issues requests to the replicated server with retransmission and failover:
+// a request that times out is resent (same id — the reply log's at-most-once
+// semantics absorb duplicates) to the next replica in the list, so the client
+// rides out master crashes and transitions transparently. Collects the
+// end-to-end latency statistics the benchmarks report.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/common/value.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::ftm {
+
+/// Client retransmission policy.
+struct ClientOptions {
+  sim::Duration timeout{400 * sim::kMillisecond};
+  int max_attempts{12};
+};
+
+class Client {
+ public:
+  using Options = ClientOptions;
+
+  struct Stats {
+    std::uint64_t sent{0};
+    std::uint64_t retries{0};
+    std::uint64_t ok{0};
+    std::uint64_t errors{0};    // explicit error replies
+    std::uint64_t gave_up{0};   // exhausted attempts
+    std::vector<sim::Duration> latencies;  // first-send to reply, ok only
+
+    [[nodiscard]] double mean_latency_ms() const;
+  };
+
+  /// Reply callback: the full reply map {"id", "result"} or {"id", "error"},
+  /// or {"error": "timeout"} after giving up.
+  using ReplyCallback = std::function<void(const Value& reply)>;
+
+  Client(sim::Host& host, std::vector<HostId> replicas, Options options = {});
+
+  /// Send one request; the callback (optional) fires exactly once.
+  void send(Value request, ReplyCallback callback = {});
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Value request;
+    ReplyCallback callback;
+    sim::Time first_sent{0};
+    int attempts{0};
+    std::size_t target{0};
+    TimerId timer{};
+  };
+
+  void transmit(std::uint64_t id);
+  void on_reply(const Value& payload);
+  void on_timeout(std::uint64_t id);
+
+  sim::Host& host_;
+  std::vector<HostId> replicas_;
+  Options options_;
+  std::uint64_t next_id_{1};
+  std::size_t preferred_target_{0};
+  std::map<std::uint64_t, Pending> pending_;
+  Stats stats_;
+};
+
+}  // namespace rcs::ftm

@@ -1,0 +1,97 @@
+// FTM configurations: which brick fills each variable-feature slot.
+//
+// An FtmConfig is the architectural description of one fault tolerance
+// mechanism: the three brick types for the Before-Proceed-After slots plus
+// whether the mechanism is duplex (two replicas) or single-host. The paper's
+// illustrative set (§3.2.1, Table 3) maps to:
+//
+//   PBR     = { noop,          compute, pbr        }   crash
+//   LFR     = { lfr,           compute, lfr        }   crash
+//   PBR⊕TR  = { noop,          tr,      pbr        }   crash + transient
+//   LFR⊕TR  = { lfr,           tr,      lfr        }   crash + transient
+//   A&PBR   = { noop,          compute, pbr_assert }   crash + value
+//   A&LFR   = { lfr,           compute, lfr_assert }   crash + value
+//   TR      = { noop,          tr,      noop       }   transient only, 1 host
+//   RB      = { noop,          rb,      noop       }   transient + development, 1 host
+//   PBR⊕RB  = { noop,          rb,      pbr        }   crash + transient + development
+//
+// A differential transition between two configs replaces exactly the slots
+// whose brick types differ (§4.2 "variable features").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcs/common/value.hpp"
+
+namespace rcs::ftm {
+
+/// Registered component type names for the FTM bricks.
+namespace brick {
+inline constexpr const char* kSyncBeforeNoop = "ftm.syncBefore.noop";
+inline constexpr const char* kSyncBeforeLfr = "ftm.syncBefore.lfr";
+inline constexpr const char* kProceedCompute = "ftm.proceed.compute";
+inline constexpr const char* kProceedTr = "ftm.proceed.tr";
+inline constexpr const char* kProceedRb = "ftm.proceed.rb";
+inline constexpr const char* kSyncAfterNoop = "ftm.syncAfter.noop";
+inline constexpr const char* kSyncAfterPbr = "ftm.syncAfter.pbr";
+inline constexpr const char* kSyncAfterLfr = "ftm.syncAfter.lfr";
+inline constexpr const char* kSyncAfterPbrAssert = "ftm.syncAfter.pbr_assert";
+inline constexpr const char* kSyncAfterLfrAssert = "ftm.syncAfter.lfr_assert";
+}  // namespace brick
+
+/// Kernel component type names (the common parts).
+namespace kernel {
+inline constexpr const char* kProtocol = "ftm.protocol";
+inline constexpr const char* kReplyLog = "ftm.replyLog";
+inline constexpr const char* kFailureDetector = "ftm.failureDetector";
+}  // namespace kernel
+
+struct FtmConfig {
+  std::string name;
+  std::string sync_before;
+  std::string proceed;
+  std::string sync_after;
+  bool duplex{true};
+
+  [[nodiscard]] std::vector<std::string> brick_types() const {
+    return {sync_before, proceed, sync_after};
+  }
+
+  /// Brick slots (instance names) in the composite, in pipeline order.
+  [[nodiscard]] static std::vector<std::string> slot_names() {
+    return {"syncBefore", "proceed", "syncAfter"};
+  }
+
+  /// Number of slots whose brick type differs from `other` — the size of the
+  /// differential transition between the two FTMs.
+  [[nodiscard]] int diff_size(const FtmConfig& other) const;
+
+  [[nodiscard]] Value to_value() const;
+  [[nodiscard]] static FtmConfig from_value(const Value& value);
+
+  bool operator==(const FtmConfig&) const = default;
+
+  // --- The paper's illustrative set ---------------------------------------
+  [[nodiscard]] static const FtmConfig& pbr();
+  [[nodiscard]] static const FtmConfig& lfr();
+  [[nodiscard]] static const FtmConfig& pbr_tr();
+  [[nodiscard]] static const FtmConfig& lfr_tr();
+  [[nodiscard]] static const FtmConfig& a_pbr();
+  [[nodiscard]] static const FtmConfig& a_lfr();
+  [[nodiscard]] static const FtmConfig& tr();
+  /// Recovery blocks on a single host (acceptance test + diversified
+  /// alternate): tolerates development and transient value faults.
+  [[nodiscard]] static const FtmConfig& rb();
+  /// Recovery blocks composed with PBR: crash + transient + development.
+  [[nodiscard]] static const FtmConfig& pbr_rb();
+
+  /// The six duplex FTMs of Table 3, in the paper's order.
+  [[nodiscard]] static const std::vector<FtmConfig>& table3_set();
+  /// All seven standard configurations (Table 3 set + single-host TR).
+  [[nodiscard]] static const std::vector<FtmConfig>& standard_set();
+  /// Lookup by name; throws FtmError if unknown.
+  [[nodiscard]] static const FtmConfig& by_name(const std::string& name);
+};
+
+}  // namespace rcs::ftm

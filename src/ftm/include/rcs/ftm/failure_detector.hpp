@@ -1,0 +1,64 @@
+// Heartbeat failure detector (common part).
+//
+// Each replica beats kHeartbeat messages to its peer every `interval_us` and
+// suspects the peer when nothing has been heard for `timeout_us` (the paper's
+// "dedicated entity (e.g., heartbeat, watchdog)" that detects the master
+// crash and triggers recovery, §3.2.1). Suspicion is reported to the protocol
+// kernel through the control reference; a later heartbeat from a restarted
+// peer reports recovery.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/component/component.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::ftm {
+
+class FailureDetectorComponent : public comp::Component {
+ public:
+  static constexpr sim::Duration kDefaultInterval = 50 * sim::kMillisecond;
+  static constexpr sim::Duration kDefaultTimeout = 200 * sim::kMillisecond;
+  /// Grace for peers never heard from: group members boot at slightly
+  /// different times, and a premature suspicion would self-elect a booting
+  /// replica into a split role.
+  static constexpr sim::Duration kDefaultStartupGrace = 2 * sim::kSecond;
+
+  [[nodiscard]] static comp::ComponentTypeInfo type_info();
+
+  ~FailureDetectorComponent() override;
+
+ protected:
+  // Service "fd", interface rcs.FailureDetector. Ops:
+  //   on_heartbeat {from: u32} -> null        (wired from the host handler)
+  //   peer_alive {}            -> bool
+  //   suspected {}             -> bool
+  Value on_invoke(const std::string& service, const std::string& op,
+                  const Value& args) override;
+
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void beat();
+  void check();
+  [[nodiscard]] sim::Duration interval() const;
+  [[nodiscard]] sim::Duration timeout() const;
+  /// Peer host ids from the protocol kernel (the replica group).
+  [[nodiscard]] std::vector<std::int64_t> peer_ids();
+
+  void cancel_timers();
+
+  bool running_{false};
+  sim::Time start_{0};
+  std::map<std::int64_t, sim::Time> last_heard_;
+  std::set<std::int64_t> suspected_;
+  // Pending self-rescheduling timers; cancelled on stop/destruction so a
+  // replaced composite leaves no closures pointing at a dead component.
+  TimerId beat_timer_{};
+  TimerId check_timer_{};
+};
+
+}  // namespace rcs::ftm

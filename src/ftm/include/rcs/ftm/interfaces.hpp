@@ -1,0 +1,71 @@
+// Interface and message vocabulary of the FTM framework.
+//
+// The FTM composite (paper Fig. 6) contains, per replica:
+//
+//       client --ftm.request--> [protocol] --before--> [syncBefore]
+//                                   |---------exec---> [proceed] --server--> [server]
+//                                   |--------after---> [syncAfter]
+//                                   |------replyLog--> [replyLog]
+//                                   |-----detector---> [failureDetector]
+//
+// protocol / replyLog / server / failureDetector are the *common parts*
+// (never touched by transitions); syncBefore / proceed / syncAfter are the
+// *variable features* replaced by differential transitions (§4.2).
+//
+// Interfaces are the typed contracts on the wires; message types are the
+// host-level network message names.
+#pragma once
+
+#include <string>
+
+namespace rcs::ftm::iface {
+
+inline constexpr const char* kSyncBefore = "rcs.SyncBefore";
+inline constexpr const char* kProceed = "rcs.Proceed";
+inline constexpr const char* kSyncAfter = "rcs.SyncAfter";
+inline constexpr const char* kServer = "rcs.Server";
+inline constexpr const char* kStateManager = "rcs.StateManager";
+inline constexpr const char* kAssertion = "rcs.Assertion";
+inline constexpr const char* kReplyLog = "rcs.ReplyLog";
+inline constexpr const char* kProtocolControl = "rcs.ProtocolControl";
+inline constexpr const char* kClientPort = "rcs.ClientPort";
+inline constexpr const char* kPeerPort = "rcs.PeerPort";
+inline constexpr const char* kFailureDetector = "rcs.FailureDetector";
+
+}  // namespace rcs::ftm::iface
+
+namespace rcs::ftm::msg {
+
+/// client -> replica: {"client": u32, "id": u64, "request": value}
+inline constexpr const char* kRequest = "ftm.request";
+/// replica -> client: {"id": u64, "result": value} or {"id", "error": str}
+inline constexpr const char* kReply = "ftm.reply";
+/// replica <-> replica: {"phase": "before"|"after"|"ctrl", "kind": str, ...}
+inline constexpr const char* kReplica = "ftm.replica";
+/// replica <-> replica failure detection beacon: {"role": str}
+inline constexpr const char* kHeartbeat = "ftm.heartbeat";
+
+}  // namespace rcs::ftm::msg
+
+namespace rcs::ftm {
+
+/// Replica roles. The paper's duplex FTMs run a master (primary/leader) and a
+/// slave (backup/follower); after a peer crash the survivor serves alone.
+enum class Role {
+  kPrimary,
+  kBackup,
+  kAlone,
+};
+
+[[nodiscard]] constexpr const char* to_string(Role role) {
+  switch (role) {
+    case Role::kPrimary: return "primary";
+    case Role::kBackup: return "backup";
+    case Role::kAlone: return "alone";
+  }
+  return "?";
+}
+
+[[nodiscard]] Role role_from_string(const std::string& text);
+
+}  // namespace rcs::ftm

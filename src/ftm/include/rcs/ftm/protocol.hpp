@@ -1,0 +1,186 @@
+// Protocol kernel: the FTM's common part.
+//
+// This component realizes what the paper's two design loops factored into the
+// FaultToleranceProtocol and DuplexProtocol base classes (§4.1-4.2):
+// communication with the client, at-most-once semantics via the reply log,
+// the Before-Proceed-After pipeline, inter-replica message routing, failover
+// (promotion to master-alone), replica rejoin, and the quiescence gate used
+// during reconfigurations (§5.3). It holds all protocol state — request
+// contexts, buffers, counters — so the variable-feature bricks it drives stay
+// stateless and can be swapped by differential transitions.
+//
+// Pipeline: a client request runs Before -> Proceed -> After -> reply. Each
+// phase invokes the wired brick, which answers with a status directive:
+//   done   - phase complete, advance (optionally carrying {"result": v})
+//   wait   - brick expects a peer message {"expect": kind}; the kernel parks
+//            the context and resumes it when that message (or a stashed early
+//            copy) arrives, feeding it to the brick's on_peer op
+//   again  - re-run the current phase (used by assertion recovery)
+//   fail   - abort with {"error": msg}; the client gets an error reply
+// Bricks reach the kernel back through the "control" service (send_peer,
+// resume, resume_after, report_fault, start_forwarded, stash, info).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/component/component.hpp"
+#include "rcs/ftm/interfaces.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::ftm {
+
+class ProtocolKernel : public comp::Component {
+ public:
+  [[nodiscard]] static comp::ComponentTypeInfo type_info();
+
+  ~ProtocolKernel() override;
+
+  struct Counters {
+    std::uint64_t requests{0};
+    std::uint64_t replies{0};
+    std::uint64_t error_replies{0};
+    std::uint64_t duplicates_served{0};
+    std::uint64_t forwarded{0};
+    std::uint64_t checkpoints_sent{0};
+    std::uint64_t checkpoints_applied{0};
+    std::uint64_t notifications{0};
+    std::uint64_t divergences{0};
+    std::uint64_t assertion_failures{0};
+    std::uint64_t tr_mismatches{0};
+    std::uint64_t promotions{0};
+    std::uint64_t buffered{0};
+  };
+
+  // --- Native hooks for the runtime / adaptation engine -------------------
+  /// Called whenever a fault-related event is reported (kind: "divergence",
+  /// "assertion_failed", "tr_mismatch", "both_replicas_faulty").
+  void set_fault_listener(std::function<void(const std::string& kind)> listener) {
+    fault_listener_ = std::move(listener);
+  }
+  /// Called on role changes (promotion to alone, rejoin to primary/backup).
+  void set_role_listener(std::function<void(Role)> listener) {
+    role_listener_ = std::move(listener);
+  }
+  /// Called when a quiesce completes (all in-flight requests drained).
+  void set_quiesce_listener(std::function<void()> listener) {
+    quiesce_listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] bool blocked() const { return blocked_; }
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  [[nodiscard]] std::size_t buffered() const {
+    return buffered_requests_.size() + buffered_forwarded_.size();
+  }
+
+ protected:
+  // Services:
+  //   "client"  (rcs.ClientPort): op "request" {client, id, request}
+  //   "peer"    (rcs.PeerPort):   op "message" {phase, kind, key?, data}
+  //   "control" (rcs.ProtocolControl): see dispatch_control
+  Value on_invoke(const std::string& service, const std::string& op,
+                  const Value& args) override;
+
+  void on_start() override;
+  void on_property_changed(const std::string& key) override;
+
+ private:
+  /// One in-flight request (client-originated or forwarded by the leader).
+  struct Ctx {
+    std::string key;
+    std::int64_t client{-1};
+    std::uint64_t id{0};
+    Value request;
+    Value result;
+    int phase{0};  // 0=before 1=proceed 2=after 3=done
+    bool forwarded{false};
+    bool waiting{false};
+    std::string expect;  // peer-message kind that resumes this ctx
+    int attempt{0};      // peer-wait retransmission attempts so far
+    TimerId retry_timer{};
+    /// Multi-ack waits (checkpoint to N backups): how many more matching
+    /// peer messages are needed, and who already answered.
+    int expect_remaining{1};
+    std::vector<std::int64_t> acked_peers;
+  };
+
+  // Entry points.
+  void handle_client_request(const Value& payload);
+  void handle_peer_message(const Value& payload);
+  Value dispatch_control(const std::string& op, const Value& args);
+
+  // Pipeline machinery.
+  void start_request(const Value& payload, bool forwarded);
+  void advance(Ctx& ctx);
+  void apply_brick_status(Ctx& ctx, const Value& status);
+  void complete(Ctx& ctx);
+  void fail_request(Ctx& ctx, const std::string& error);
+  // Takes the key BY VALUE: callers pass ctx.key, which lives inside
+  // the map entry being erased.
+  void finish_and_erase(std::string key);
+  [[nodiscard]] Value ctx_view(const Ctx& ctx) const;
+  [[nodiscard]] const char* phase_reference(int phase) const;
+
+  // Peer group / failover. The replica group is the "peers" property (list
+  // of host ids) plus the "master" property; liveness is tracked per peer.
+  void rebuild_peer_group();
+  [[nodiscard]] bool any_peer_alive() const;
+  [[nodiscard]] std::vector<std::int64_t> alive_peers() const;
+  void send_peer(const std::string& phase, const std::string& kind, Value data);
+  void send_peer_to(std::int64_t peer, const std::string& phase,
+                    const std::string& kind, Value data);
+  void on_peer_suspected(std::int64_t peer);
+  void on_peer_recovered(std::int64_t peer);
+  void handle_ctrl(const std::string& kind, const Value& data,
+                   std::int64_t from);
+  void set_role(Role role);
+  /// Re-run the waiting phase of every peer-parked context (after a group
+  /// membership change or a retransmission timeout).
+  void rerun_waiting_phase(Ctx& ctx);
+
+  // Peer-wait retransmission: a lost checkpoint/ack/exec message must not
+  // wedge the pipeline — re-run the waiting phase periodically until the
+  // message arrives or the failure detector declares the peer dead.
+  void schedule_peer_retry(Ctx& ctx);
+  void cancel_peer_retry(Ctx& ctx);
+  void on_peer_retry(const std::string& key);
+  [[nodiscard]] sim::Duration retry_interval() const;
+
+  // Quiescence.
+  void check_drained();
+  void drain_buffers();
+
+  Role role_{Role::kPrimary};
+  std::vector<std::int64_t> peers_;
+  std::map<std::int64_t, bool> peer_alive_map_;
+  bool blocked_{false};
+  std::map<std::string, Ctx> pending_;
+  /// Early peer messages stashed until a context starts waiting for them,
+  /// keyed by (request key, message kind). Keeps the bricks stateless.
+  std::map<std::pair<std::string, std::string>, Value> stash_;
+  /// Unsolicited messages a brick asked to postpone until the local pipeline
+  /// for their key finishes (e.g. an exec_req racing the local execution).
+  std::map<std::string, std::vector<Value>> deferred_;
+  /// Abort notices that overtook their forwarded request on the wire; the
+  /// matching forwarded pipeline must not be started. Bounded FIFO.
+  std::deque<std::string> aborted_keys_;
+  std::deque<Value> buffered_requests_;   // raw client payloads while blocked
+  std::deque<Value> buffered_forwarded_;  // forwarded payloads while blocked
+  /// Outstanding resume timers; cancelled on destruction so a replaced
+  /// composite leaves no closures pointing at a dead kernel.
+  std::map<std::uint64_t, TimerId> resume_timers_;
+  std::uint64_t next_resume_timer_{0};
+  Counters counters_;
+
+  std::function<void(const std::string&)> fault_listener_;
+  std::function<void(Role)> role_listener_;
+  std::function<void()> quiesce_listener_;
+};
+
+}  // namespace rcs::ftm

@@ -1,0 +1,13 @@
+// Explicit component-type registration for the FTM framework.
+#pragma once
+
+#include "rcs/component/registry.hpp"
+
+namespace rcs::ftm {
+
+/// Register the protocol kernel, reply log, failure detector and every brick
+/// into `registry` (defaults to the global registry). Idempotent.
+void register_components(
+    comp::ComponentRegistry& registry = comp::ComponentRegistry::instance());
+
+}  // namespace rcs::ftm

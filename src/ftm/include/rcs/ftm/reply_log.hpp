@@ -1,0 +1,47 @@
+// Reply log: at-most-once request semantics.
+//
+// One of the FTM composite's common parts (Fig. 6). Maps request keys
+// ("c<client>:<id>") to the reply already sent, so a retransmitted request is
+// answered from the log instead of re-executed. The log is part of the PBR
+// checkpoint (export/import) so at-most-once survives failover.
+//
+// Bounded capacity with FIFO eviction: clients retransmit within a bounded
+// window, so the oldest entries are dead weight — and the log travels inside
+// every PBR checkpoint, so a tight bound keeps checkpoint traffic close to
+// the state size.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "rcs/component/component.hpp"
+
+namespace rcs::ftm {
+
+class ReplyLogComponent : public comp::Component {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 32;
+
+  [[nodiscard]] static comp::ComponentTypeInfo type_info();
+
+ protected:
+  // Service "log", interface rcs.ReplyLog. Ops:
+  //   lookup {key}            -> {found: bool, reply?: value}
+  //   record {key, reply}     -> null
+  //   export {}               -> {entries: {key: reply}, order: [key]}
+  //   import {entries, order} -> null (replaces content)
+  //   size {}                 -> int
+  //   clear {}                -> null
+  Value on_invoke(const std::string& service, const std::string& op,
+                  const Value& args) override;
+
+ private:
+  [[nodiscard]] std::size_t capacity() const;
+  void evict_to_capacity();
+
+  std::map<std::string, Value> entries_;
+  std::deque<std::string> order_;  // insertion order, for FIFO eviction
+};
+
+}  // namespace rcs::ftm

@@ -1,0 +1,71 @@
+// Generation of deployment and differential-transition scripts.
+//
+// The paper's repository holds, for every FTM, a deployable package and, for
+// every FTM pair, a transition package = {new bricks} + {RScript} (§5.1).
+// Rather than hand-writing 42 scripts, the builder derives them mechanically
+// from the component registry: a brick's declared references determine its
+// wires (control -> protocol, server -> application, state/assertion only
+// when the application provides them), and the diff between two FtmConfigs
+// determines which slots a transition touches. The generated sources are
+// genuine RScript text — what ships in a transition package and what the
+// on-line interpreter executes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcs/component/registry.hpp"
+#include "rcs/ftm/app_spec.hpp"
+#include "rcs/ftm/config.hpp"
+
+namespace rcs::ftm {
+
+class ScriptBuilder {
+ public:
+  explicit ScriptBuilder(const comp::ComponentRegistry& registry)
+      : registry_(registry) {}
+
+  /// Full from-scratch deployment of one replica of `config` running `app`.
+  /// Role, peer group and master are script bindings ("role", "peers",
+  /// "master") so one script serves every replica of the group.
+  [[nodiscard]] std::string deployment_script(const FtmConfig& config,
+                                              const AppSpec& app) const;
+
+  /// Differential transition: replaces only the slots whose brick types
+  /// differ between `from` and `to`.
+  [[nodiscard]] std::string transition_script(const FtmConfig& from,
+                                              const FtmConfig& to,
+                                              const AppSpec& app) const;
+
+  /// In-place brick update (the paper's "update consists of changing the
+  /// acceptance test / replacing the decision algorithm", §3.2.1): replace
+  /// one slot with a fresh instance of the SAME type — the vehicle for
+  /// shipping a new version of a brick without changing the FTM.
+  [[nodiscard]] std::string refresh_script(const FtmConfig& config,
+                                           const std::string& slot,
+                                           const AppSpec& app) const;
+
+  /// Brick types the transition package must carry (the new bricks).
+  [[nodiscard]] static std::vector<std::string> transition_new_types(
+      const FtmConfig& from, const FtmConfig& to);
+
+  /// Slot instance names changed by the transition, in pipeline order.
+  [[nodiscard]] static std::vector<std::string> changed_slots(
+      const FtmConfig& from, const FtmConfig& to);
+
+ private:
+  struct WirePlan {
+    std::string reference;
+    std::string to_component;
+    std::string service;
+  };
+
+  /// Wires a brick of `brick_type` in `slot` needs, given the application's
+  /// actual services (optional references to absent services are skipped).
+  [[nodiscard]] std::vector<WirePlan> brick_wires(const std::string& brick_type,
+                                                  const AppSpec& app) const;
+
+  const comp::ComponentRegistry& registry_;
+};
+
+}  // namespace rcs::ftm

@@ -1,0 +1,54 @@
+// Shared machinery of the duplex syncAfter bricks.
+//
+// This mirrors the paper's second design loop (§4.2): what is common to all
+// duplex agreement phases — assertion checking with re-execution on the other
+// node (the A&Duplex recovery, §3.2.1), serving a peer's re-execution
+// request, and replica-rejoin snapshots — is factored here; PBR and LFR
+// subclasses supply only their own agreement action (checkpoint vs notify).
+#pragma once
+
+#include <string>
+
+#include "rcs/ftm/bricks.hpp"
+
+namespace rcs::ftm {
+
+class SyncAfterDuplexBase : public FtmBrick {
+ protected:
+  explicit SyncAfterDuplexBase(bool with_assertion)
+      : with_assertion_(with_assertion) {}
+
+  Value on_invoke(const std::string& service, const std::string& op,
+                  const Value& args) override;
+
+  /// Strategy-specific agreement action for the master side. Returns a
+  /// status directive ("done" after fire-and-forget, "wait" for an ack).
+  virtual Value master_after(const Value& ctx) = 0;
+  /// Strategy-specific handling of a solicited peer message (the kind the
+  /// master waited for) — checkpoint_ack / notify.
+  virtual Value on_solicited(const Value& ctx, const Value& message) = 0;
+  /// Strategy-specific handling of unsolicited messages (slave side):
+  /// checkpoint application, early notifications...
+  virtual Value on_unsolicited(const Value& message) = 0;
+  /// Follower-side behaviour for a forwarded context reaching After.
+  virtual Value forwarded_after(const Value& ctx) = 0;
+
+  [[nodiscard]] bool with_assertion() const { return with_assertion_; }
+
+  // --- Shared helpers -------------------------------------------------------
+  [[nodiscard]] bool check_assertion(const Value& request, const Value& result);
+  /// Read the application state if the state manager is wired.
+  [[nodiscard]] Value capture_state();
+  void restore_state(const Value& state);
+  [[nodiscard]] Value export_replies();
+  void import_replies(const Value& snapshot);
+
+ private:
+  Value after_entry(const Value& ctx);
+  Value handle_exec_request(const Value& message);
+  Value handle_exec_result(const Value& ctx, const Value& message);
+
+  bool with_assertion_;
+};
+
+}  // namespace rcs::ftm

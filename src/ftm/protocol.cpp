@@ -1,0 +1,744 @@
+#include "rcs/ftm/protocol.hpp"
+
+#include <algorithm>
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/component/composite.hpp"
+#include "rcs/ftm/config.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::ftm {
+
+namespace {
+std::string request_key(std::int64_t client, std::uint64_t id) {
+  return strf("c", client, ":", id);
+}
+}  // namespace
+
+comp::ComponentTypeInfo ProtocolKernel::type_info() {
+  comp::ComponentTypeInfo info;
+  info.type_name = kernel::kProtocol;
+  info.description =
+      "fault tolerance protocol kernel: pipeline, at-most-once, failover "
+      "(common part)";
+  info.category = comp::TypeCategory::kKernel;
+  info.services = {{"client", iface::kClientPort},
+                   {"peer", iface::kPeerPort},
+                   {"control", iface::kProtocolControl}};
+  info.references = {{"before", iface::kSyncBefore},
+                     {"exec", iface::kProceed},
+                     {"after", iface::kSyncAfter},
+                     {"replyLog", iface::kReplyLog},
+                     {"detector", iface::kFailureDetector, /*required=*/false}};
+  info.default_properties.set("role", "primary")
+      .set("peers", Value::list())
+      .set("master", std::int64_t{-1})
+      .set("ftm", "unconfigured")
+      .set("retry_us", std::int64_t{250 * sim::kMillisecond});
+  info.code_size = 64'000;
+  info.source_file = "src/ftm/protocol.cpp";
+  info.factory = [] { return std::make_unique<ProtocolKernel>(); };
+  return info;
+}
+
+ProtocolKernel::~ProtocolKernel() {
+  if (host() != nullptr) {
+    for (const auto& [id, timer] : resume_timers_) host()->cancel(timer);
+    for (const auto& [key, ctx] : pending_) host()->cancel(ctx.retry_timer);
+  }
+}
+
+sim::Duration ProtocolKernel::retry_interval() const {
+  const Value v = property("retry_us");
+  return v.is_int() && v.as_int() > 0 ? v.as_int() : 250 * sim::kMillisecond;
+}
+
+void ProtocolKernel::schedule_peer_retry(Ctx& ctx) {
+  if (host() == nullptr) return;
+  ctx.retry_timer = host()->schedule_after(
+      retry_interval(), [this, key = ctx.key] { on_peer_retry(key); },
+      "ftm.peer_retry");
+}
+
+void ProtocolKernel::cancel_peer_retry(Ctx& ctx) {
+  if (host() != nullptr) host()->cancel(ctx.retry_timer);
+  ctx.retry_timer = TimerId{};
+}
+
+void ProtocolKernel::on_peer_retry(const std::string& key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Ctx& ctx = it->second;
+  if (!ctx.waiting || ctx.expect.empty()) return;
+  // Re-run the waiting phase: the brick re-sends its peer message (a lost
+  // checkpoint/exec request) or decides to give up (ctx carries "attempt").
+  ++ctx.attempt;
+  log().debug("ftm", composite()->name(), ": retrying ", ctx.key, " phase ",
+              ctx.phase, " (attempt ", ctx.attempt, ")");
+  ctx.waiting = false;
+  static constexpr const char* kPhaseOps[] = {"before", "process", "after"};
+  const Value status =
+      call(phase_reference(ctx.phase), kPhaseOps[ctx.phase], ctx_view(ctx));
+  const std::string& verdict = status.at("status").as_string();
+  if (verdict == "done") {
+    if (status.has("result")) ctx.result = status.at("result");
+    ++ctx.phase;
+    advance(ctx);
+  } else {
+    apply_brick_status(ctx, status);
+  }
+}
+
+Value ProtocolKernel::on_invoke(const std::string& service,
+                                const std::string& op, const Value& args) {
+  if (service == "client") {
+    if (op == "request") {
+      handle_client_request(args);
+      return {};
+    }
+    throw FtmError(strf("protocol.client: unknown op '", op, "'"));
+  }
+  if (service == "peer") {
+    if (op == "message") {
+      handle_peer_message(args);
+      return {};
+    }
+    throw FtmError(strf("protocol.peer: unknown op '", op, "'"));
+  }
+  return dispatch_control(op, args);
+}
+
+void ProtocolKernel::on_start() { rebuild_peer_group(); }
+
+void ProtocolKernel::rebuild_peer_group() {
+  peers_.clear();
+  const Value peers = property("peers");
+  if (peers.is_list()) {
+    for (const auto& entry : peers.as_list()) peers_.push_back(entry.as_int());
+  }
+  // Liveness: keep existing knowledge, default new members to alive.
+  for (const auto peer : peers_) {
+    peer_alive_map_.emplace(peer, true);
+  }
+}
+
+bool ProtocolKernel::any_peer_alive() const {
+  for (const auto peer : peers_) {
+    const auto it = peer_alive_map_.find(peer);
+    if (it != peer_alive_map_.end() && it->second) return true;
+  }
+  return false;
+}
+
+std::vector<std::int64_t> ProtocolKernel::alive_peers() const {
+  std::vector<std::int64_t> alive;
+  for (const auto peer : peers_) {
+    const auto it = peer_alive_map_.find(peer);
+    if (it != peer_alive_map_.end() && it->second) alive.push_back(peer);
+  }
+  return alive;
+}
+
+void ProtocolKernel::on_property_changed(const std::string& key) {
+  if (key == "peers") rebuild_peer_group();
+  if (key == "role") {
+    const Role new_role = role_from_string(property("role").as_string());
+    if (new_role != role_) {
+      role_ = new_role;
+      log().info("ftm", composite()->name(), ": role is now ", to_string(role_));
+      if (role_listener_) role_listener_(role_);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client path
+// ---------------------------------------------------------------------------
+
+void ProtocolKernel::handle_client_request(const Value& payload) {
+  ++counters_.requests;
+  // A backup ignores direct client traffic; the client's retry lands on the
+  // master (or on us once the failure detector promotes us).
+  if (role_ == Role::kBackup) return;
+  if (blocked_) {
+    buffered_requests_.push_back(payload);
+    counters_.buffered = std::max<std::uint64_t>(counters_.buffered, buffered());
+    return;
+  }
+  start_request(payload, /*forwarded=*/false);
+}
+
+void ProtocolKernel::start_request(const Value& payload, bool forwarded) {
+  const auto client = payload.at("client").as_int();
+  const auto id = static_cast<std::uint64_t>(payload.at("id").as_int());
+  const std::string key = request_key(client, id);
+
+  if (pending_.contains(key)) return;  // already in flight
+
+  if (forwarded) {
+    const auto aborted =
+        std::find(aborted_keys_.begin(), aborted_keys_.end(), key);
+    if (aborted != aborted_keys_.end()) {
+      aborted_keys_.erase(aborted);
+      return;  // the master already failed this request
+    }
+  }
+
+  // At-most-once: answer retransmissions from the reply log.
+  const Value logged = call("replyLog", "lookup", Value::map().set("key", key));
+  if (logged.at("found").as_bool()) {
+    ++counters_.duplicates_served;
+    if (!forwarded) {
+      Value reply = logged.at("reply");
+      reply.set("id", static_cast<std::int64_t>(id));
+      if (host() != nullptr) {
+        host()->send(HostId{static_cast<std::uint32_t>(client)}, msg::kReply,
+                     std::move(reply));
+      }
+      ++counters_.replies;
+    }
+    return;
+  }
+
+  Ctx ctx;
+  ctx.key = key;
+  ctx.client = client;
+  ctx.id = id;
+  ctx.request = payload.at("request");
+  ctx.forwarded = forwarded;
+  auto [it, inserted] = pending_.emplace(key, std::move(ctx));
+  ensure(inserted, "duplicate pending ctx");
+  advance(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+const char* ProtocolKernel::phase_reference(int phase) const {
+  switch (phase) {
+    case 0: return "before";
+    case 1: return "exec";
+    case 2: return "after";
+    default: throw LogicError(strf("no brick for phase ", phase));
+  }
+}
+
+Value ProtocolKernel::ctx_view(const Ctx& ctx) const {
+  Value view = Value::map();
+  view.set("key", ctx.key)
+      .set("client", ctx.client)
+      .set("id", static_cast<std::int64_t>(ctx.id))
+      .set("request", ctx.request)
+      .set("result", ctx.result)
+      .set("forwarded", ctx.forwarded)
+      .set("role", to_string(role_))
+      .set("peer_alive", any_peer_alive())
+      .set("expect", ctx.expect)
+      .set("attempt", ctx.attempt);
+  return view;
+}
+
+void ProtocolKernel::advance(Ctx& ctx) {
+  while (ctx.phase < 3) {
+    static constexpr const char* kPhaseOps[] = {"before", "process", "after"};
+    const Value status =
+        call(phase_reference(ctx.phase), kPhaseOps[ctx.phase], ctx_view(ctx));
+    const std::string& verdict = status.at("status").as_string();
+    if (verdict == "done") {
+      if (status.has("result")) ctx.result = status.at("result");
+      ++ctx.phase;
+      continue;
+    }
+    apply_brick_status(ctx, status);
+    return;
+  }
+  complete(ctx);
+}
+
+void ProtocolKernel::apply_brick_status(Ctx& ctx, const Value& status) {
+  const std::string& verdict = status.at("status").as_string();
+  if (verdict == "wait") {
+    if (status.has("result")) ctx.result = status.at("result");
+    ctx.waiting = true;
+    // With an "expect" kind the context waits for a peer message; without
+    // one it waits for an explicit control.resume (e.g. a compute timer).
+    ctx.expect = status.get_or("expect", Value("")).as_string();
+    ctx.expect_remaining =
+        static_cast<int>(status.get_or("expect_count", Value(1)).as_int());
+    ctx.acked_peers.clear();
+    if (ctx.expect.empty()) return;
+    if (ctx.expect_remaining <= 0) {  // nobody to wait for after all
+      ctx.waiting = false;
+      ++ctx.phase;
+      advance(ctx);
+      return;
+    }
+    // An early peer message may already be stashed; feed it immediately.
+    const auto stashed = stash_.find({ctx.key, ctx.expect});
+    if (stashed == stash_.end()) {
+      schedule_peer_retry(ctx);
+      return;
+    }
+    if (stashed != stash_.end()) {
+      const Value message = stashed->second;
+      stash_.erase(stashed);
+      Value args = Value::map();
+      args.set("ctx", ctx_view(ctx)).set("message", message);
+      ctx.waiting = false;
+      const Value next =
+          call(phase_reference(ctx.phase), "on_peer", args);
+      const std::string& v = next.at("status").as_string();
+      if (v == "done") {
+        if (next.has("result")) ctx.result = next.at("result");
+        ++ctx.phase;
+        advance(ctx);
+      } else {
+        apply_brick_status(ctx, next);
+      }
+    }
+    return;
+  }
+  if (verdict == "again") {
+    if (status.has("result")) ctx.result = status.at("result");
+    advance(ctx);
+    return;
+  }
+  if (verdict == "fail") {
+    fail_request(ctx, status.get_or("error", Value("request failed")).as_string());
+    return;
+  }
+  throw FtmError(strf("brick returned unknown status '", verdict, "'"));
+}
+
+void ProtocolKernel::complete(Ctx& ctx) {
+  Value reply = Value::map();
+  reply.set("id", static_cast<std::int64_t>(ctx.id)).set("result", ctx.result);
+  call("replyLog", "record", Value::map().set("key", ctx.key).set("reply", reply));
+  if (!ctx.forwarded && host() != nullptr) {
+    host()->send(HostId{static_cast<std::uint32_t>(ctx.client)}, msg::kReply,
+                 std::move(reply));
+    ++counters_.replies;
+  }
+  finish_and_erase(ctx.key);
+}
+
+void ProtocolKernel::fail_request(Ctx& ctx, const std::string& error) {
+  log().warn("ftm", composite()->name(), ": request ", ctx.key, " failed: ",
+             error);
+  if (!ctx.forwarded && host() != nullptr) {
+    Value reply = Value::map();
+    reply.set("id", static_cast<std::int64_t>(ctx.id)).set("error", error);
+    host()->send(HostId{static_cast<std::uint32_t>(ctx.client)}, msg::kReply,
+                 std::move(reply));
+    ++counters_.error_replies;
+    // Under an active strategy the follower runs its own pipeline for this
+    // request and is waiting for our agreement message; it must learn that
+    // the request died here, or its context leaks (and quiescence never
+    // drains).
+    if (any_peer_alive()) {
+      send_peer("ctrl", "abort", Value::map().set("key", ctx.key));
+    }
+  }
+  finish_and_erase(ctx.key);
+}
+
+void ProtocolKernel::finish_and_erase(std::string key) {
+  {
+    const auto it = pending_.find(key);
+    if (it != pending_.end()) cancel_peer_retry(it->second);
+  }
+  pending_.erase(key);
+  // Replay messages that were postponed until this request finished locally
+  // (the brick can now answer them from the reply log).
+  const auto deferred = deferred_.find(key);
+  if (deferred != deferred_.end()) {
+    auto messages = std::move(deferred->second);
+    deferred_.erase(deferred);
+    for (const auto& message : messages) handle_peer_message(message);
+  }
+  if (blocked_) check_drained();
+}
+
+// ---------------------------------------------------------------------------
+// Peer path
+// ---------------------------------------------------------------------------
+
+void ProtocolKernel::handle_peer_message(const Value& payload) {
+  const std::string& phase = payload.at("phase").as_string();
+  const std::string& kind = payload.at("kind").as_string();
+
+  if (phase == "ctrl") {
+    handle_ctrl(kind, payload.get_or("data", Value::map()),
+                payload.get_or("_from", Value(-1)).as_int());
+    return;
+  }
+
+  const std::string key = payload.get_or("key", Value("")).as_string();
+  const auto from = payload.get_or("_from", Value(-1)).as_int();
+  const auto it = pending_.find(key);
+  if (it != pending_.end() && it->second.waiting && it->second.expect == kind) {
+    Ctx& ctx = it->second;
+    // Multi-ack waits: count each peer once; advance only when the whole
+    // group answered (duplicates from retransmissions are absorbed here).
+    if (std::find(ctx.acked_peers.begin(), ctx.acked_peers.end(), from) !=
+        ctx.acked_peers.end()) {
+      return;
+    }
+    ctx.acked_peers.push_back(from);
+    if (static_cast<int>(ctx.acked_peers.size()) < ctx.expect_remaining) {
+      return;  // keep waiting for the rest of the group
+    }
+    cancel_peer_retry(ctx);
+    ctx.waiting = false;
+    Value args = Value::map();
+    args.set("ctx", ctx_view(ctx)).set("message", payload);
+    const Value status = call(phase_reference(ctx.phase), "on_peer", args);
+    const std::string& verdict = status.at("status").as_string();
+    if (verdict == "done") {
+      if (status.has("result")) ctx.result = status.at("result");
+      ++ctx.phase;
+      advance(ctx);
+    } else {
+      apply_brick_status(ctx, status);
+    }
+    return;
+  }
+
+  // Unsolicited message: dispatch to the phase's brick. The brick may act
+  // directly (apply a checkpoint, serve an exec request, start a forwarded
+  // pipeline) or ask the kernel to stash the message for a context that has
+  // not reached the waiting phase yet.
+  const char* ref = phase == "before" ? "before"
+                    : phase == "exec" ? "exec"
+                                      : "after";
+  Value args = Value::map();
+  args.set("ctx", Value{}).set("message", payload);
+  const Value status = call(ref, "on_peer", args);
+  if (status.is_map() && status.get_or("stash", Value(false)).as_bool()) {
+    stash_[{key, kind}] = payload;
+  }
+  if (status.is_map() && status.get_or("defer", Value(false)).as_bool()) {
+    deferred_[key].push_back(payload);
+  }
+}
+
+void ProtocolKernel::send_peer(const std::string& phase, const std::string& kind,
+                               Value data) {
+  for (const auto peer : alive_peers()) {
+    send_peer_to(peer, phase, kind, data);
+  }
+}
+
+void ProtocolKernel::send_peer_to(std::int64_t peer, const std::string& phase,
+                                  const std::string& kind, Value data) {
+  if (peer < 0 || host() == nullptr) return;
+  Value payload = Value::map();
+  payload.set("phase", phase).set("kind", kind);
+  if (data.is_map() && data.has("key")) payload.set("key", data.at("key"));
+  payload.set("data", std::move(data));
+  host()->send(HostId{static_cast<std::uint32_t>(peer)}, msg::kReplica,
+               std::move(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Failover / rejoin
+// ---------------------------------------------------------------------------
+
+void ProtocolKernel::set_role(Role role) {
+  if (role == role_) return;
+  set_property("role", Value(to_string(role)));  // triggers listener hook
+}
+
+void ProtocolKernel::rerun_waiting_phase(Ctx& ctx) {
+  cancel_peer_retry(ctx);
+  ctx.waiting = false;
+  ++ctx.attempt;
+  static constexpr const char* kPhaseOps[] = {"before", "process", "after"};
+  const Value status =
+      call(phase_reference(ctx.phase), kPhaseOps[ctx.phase], ctx_view(ctx));
+  const std::string& verdict = status.at("status").as_string();
+  if (verdict == "done") {
+    if (status.has("result")) ctx.result = status.at("result");
+    ++ctx.phase;
+    advance(ctx);
+  } else {
+    apply_brick_status(ctx, status);
+  }
+}
+
+void ProtocolKernel::on_peer_suspected(std::int64_t peer) {
+  auto it = peer_alive_map_.find(peer);
+  if (it == peer_alive_map_.end() || !it->second) return;
+  it->second = false;
+  log().info("ftm", composite()->name(), ": peer h", peer, " suspected, role ",
+             to_string(role_));
+
+  const auto master = property("master").as_int();
+  const auto self =
+      host() != nullptr ? static_cast<std::int64_t>(host()->id().value()) : -1;
+
+  if (role_ == Role::kPrimary && !any_peer_alive()) {
+    // Last one standing.
+    set_role(Role::kAlone);
+  } else if (role_ == Role::kBackup && peer == master) {
+    // The master died: the lowest-id live replica takes over
+    // (deterministic rank-based election; all backups compute the same).
+    std::int64_t new_master = self;
+    for (const auto candidate : alive_peers()) {
+      new_master = std::min(new_master, candidate);
+    }
+    set_property("master", Value(new_master));
+    if (new_master == self) {
+      ++counters_.promotions;
+      set_role(any_peer_alive() ? Role::kPrimary : Role::kAlone);
+    }
+  }
+
+  // Contexts parked on a response from the dead peer must not wait forever:
+  // re-run their phase against the new group (bricks re-broadcast to the
+  // survivors or finish master-alone).
+  std::vector<std::string> waiting_keys;
+  for (const auto& [key, ctx] : pending_) {
+    if (ctx.waiting && !ctx.expect.empty()) waiting_keys.push_back(key);
+  }
+  for (const auto& key : waiting_keys) {
+    const auto pending = pending_.find(key);
+    if (pending != pending_.end()) rerun_waiting_phase(pending->second);
+  }
+}
+
+void ProtocolKernel::on_peer_recovered(std::int64_t peer) {
+  const auto it = peer_alive_map_.find(peer);
+  if (it == peer_alive_map_.end() || it->second) return;
+  it->second = true;
+  log().info("ftm", composite()->name(), ": peer h", peer, " recovered");
+}
+
+void ProtocolKernel::handle_ctrl(const std::string& kind, const Value& data,
+                                 std::int64_t from) {
+  if (kind == "abort") {
+    // The master failed this request; drop our forwarded context for it
+    // (nothing to record, nothing to reply). If the forward itself has not
+    // arrived yet (reordered on a jittery link), remember the abort so the
+    // late forward is not started.
+    const auto& key = data.at("key").as_string();
+    const auto it = pending_.find(key);
+    if (it != pending_.end() && it->second.forwarded) {
+      finish_and_erase(it->first);
+    } else if (it == pending_.end()) {
+      aborted_keys_.push_back(key);
+      while (aborted_keys_.size() > 256) aborted_keys_.pop_front();
+    }
+    return;
+  }
+  if (kind == "join") {
+    // A restarted replica asks to rejoin as backup; only the master answers,
+    // shipping its state and reply log.
+    if (role_ != Role::kPrimary && role_ != Role::kAlone) return;
+    if (from >= 0) peer_alive_map_[from] = true;
+    Value response = call("after", "make_join_snapshot", Value::map());
+    send_peer_to(from, "ctrl", "join_ack", std::move(response));
+    set_role(Role::kPrimary);
+    return;
+  }
+  if (kind == "join_ack") {
+    if (from >= 0) peer_alive_map_[from] = true;
+    call("after", "apply_join_snapshot", data);
+    set_property("master", Value(from));
+    set_role(Role::kBackup);
+    return;
+  }
+  throw FtmError(strf("protocol: unknown ctrl kind '", kind, "'"));
+}
+
+// ---------------------------------------------------------------------------
+// Control service (bricks, failure detector, runtime)
+// ---------------------------------------------------------------------------
+
+Value ProtocolKernel::dispatch_control(const std::string& op, const Value& args) {
+  if (op == "info") {
+    Value peers = Value::list();
+    for (const auto peer : peers_) peers.push_back(peer);
+    Value alive = Value::list();
+    for (const auto peer : alive_peers()) alive.push_back(peer);
+    Value info = Value::map();
+    info.set("role", to_string(role_))
+        .set("peers", std::move(peers))
+        .set("alive_peers", std::move(alive))
+        .set("master", property("master"))
+        .set("ftm", property("ftm"))
+        .set("peer_alive", any_peer_alive())
+        .set("blocked", blocked_);
+    return info;
+  }
+  if (op == "resume" || op == "fail") {
+    const auto& key = args.at("key").as_string();
+    const auto it = pending_.find(key);
+    if (it == pending_.end()) return {};
+    Ctx& ctx = it->second;
+    if (op == "fail") {
+      cancel_peer_retry(ctx);
+      fail_request(ctx, args.get_or("error", Value("failed")).as_string());
+      return {};
+    }
+    cancel_peer_retry(ctx);
+    ctx.waiting = false;
+    if (args.has("result")) ctx.result = args.at("result");
+    ++ctx.phase;
+    advance(ctx);
+    return {};
+  }
+  if (op == "resume_after") {
+    const auto delay = args.at("delay_us").as_int();
+    Value resume_args = Value::map();
+    resume_args.set("key", args.at("key"));
+    if (args.has("result")) resume_args.set("result", args.at("result"));
+    if (host() == nullptr) {
+      return dispatch_control("resume", resume_args);
+    }
+    const auto handle = next_resume_timer_++;
+    resume_timers_[handle] = host()->schedule_after(
+        delay,
+        [this, handle, resume_args] {
+          resume_timers_.erase(handle);
+          dispatch_control("resume", resume_args);
+        },
+        "ftm.resume");
+    return {};
+  }
+  if (op == "send_peer") {
+    send_peer(args.at("phase").as_string(), args.at("kind").as_string(),
+              args.get_or("data", Value::map()));
+    return {};
+  }
+  if (op == "send_peer_to") {
+    send_peer_to(args.at("host").as_int(), args.at("phase").as_string(),
+                 args.at("kind").as_string(), args.get_or("data", Value::map()));
+    return {};
+  }
+  if (op == "start_forwarded") {
+    ++counters_.forwarded;
+    if (blocked_) {
+      buffered_forwarded_.push_back(args);
+      return {};
+    }
+    start_request(args, /*forwarded=*/true);
+    return {};
+  }
+  if (op == "peek") {
+    // Let bricks ask whether a request is already executing here and with
+    // what result — an A&LFR follower answers a re-execution request from
+    // its own forwarded computation instead of executing twice.
+    const auto it = pending_.find(args.at("key").as_string());
+    Value out = Value::map();
+    if (it == pending_.end()) {
+      out.set("found", false);
+    } else {
+      out.set("found", true)
+          .set("phase", it->second.phase)
+          .set("result", it->second.result);
+    }
+    return out;
+  }
+  if (op == "stash") {
+    stash_[{args.at("key").as_string(), args.at("kind").as_string()}] =
+        args.at("message");
+    return {};
+  }
+  if (op == "report_fault") {
+    const auto& kind = args.at("kind").as_string();
+    if (kind == "divergence") ++counters_.divergences;
+    if (kind == "assertion_failed") ++counters_.assertion_failures;
+    if (kind == "tr_mismatch") ++counters_.tr_mismatches;
+    log().info("ftm", composite()->name(), ": fault reported: ", kind);
+    if (fault_listener_) fault_listener_(kind);
+    return {};
+  }
+  if (op == "count_event") {
+    const auto& kind = args.at("kind").as_string();
+    if (kind == "checkpoint_sent") ++counters_.checkpoints_sent;
+    if (kind == "checkpoint_applied") ++counters_.checkpoints_applied;
+    if (kind == "notification") ++counters_.notifications;
+    return {};
+  }
+  if (op == "peer_suspected") {
+    on_peer_suspected(args.at("host").as_int());
+    return {};
+  }
+  if (op == "peer_recovered") {
+    on_peer_recovered(args.at("host").as_int());
+    return {};
+  }
+  if (op == "join") {
+    send_peer("ctrl", "join", Value::map());
+    return {};
+  }
+  if (op == "quiesce") {
+    blocked_ = true;
+    const bool drained = pending_.empty();
+    if (drained && quiesce_listener_) quiesce_listener_();
+    return Value::map().set("drained", drained);
+  }
+  if (op == "unblock") {
+    blocked_ = false;
+    drain_buffers();
+    return {};
+  }
+  if (op == "pending") {
+    return Value(static_cast<std::int64_t>(pending_.size()));
+  }
+  if (op == "stats") {
+    Value stats = Value::map();
+    stats.set("requests", counters_.requests)
+        .set("replies", counters_.replies)
+        .set("error_replies", counters_.error_replies)
+        .set("duplicates_served", counters_.duplicates_served)
+        .set("forwarded", counters_.forwarded)
+        .set("checkpoints_sent", counters_.checkpoints_sent)
+        .set("checkpoints_applied", counters_.checkpoints_applied)
+        .set("notifications", counters_.notifications)
+        .set("divergences", counters_.divergences)
+        .set("assertion_failures", counters_.assertion_failures)
+        .set("tr_mismatches", counters_.tr_mismatches)
+        .set("promotions", counters_.promotions);
+    return stats;
+  }
+  throw FtmError(strf("protocol.control: unknown op '", op, "'"));
+}
+
+// ---------------------------------------------------------------------------
+// Quiescence
+// ---------------------------------------------------------------------------
+
+void ProtocolKernel::check_drained() {
+  if (blocked_ && pending_.empty() && quiesce_listener_) quiesce_listener_();
+}
+
+void ProtocolKernel::drain_buffers() {
+  // Replay buffered traffic in arrival order: forwarded work first (it was
+  // accepted by the old configuration's leader), then fresh client requests.
+  auto forwarded = std::move(buffered_forwarded_);
+  buffered_forwarded_.clear();
+  for (const auto& payload : forwarded) {
+    if (blocked_) {
+      buffered_forwarded_.push_back(payload);
+      continue;
+    }
+    start_request(payload, /*forwarded=*/true);
+  }
+  auto requests = std::move(buffered_requests_);
+  buffered_requests_.clear();
+  for (const auto& payload : requests) {
+    if (blocked_) {
+      buffered_requests_.push_back(payload);
+      continue;
+    }
+    handle_client_request(payload);
+  }
+}
+
+}  // namespace rcs::ftm

@@ -1,0 +1,26 @@
+#include "rcs/ftm/registration.hpp"
+
+#include "rcs/ftm/bricks.hpp"
+#include "rcs/ftm/failure_detector.hpp"
+#include "rcs/ftm/protocol.hpp"
+#include "rcs/ftm/reply_log.hpp"
+
+namespace rcs::ftm {
+
+void register_components(comp::ComponentRegistry& registry) {
+  registry.register_type(ProtocolKernel::type_info());
+  registry.register_type(ReplyLogComponent::type_info());
+  registry.register_type(FailureDetectorComponent::type_info());
+  registry.register_type(sync_before_noop_type());
+  registry.register_type(sync_before_lfr_type());
+  registry.register_type(proceed_compute_type());
+  registry.register_type(proceed_tr_type());
+  registry.register_type(proceed_rb_type());
+  registry.register_type(sync_after_noop_type());
+  registry.register_type(sync_after_pbr_type());
+  registry.register_type(sync_after_lfr_type());
+  registry.register_type(sync_after_pbr_assert_type());
+  registry.register_type(sync_after_lfr_assert_type());
+}
+
+}  // namespace rcs::ftm

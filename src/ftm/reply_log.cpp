@@ -1,0 +1,92 @@
+#include "rcs/ftm/reply_log.hpp"
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/config.hpp"
+#include "rcs/ftm/interfaces.hpp"
+
+namespace rcs::ftm {
+
+comp::ComponentTypeInfo ReplyLogComponent::type_info() {
+  comp::ComponentTypeInfo info;
+  info.type_name = kernel::kReplyLog;
+  info.description = "at-most-once reply log (common part)";
+  info.category = comp::TypeCategory::kKernel;
+  info.services = {{"log", iface::kReplyLog}};
+  info.default_properties.set("capacity",
+                              static_cast<std::int64_t>(kDefaultCapacity));
+  info.code_size = 24'000;
+  info.source_file = "src/ftm/reply_log.cpp";
+  info.factory = [] { return std::make_unique<ReplyLogComponent>(); };
+  return info;
+}
+
+std::size_t ReplyLogComponent::capacity() const {
+  const Value v = property("capacity");
+  return v.is_int() && v.as_int() > 0 ? static_cast<std::size_t>(v.as_int())
+                                      : kDefaultCapacity;
+}
+
+void ReplyLogComponent::evict_to_capacity() {
+  const std::size_t cap = capacity();
+  while (order_.size() > cap) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+Value ReplyLogComponent::on_invoke(const std::string& /*service*/,
+                                   const std::string& op, const Value& args) {
+  if (op == "lookup") {
+    const auto& key = args.at("key").as_string();
+    Value out = Value::map();
+    const auto it = entries_.find(key);
+    out.set("found", it != entries_.end());
+    if (it != entries_.end()) out.set("reply", it->second);
+    return out;
+  }
+  if (op == "record") {
+    const auto& key = args.at("key").as_string();
+    if (!entries_.contains(key)) order_.push_back(key);
+    entries_[key] = args.at("reply");
+    evict_to_capacity();
+    return {};
+  }
+  if (op == "export") {
+    Value entries = Value::map();
+    for (const auto& [key, reply] : entries_) entries.set(key, reply);
+    Value order = Value::list();
+    for (const auto& key : order_) order.push_back(key);
+    Value out = Value::map();
+    out.set("entries", entries).set("order", order);
+    return out;
+  }
+  if (op == "import") {
+    entries_.clear();
+    order_.clear();
+    const auto& entries = args.at("entries").as_map();
+    for (const auto& key_value : args.at("order").as_list()) {
+      const auto& key = key_value.as_string();
+      const auto it = entries.find(key);
+      if (it == entries.end()) {
+        throw FtmError(strf("replyLog import: order key '", key,
+                            "' missing from entries"));
+      }
+      entries_[key] = it->second;
+      order_.push_back(key);
+    }
+    evict_to_capacity();
+    return {};
+  }
+  if (op == "size") {
+    return Value(static_cast<std::int64_t>(entries_.size()));
+  }
+  if (op == "clear") {
+    entries_.clear();
+    order_.clear();
+    return {};
+  }
+  throw FtmError(strf("replyLog: unknown op '", op, "'"));
+}
+
+}  // namespace rcs::ftm

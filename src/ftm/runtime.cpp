@@ -1,0 +1,163 @@
+#include "rcs/ftm/runtime.hpp"
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/script/parser.hpp"
+
+namespace rcs::ftm {
+
+Value DeployParams::to_value() const {
+  Value v = Value::map();
+  Value peer_list = Value::list();
+  for (const auto p : peers) peer_list.push_back(p);
+  v.set("config", config.to_value())
+      .set("role", to_string(role))
+      .set("peers", std::move(peer_list))
+      .set("master", master)
+      .set("app", app.to_value())
+      .set("fd_interval", static_cast<std::int64_t>(fd_interval))
+      .set("fd_timeout", static_cast<std::int64_t>(fd_timeout));
+  return v;
+}
+
+DeployParams DeployParams::from_value(const Value& value) {
+  DeployParams params;
+  params.config = FtmConfig::from_value(value.at("config"));
+  params.role = role_from_string(value.at("role").as_string());
+  for (const auto& entry : value.at("peers").as_list()) {
+    params.peers.push_back(entry.as_int());
+  }
+  params.master = value.at("master").as_int();
+  params.app = AppSpec::from_value(value.at("app"));
+  params.fd_interval = value.at("fd_interval").as_int();
+  params.fd_timeout = value.at("fd_timeout").as_int();
+  return params;
+}
+
+FtmRuntime::FtmRuntime(sim::Host& host, comp::HostLibrary& library,
+                       const comp::ComponentRegistry* registry)
+    : host_(host), library_(library), registry_(registry) {
+  host_.on_crash([this] {
+    // Volatile state dies with the host; stable storage keeps the config.
+    composite_.reset();
+  });
+}
+
+FtmRuntime::~FtmRuntime() = default;
+
+const comp::ComponentRegistry& FtmRuntime::registry() const {
+  return registry_ ? *registry_ : comp::ComponentRegistry::instance();
+}
+
+comp::Composite& FtmRuntime::composite() {
+  ensure(composite_ != nullptr, "FtmRuntime: no FTM deployed");
+  return *composite_;
+}
+
+ProtocolKernel& FtmRuntime::kernel() {
+  auto* kernel = dynamic_cast<ProtocolKernel*>(&composite().child("protocol"));
+  ensure(kernel != nullptr, "FtmRuntime: protocol component has wrong type");
+  return *kernel;
+}
+
+script::ExecutionStats FtmRuntime::deploy(const DeployParams& params) {
+  ensure(composite_ == nullptr,
+         "FtmRuntime::deploy: an FTM is already deployed (teardown first)");
+  params_ = params;
+  composite_ = std::make_unique<comp::Composite>(
+      strf("ftm@", host_.name()),
+      comp::CompositeEnv{&host_, &library_, registry_});
+
+  const ScriptBuilder builder(registry());
+  const std::string source = builder.deployment_script(params.config, params.app);
+  Value peer_list = Value::list();
+  for (const auto p : params.peers) peer_list.push_back(p);
+  Value bindings = Value::map();
+  bindings.set("role", to_string(params.role))
+      .set("peers", std::move(peer_list))
+      .set("master", params.master);
+  const auto stats = script::Interpreter::run_source(source, *composite_, bindings);
+
+  composite_->set_property("detector", "interval_us",
+                           Value(static_cast<std::int64_t>(params.fd_interval)));
+  composite_->set_property("detector", "timeout_us",
+                           Value(static_cast<std::int64_t>(params.fd_timeout)));
+
+  register_handlers();
+  persist(params);
+  log().info("ftm", host_.name(), ": deployed ", params.config.name, " as ",
+             to_string(params.role), " (", stats.ops, " ops)");
+  return stats;
+}
+
+void FtmRuntime::teardown() {
+  composite_.reset();
+  host_.unregister_handler(msg::kRequest);
+  host_.unregister_handler(msg::kReplica);
+  host_.unregister_handler(msg::kHeartbeat);
+}
+
+void FtmRuntime::register_handlers() {
+  host_.register_handler(msg::kRequest, [this](const sim::Message& message) {
+    if (composite_ == nullptr) return;
+    composite_->invoke("protocol", "client", "request", message.payload);
+  });
+  host_.register_handler(msg::kReplica, [this](const sim::Message& message) {
+    if (composite_ == nullptr) return;
+    // Stamp the sender: the kernel needs it for per-peer ack accounting and
+    // directed responses.
+    Value payload = message.payload;
+    payload.set("_from", static_cast<std::int64_t>(message.from.value()));
+    composite_->invoke("protocol", "peer", "message", payload);
+  });
+  host_.register_handler(msg::kHeartbeat, [this](const sim::Message& message) {
+    if (composite_ == nullptr) return;
+    composite_->invoke("detector", "fd", "on_heartbeat", message.payload);
+  });
+}
+
+script::ExecutionStats FtmRuntime::run_transition(const std::string& source,
+                                                  const FtmConfig& target) {
+  const auto stats = script::Interpreter::run_source(source, composite());
+  params_.config = target;
+  persist(params_);
+  return stats;
+}
+
+void FtmRuntime::quiesce(std::function<void()> on_drained) {
+  kernel().set_quiesce_listener(std::move(on_drained));
+  const Value result = composite().invoke("protocol", "control", "quiesce", {});
+  if (result.at("drained").as_bool()) {
+    // Listener already fired inside quiesce; nothing else to do.
+  }
+}
+
+void FtmRuntime::resume() {
+  kernel().set_quiesce_listener({});
+  composite().invoke("protocol", "control", "unblock", {});
+}
+
+void FtmRuntime::request_rejoin() {
+  composite().invoke("protocol", "control", "join", {});
+}
+
+void FtmRuntime::persist(const DeployParams& params) {
+  // The *role* persisted is the deployment role; a replica that crashed and
+  // restarts should come back as backup and rejoin (its old peer is now
+  // master-alone), which the recovery layer decides — we store the current
+  // kernel role for its inspection.
+  DeployParams snapshot = params;
+  if (composite_ != nullptr && composite_->has("protocol")) {
+    snapshot.role = kernel().role();
+  }
+  host_.stable().put(kStableConfigKey, snapshot.to_value());
+}
+
+std::optional<DeployParams> FtmRuntime::load_persisted(sim::Host& host) {
+  const Value stored = host.stable().get(kStableConfigKey);
+  if (stored.is_null()) return std::nullopt;
+  return DeployParams::from_value(stored);
+}
+
+}  // namespace rcs::ftm

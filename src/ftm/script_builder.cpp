@@ -1,0 +1,217 @@
+#include "rcs/ftm/script_builder.hpp"
+
+#include <sstream>
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/interfaces.hpp"
+
+namespace rcs::ftm {
+
+namespace {
+
+/// Slot instance name -> the protocol kernel reference feeding it.
+const char* protocol_reference_for_slot(const std::string& slot) {
+  if (slot == "syncBefore") return "before";
+  if (slot == "proceed") return "exec";
+  if (slot == "syncAfter") return "after";
+  throw FtmError(strf("unknown slot '", slot, "'"));
+}
+
+std::string sanitize(std::string name) {
+  for (auto& c : name) {
+    if (c == '-' || c == '>' || c == ' ') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+std::vector<ScriptBuilder::WirePlan> ScriptBuilder::brick_wires(
+    const std::string& brick_type, const AppSpec& app) const {
+  std::vector<WirePlan> wires;
+  const auto& info = registry_.info(brick_type);
+  for (const auto& ref : info.references) {
+    if (ref.interface_name == iface::kProtocolControl) {
+      wires.push_back({ref.name, "protocol", "control"});
+    } else if (ref.interface_name == iface::kServer) {
+      wires.push_back({ref.name, "server", "srv"});
+    } else if (ref.interface_name == iface::kStateManager) {
+      if (app.state_access) wires.push_back({ref.name, "server", "state"});
+      else if (ref.required) {
+        throw FtmError(strf("brick '", brick_type,
+                            "' requires state access but application '",
+                            app.type_name, "' does not provide it"));
+      }
+    } else if (ref.interface_name == iface::kAssertion) {
+      if (app.has_assertion) wires.push_back({ref.name, "server", "assert"});
+      else if (ref.required) {
+        throw FtmError(strf("brick '", brick_type,
+                            "' requires an assertion but application '",
+                            app.type_name, "' does not provide one"));
+      }
+    } else if (ref.interface_name == iface::kReplyLog) {
+      wires.push_back({ref.name, "replyLog", "log"});
+    } else if (ref.required) {
+      throw FtmError(strf("brick '", brick_type, "': no wiring rule for "
+                          "required reference '", ref.name, "' (",
+                          ref.interface_name, ")"));
+    }
+  }
+  return wires;
+}
+
+std::string ScriptBuilder::deployment_script(const FtmConfig& config,
+                                             const AppSpec& app) const {
+  std::ostringstream os;
+  os << "script deploy_" << sanitize(config.name) << " {\n";
+
+  // Common parts first (Fig. 6): kernel, reply log, failure detector, server.
+  os << "  add(\"" << kernel::kProtocol << "\", \"protocol\");\n";
+  os << "  add(\"" << kernel::kReplyLog << "\", \"replyLog\");\n";
+  os << "  add(\"" << kernel::kFailureDetector << "\", \"detector\");\n";
+  os << "  add(\"" << app.type_name << "\", \"server\");\n";
+
+  // Variable features.
+  const auto slots = FtmConfig::slot_names();
+  const auto types = config.brick_types();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    os << "  add(\"" << types[i] << "\", \"" << slots[i] << "\");\n";
+  }
+
+  // Kernel wiring.
+  os << "  wire(\"protocol\", \"before\", \"syncBefore\", \"in\");\n";
+  os << "  wire(\"protocol\", \"exec\", \"proceed\", \"in\");\n";
+  os << "  wire(\"protocol\", \"after\", \"syncAfter\", \"in\");\n";
+  os << "  wire(\"protocol\", \"replyLog\", \"replyLog\", \"log\");\n";
+  os << "  wire(\"protocol\", \"detector\", \"detector\", \"fd\");\n";
+  os << "  wire(\"detector\", \"control\", \"protocol\", \"control\");\n";
+
+  // Brick wiring, derived from each brick's declared references.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    for (const auto& wire : brick_wires(types[i], app)) {
+      os << "  wire(\"" << slots[i] << "\", \"" << wire.reference << "\", \""
+         << wire.to_component << "\", \"" << wire.service << "\");\n";
+    }
+  }
+
+  // Configuration properties; role and peer come from script bindings so the
+  // same script deploys a primary and a backup.
+  os << "  set(\"protocol\", \"role\", role);\n";
+  os << "  set(\"protocol\", \"peers\", peers);\n";
+  os << "  set(\"protocol\", \"master\", master);\n";
+  os << "  set(\"protocol\", \"ftm\", \"" << config.name << "\");\n";
+
+  // Start order: dependencies first, the kernel and detector last.
+  os << "  start(\"replyLog\");\n";
+  os << "  start(\"server\");\n";
+  for (const auto& slot : slots) os << "  start(\"" << slot << "\");\n";
+  os << "  start(\"protocol\");\n";
+  if (config.duplex) os << "  start(\"detector\");\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string ScriptBuilder::refresh_script(const FtmConfig& config,
+                                          const std::string& slot,
+                                          const AppSpec& app) const {
+  const auto slots = FtmConfig::slot_names();
+  const auto types = config.brick_types();
+  std::string brick_type;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == slot) brick_type = types[i];
+  }
+  if (brick_type.empty()) {
+    throw FtmError(strf("refresh_script: unknown slot '", slot, "'"));
+  }
+  const char* kernel_ref = protocol_reference_for_slot(slot);
+
+  std::ostringstream os;
+  os << "script refresh_" << sanitize(config.name) << "_" << slot << " {\n";
+  os << "  require property(\"protocol\", \"ftm\") == \"" << config.name
+     << "\";\n";
+  os << "  require typeof(\"" << slot << "\") == \"" << brick_type << "\";\n";
+  os << "  // refresh " << slot << " with the latest " << brick_type << "\n";
+  os << "  stop(\"" << slot << "\");\n";
+  os << "  unwire(\"protocol\", \"" << kernel_ref << "\");\n";
+  for (const auto& wire : brick_wires(brick_type, app)) {
+    os << "  unwire(\"" << slot << "\", \"" << wire.reference << "\");\n";
+  }
+  os << "  remove(\"" << slot << "\");\n";
+  os << "  add(\"" << brick_type << "\", \"" << slot << "\");\n";
+  os << "  wire(\"protocol\", \"" << kernel_ref << "\", \"" << slot
+     << "\", \"in\");\n";
+  for (const auto& wire : brick_wires(brick_type, app)) {
+    os << "  wire(\"" << slot << "\", \"" << wire.reference << "\", \""
+       << wire.to_component << "\", \"" << wire.service << "\");\n";
+  }
+  os << "  start(\"" << slot << "\");\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::vector<std::string> ScriptBuilder::changed_slots(const FtmConfig& from,
+                                                      const FtmConfig& to) {
+  std::vector<std::string> changed;
+  const auto slots = FtmConfig::slot_names();
+  const auto from_types = from.brick_types();
+  const auto to_types = to.brick_types();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (from_types[i] != to_types[i]) changed.push_back(slots[i]);
+  }
+  return changed;
+}
+
+std::vector<std::string> ScriptBuilder::transition_new_types(
+    const FtmConfig& from, const FtmConfig& to) {
+  std::vector<std::string> types;
+  const auto from_types = from.brick_types();
+  const auto to_types = to.brick_types();
+  for (std::size_t i = 0; i < from_types.size(); ++i) {
+    if (from_types[i] != to_types[i]) types.push_back(to_types[i]);
+  }
+  return types;
+}
+
+std::string ScriptBuilder::transition_script(const FtmConfig& from,
+                                             const FtmConfig& to,
+                                             const AppSpec& app) const {
+  std::ostringstream os;
+  os << "script transition_" << sanitize(from.name) << "_to_"
+     << sanitize(to.name) << " {\n";
+  os << "  require property(\"protocol\", \"ftm\") == \"" << from.name
+     << "\";\n";
+
+  const auto slots = FtmConfig::slot_names();
+  const auto from_types = from.brick_types();
+  const auto to_types = to.brick_types();
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (from_types[i] == to_types[i]) continue;
+    const auto& slot = slots[i];
+    const char* kernel_ref = protocol_reference_for_slot(slot);
+
+    os << "  // replace " << slot << ": " << from_types[i] << " -> "
+       << to_types[i] << "\n";
+    os << "  stop(\"" << slot << "\");\n";
+    os << "  unwire(\"protocol\", \"" << kernel_ref << "\");\n";
+    for (const auto& wire : brick_wires(from_types[i], app)) {
+      os << "  unwire(\"" << slot << "\", \"" << wire.reference << "\");\n";
+    }
+    os << "  remove(\"" << slot << "\");\n";
+    os << "  add(\"" << to_types[i] << "\", \"" << slot << "\");\n";
+    os << "  wire(\"protocol\", \"" << kernel_ref << "\", \"" << slot
+       << "\", \"in\");\n";
+    for (const auto& wire : brick_wires(to_types[i], app)) {
+      os << "  wire(\"" << slot << "\", \"" << wire.reference << "\", \""
+         << wire.to_component << "\", \"" << wire.service << "\");\n";
+    }
+    os << "  start(\"" << slot << "\");\n";
+  }
+
+  os << "  set(\"protocol\", \"ftm\", \"" << to.name << "\");\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rcs::ftm

@@ -1,0 +1,174 @@
+#include "rcs/ftm/sync_after_duplex.hpp"
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::ftm {
+
+Value SyncAfterDuplexBase::on_invoke(const std::string& /*service*/,
+                                     const std::string& op, const Value& args) {
+  if (op == "after") return after_entry(args);
+  if (op == "on_peer") {
+    const Value& ctx = args.at("ctx");
+    const Value& message = args.at("message");
+    const std::string& kind = message.at("kind").as_string();
+    if (!ctx.is_null()) {
+      if (kind == "exec_result") return handle_exec_result(ctx, message);
+      return on_solicited(ctx, message);
+    }
+    if (kind == "exec_req") return handle_exec_request(message);
+    return on_unsolicited(message);
+  }
+  if (op == "make_join_snapshot") {
+    Value snapshot = Value::map();
+    snapshot.set("state", capture_state()).set("replies", export_replies());
+    return snapshot;
+  }
+  if (op == "apply_join_snapshot") {
+    if (args.has("state") && !args.at("state").is_null()) {
+      restore_state(args.at("state"));
+    }
+    if (args.has("replies")) import_replies(args.at("replies"));
+    return {};
+  }
+  throw FtmError(strf("syncAfter: unknown op '", op, "'"));
+}
+
+Value SyncAfterDuplexBase::after_entry(const Value& ctx) {
+  if (ctx.at("forwarded").as_bool()) return forwarded_after(ctx);
+
+  if (with_assertion_) {
+    if (!check_assertion(ctx.at("request"), ctx.at("result"))) {
+      // Assertion failed on this node: re-execute on the other node
+      // (distributed-recovery-blocks style, §3.2.1).
+      report_fault("assertion_failed");
+      const auto peers = alive_peers();
+      if (!peers.empty()) {
+        // Re-execute on ONE other node (rotate by attempt so a second peer
+        // is tried if the first keeps failing us).
+        const auto target = peers[static_cast<std::size_t>(
+                                      ctx.get_or("attempt", Value(0)).as_int()) %
+                                  peers.size()];
+        Value data = Value::map();
+        data.set("key", ctx.at("key")).set("request", ctx.at("request"));
+        send_peer_to(target, "after", "exec_req", std::move(data));
+        return wait_for("exec_result");
+      }
+      return fail_with("assertion failed and no peer for re-execution");
+    }
+  }
+  return master_after(ctx);
+}
+
+bool SyncAfterDuplexBase::check_assertion(const Value& request,
+                                          const Value& result) {
+  return call("assertion", "check",
+              Value::map().set("request", request).set("result", result))
+      .as_bool();
+}
+
+Value SyncAfterDuplexBase::capture_state() {
+  if (!wired("state")) return {};
+  return call("state", "get");
+}
+
+void SyncAfterDuplexBase::restore_state(const Value& state) {
+  if (wired("state")) call("state", "set", state);
+}
+
+Value SyncAfterDuplexBase::export_replies() { return call("replyLog", "export"); }
+
+void SyncAfterDuplexBase::import_replies(const Value& snapshot) {
+  call("replyLog", "import", snapshot);
+}
+
+Value SyncAfterDuplexBase::handle_exec_request(const Value& message) {
+  // The peer's assertion failed; execute the request here and return our
+  // result (plus our state, so a stateful primary can realign after its
+  // faulty execution). The response goes to the asker only.
+  const Value& data = message.at("data");
+  const auto asker = message.get_or("_from", Value(-1)).as_int();
+  if (!with_assertion_ || !wired("server")) {
+    // A mixed-configuration window (mid-transition) or a misdirected exec
+    // request: this brick cannot re-execute safely. Refuse instead of
+    // crashing; the peer fails the request safely.
+    Value refusal = Value::map();
+    refusal.set("key", data.at("key")).set("ok", false);
+    send_peer_to(asker, "after", "exec_result", std::move(refusal));
+    return Value::map();
+  }
+
+  // An LFR follower may have already executed this request through its own
+  // forwarded pipeline (or even completed it): answer from that result
+  // instead of executing a second time, which would double state mutations.
+  const auto& key = data.at("key").as_string();
+  const Value logged = call("replyLog", "lookup", Value::map().set("key", key));
+  Value local_result;
+  if (logged.at("found").as_bool()) {
+    local_result = logged.at("reply").at("result");
+  } else {
+    const Value peeked = call("control", "peek", Value::map().set("key", key));
+    if (peeked.at("found").as_bool()) {
+      if (peeked.at("phase").as_int() >= 2 && !peeked.at("result").is_null()) {
+        local_result = peeked.at("result");
+      } else {
+        // Our own execution of this request is still in flight; answer once
+        // it completes rather than executing a second time.
+        return defer_directive();
+      }
+    }
+  }
+  if (!local_result.is_null()) {
+    const bool ok = check_assertion(data.at("request"), local_result);
+    Value reply = Value::map();
+    reply.set("key", key)
+        .set("ok", ok)
+        .set("result", local_result)
+        .set("state", capture_state());
+    send_peer_to(asker, "after", "exec_result", std::move(reply));
+    return Value::map();
+  }
+  // At-most-once for re-executions: a retransmitted exec_req (its response
+  // was lost) must answer from the recorded outcome, not execute again.
+  const std::string exec_key = "exec:" + key;
+  const Value served =
+      call("replyLog", "lookup", Value::map().set("key", exec_key));
+  if (served.at("found").as_bool()) {
+    send_peer_to(asker, "after", "exec_result", served.at("reply"));
+    return Value::map();
+  }
+
+  const Value outcome = run_server(data.at("request"));
+  bool ok = true;
+  if (with_assertion_) {
+    ok = check_assertion(data.at("request"), outcome.at("result"));
+  }
+  Value reply = Value::map();
+  reply.set("key", data.at("key"))
+      .set("ok", ok)
+      .set("result", outcome.at("result"))
+      .set("state", capture_state());
+  call("replyLog", "record",
+       Value::map().set("key", exec_key).set("reply", reply));
+  send_peer_to(asker, "after", "exec_result", std::move(reply));
+  return Value::map();
+}
+
+Value SyncAfterDuplexBase::handle_exec_result(const Value& ctx,
+                                              const Value& message) {
+  const Value& data = message.at("data");
+  if (!data.at("ok").as_bool()) {
+    report_fault("both_replicas_faulty");
+    return fail_with("assertion failed and peer could not re-execute");
+  }
+  // Adopt the peer's verified result (and state, when transferable), then
+  // re-run the After phase: the assertion now passes and the normal
+  // agreement action (checkpoint / notification) proceeds.
+  if (data.has("state") && !data.at("state").is_null()) {
+    restore_state(data.at("state"));
+  }
+  (void)ctx;
+  return again_with(data.at("result"));
+}
+
+}  // namespace rcs::ftm

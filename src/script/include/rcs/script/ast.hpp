@@ -1,0 +1,88 @@
+// RScript abstract syntax tree.
+//
+// A script is an optional header (`script <name> { ... }`) or a bare
+// statement list. Statements are the reconfiguration verbs operating on a
+// composite (add/remove/start/stop/wire/unwire/set), plus let-bindings,
+// require-assertions, if/else, and log. Expressions are literals, variables,
+// builtin introspection calls (exists/started/wired/property/typeof) and
+// boolean combinators.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rcs/common/value.hpp"
+
+namespace rcs::script {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr {
+  Value value;
+};
+
+struct VarExpr {
+  std::string name;
+};
+
+/// Builtin introspection function call, e.g. exists("syncBefore").
+struct CallExpr {
+  std::string function;
+  std::vector<ExprPtr> args;
+};
+
+struct NotExpr {
+  ExprPtr operand;
+};
+
+struct BinaryExpr {
+  enum class Op { kEq, kNeq, kAnd, kOr };
+  Op op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Expr {
+  int line{0};
+  std::variant<LiteralExpr, VarExpr, CallExpr, NotExpr, BinaryExpr> node;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A reconfiguration verb or log(): add/remove/start/stop/wire/unwire/set/log.
+struct VerbStmt {
+  std::string verb;
+  std::vector<ExprPtr> args;
+};
+
+struct LetStmt {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// `require <expr>;` — aborts the transaction if the condition is false.
+struct RequireStmt {
+  ExprPtr condition;
+};
+
+struct IfStmt {
+  ExprPtr condition;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+};
+
+struct Stmt {
+  int line{0};
+  std::variant<VerbStmt, LetStmt, RequireStmt, IfStmt> node;
+};
+
+struct Script {
+  std::string name;  // from the `script <name> { ... }` header, may be empty
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace rcs::script

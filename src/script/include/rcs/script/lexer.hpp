@@ -1,0 +1,57 @@
+// RScript lexer.
+//
+// RScript is this library's equivalent of FScript (Léger et al.): a small
+// imperative language for architecture reconfiguration. Transition packages
+// carry RScript sources; the interpreter executes them transactionally
+// against a Composite.
+//
+// Token classes: identifiers/keywords, string literals ("..."), integer and
+// float literals, punctuation ( ) { } , ; and operators == != && || ! =.
+// Comments run from '//' to end of line. Line numbers are tracked for
+// error reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rcs/common/value.hpp"
+
+namespace rcs::script {
+
+enum class TokenKind {
+  kIdent,     // add, myVar, pbr_to_lfr ...
+  kKeyword,   // let require if else true false null script
+  kString,    // "text"
+  kInt,       // 42
+  kFloat,     // 1.5
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kEq,        // ==
+  kNeq,       // !=
+  kAnd,       // &&
+  kOr,        // ||
+  kNot,       // !
+  kAssign,    // =
+  kEnd,
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier/keyword name or decoded string literal
+  Value literal;      // kString/kInt/kFloat value
+  int line{1};
+};
+
+/// Tokenize source; throws ScriptException on malformed input
+/// (unterminated string, unknown character, bad escape).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace rcs::script

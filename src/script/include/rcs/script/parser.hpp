@@ -1,0 +1,13 @@
+// RScript parser: tokens -> AST. Throws ScriptException with line context on
+// malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "rcs/script/ast.hpp"
+
+namespace rcs::script {
+
+[[nodiscard]] Script parse(std::string_view source);
+
+}  // namespace rcs::script

@@ -1,0 +1,123 @@
+#include "rcs/script/session.hpp"
+
+#include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::script {
+
+ReconfigSession::~ReconfigSession() {
+  // An abandoned session must not leave partial modifications behind.
+  if (!finished()) rollback();
+}
+
+void ReconfigSession::record(std::function<void()> inverse) {
+  journal_.push_back(std::move(inverse));
+}
+
+void ReconfigSession::count(const std::string& verb) {
+  ++op_count_;
+  ++ops_by_verb_[verb];
+}
+
+void ReconfigSession::add(const std::string& type_name,
+                          const std::string& instance_name) {
+  composite_.add(type_name, instance_name);
+  count("add");
+  record([this, instance_name] { composite_.remove(instance_name); });
+}
+
+void ReconfigSession::remove(const std::string& instance_name) {
+  // Capture enough state to resurrect the component on rollback. The
+  // composite enforces that a removable component is stopped and unwired,
+  // so type + properties fully describe it.
+  const comp::Component& component = composite_.child(instance_name);
+  const std::string type_name = component.type_name();
+  const Value properties = component.properties();
+  composite_.remove(instance_name);
+  count("remove");
+  record([this, instance_name, type_name, properties] {
+    comp::Component& revived = composite_.add(type_name, instance_name);
+    for (const auto& [key, value] : properties.as_map()) {
+      revived.set_property(key, value);
+    }
+  });
+}
+
+void ReconfigSession::start(const std::string& instance_name) {
+  const bool was_started = composite_.child(instance_name).started();
+  composite_.start(instance_name);
+  count("start");
+  if (!was_started) {
+    record([this, instance_name] { composite_.stop(instance_name); });
+  }
+}
+
+void ReconfigSession::stop(const std::string& instance_name) {
+  const bool was_started = composite_.child(instance_name).started();
+  composite_.stop(instance_name);
+  count("stop");
+  if (was_started) {
+    record([this, instance_name] { composite_.start(instance_name); });
+  }
+}
+
+void ReconfigSession::wire(const std::string& from, const std::string& reference,
+                           const std::string& to, const std::string& service) {
+  composite_.wire(from, reference, to, service);
+  count("wire");
+  record([this, from, reference] { composite_.unwire(from, reference); });
+}
+
+void ReconfigSession::unwire(const std::string& from,
+                             const std::string& reference) {
+  // Find the current target so rollback can restore the exact wire.
+  std::string to, service;
+  for (const auto& wire : composite_.wires()) {
+    if (wire.from_component == from && wire.reference == reference) {
+      to = wire.to_component;
+      service = wire.service;
+      break;
+    }
+  }
+  composite_.unwire(from, reference);  // throws if it was not wired
+  count("unwire");
+  record([this, from, reference, to, service] {
+    composite_.wire(from, reference, to, service);
+  });
+}
+
+void ReconfigSession::set_property(const std::string& instance_name,
+                                   const std::string& key, Value value) {
+  const Value old = composite_.property(instance_name, key);
+  composite_.set_property(instance_name, key, std::move(value));
+  count("set");
+  record([this, instance_name, key, old] {
+    composite_.set_property(instance_name, key, old);
+  });
+}
+
+void ReconfigSession::commit() {
+  ensure(!finished(), "ReconfigSession::commit: session already finished");
+  const Status status = composite_.validate();
+  if (!status.is_ok()) {
+    rollback();
+    throw ScriptException(strf("integrity constraint violated: ",
+                               status.message(), " (transaction rolled back)"));
+  }
+  committed_ = true;
+  log().debug("script", composite_.name(), ": committed ", op_count_,
+              " reconfiguration op(s)");
+}
+
+void ReconfigSession::rollback() {
+  if (finished()) return;
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    (*it)();
+  }
+  journal_.clear();
+  rolled_back_ = true;
+  log().debug("script", composite_.name(), ": rolled back ", op_count_,
+              " reconfiguration op(s)");
+}
+
+}  // namespace rcs::script

@@ -1,0 +1,79 @@
+#include "rcs/sim/event_loop.hpp"
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::sim {
+
+TimerId EventLoop::schedule_at(Time at, Action action, std::string label) {
+  if (at < now_) {
+    throw SimError(strf("EventLoop::schedule_at: t=", at, " is in the past (now=",
+                        now_, ", label='", label, "')"));
+  }
+  ensure(static_cast<bool>(action), "EventLoop::schedule_at: empty action");
+  const TimerId id{next_timer_++};
+  queue_.push(Event{at, next_seq_++, id});
+  payloads_.emplace(id.value(), Payload{std::move(action), std::move(label)});
+  return id;
+}
+
+TimerId EventLoop::schedule_after(Duration delay, Action action, std::string label) {
+  if (delay < 0) {
+    throw SimError(strf("EventLoop::schedule_after: negative delay ", delay,
+                        " (label='", label, "')"));
+  }
+  return schedule_at(now_ + delay, std::move(action), std::move(label));
+}
+
+void EventLoop::cancel(TimerId id) {
+  if (payloads_.contains(id.value())) {
+    cancelled_.insert(id.value());
+  }
+}
+
+bool EventLoop::pop_and_run() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    const auto payload_it = payloads_.find(event.id.value());
+    if (payload_it == payloads_.end()) continue;  // stale heap entry
+    if (cancelled_.erase(event.id.value()) > 0) {
+      payloads_.erase(payload_it);
+      continue;
+    }
+    now_ = event.at;
+    // Move the action out before running: the action may schedule/cancel.
+    Action action = std::move(payload_it->second.action);
+    payloads_.erase(payload_it);
+    ++processed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+bool EventLoop::step() { return pop_and_run(); }
+
+std::size_t EventLoop::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while ((max_events == 0 || n < max_events) && pop_and_run()) ++n;
+  return n;
+}
+
+std::size_t EventLoop::run_until(Time t) {
+  ensure(t >= now_, "EventLoop::run_until: target time is in the past");
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const Event& head = queue_.top();
+    if (!payloads_.contains(head.id.value())) {
+      queue_.pop();
+      continue;
+    }
+    if (head.at > t) break;
+    if (pop_and_run()) ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace rcs::sim

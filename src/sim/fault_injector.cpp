@@ -1,0 +1,133 @@
+#include "rcs/sim/fault_injector.hpp"
+
+#include "rcs/common/logging.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::sim {
+
+void FaultInjector::crash_at(HostId host, Time t) {
+  sim_.schedule_at(t, [this, host] { sim_.host(host).crash(); }, "fault.crash");
+}
+
+void FaultInjector::restart_at(HostId host, Time t) {
+  sim_.schedule_at(
+      t,
+      [this, host] {
+        Host& h = sim_.host(host);
+        if (!h.alive()) h.restart();
+      },
+      "fault.restart");
+}
+
+void FaultInjector::transient_at(HostId host, Time t, int count) {
+  sim_.schedule_at(
+      t,
+      [this, host, count] {
+        Host& h = sim_.host(host);
+        h.faults().transient_pending += count;
+        log().debug("fault", h.name(), ": armed ", count, " transient fault(s)");
+      },
+      "fault.transient");
+}
+
+void FaultInjector::permanent_at(HostId host, Time t, bool on) {
+  sim_.schedule_at(
+      t,
+      [this, host, on] {
+        Host& h = sim_.host(host);
+        h.faults().permanent = on;
+        log().info("fault", h.name(), ": permanent value fault ",
+                   on ? "ON" : "OFF");
+      },
+      "fault.permanent");
+}
+
+void FaultInjector::transient_campaign(HostId host, Time from, Time to,
+                                       double rate_per_second) {
+  Time t = from;
+  for (;;) {
+    const double gap_s = sim_.rng().exponential(rate_per_second);
+    t += static_cast<Duration>(gap_s * kSecond);
+    if (t >= to) break;
+    transient_at(host, t);
+  }
+}
+
+namespace {
+Value corrupt_leaf(const Value& value, Rng& rng) {
+  switch (value.type()) {
+    case Value::Type::kNull:
+      return Value(std::int64_t{-1});
+    case Value::Type::kBool:
+      return Value(!value.as_bool());
+    case Value::Type::kInt: {
+      const auto bit = rng.uniform_int(0, 31);
+      return Value(value.as_int() ^ (std::int64_t{1} << bit));
+    }
+    case Value::Type::kDouble: {
+      // Flip a mantissa-region bit by perturbing the magnitude.
+      const double v = value.as_double();
+      const double delta = (v == 0.0 ? 1.0 : v) *
+                           (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+                           (1.0 / static_cast<double>(1 << rng.uniform_int(1, 8)));
+      return Value(v + delta);
+    }
+    case Value::Type::kString: {
+      auto s = value.as_string();
+      if (s.empty()) return Value(std::string("\x01"));
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      s[i] = static_cast<char>(s[i] ^ (1 << rng.uniform_int(0, 6)));
+      return Value(std::move(s));
+    }
+    case Value::Type::kBytes: {
+      auto b = value.as_bytes();
+      if (b.empty()) return Value(Bytes{0x01});
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1));
+      b[i] = static_cast<std::uint8_t>(b[i] ^ (1 << rng.uniform_int(0, 7)));
+      return Value(std::move(b));
+    }
+    default:
+      return value;  // containers handled by caller
+  }
+}
+}  // namespace
+
+Value FaultInjector::corrupt(const Value& value, Rng& rng) {
+  if (value.is_list()) {
+    auto list = value.as_list();
+    if (list.empty()) return Value(ValueList{Value(std::int64_t{-1})});
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(list.size()) - 1));
+    list[i] = corrupt(list[i], rng);
+    return Value(std::move(list));
+  }
+  if (value.is_map()) {
+    auto map = value.as_map();
+    if (map.empty()) return Value(ValueMap{{"corrupt", Value(true)}});
+    auto it = map.begin();
+    std::advance(it, rng.uniform_int(0, static_cast<std::int64_t>(map.size()) - 1));
+    it->second = corrupt(it->second, rng);
+    return Value(std::move(map));
+  }
+  return corrupt_leaf(value, rng);
+}
+
+Value FaultInjector::apply(Host& host, Value computed, Rng& rng) {
+  auto& faults = host.faults();
+  if (faults.transient_pending > 0) {
+    --faults.transient_pending;
+    ++faults.corruptions_applied;
+    log().debug("fault", host.name(), ": transient corruption applied");
+    return corrupt(computed, rng);
+  }
+  if (faults.permanent) {
+    ++faults.corruptions_applied;
+    return corrupt(computed, rng);
+  }
+  return computed;
+}
+
+}  // namespace rcs::sim

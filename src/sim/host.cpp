@@ -1,0 +1,85 @@
+#include "rcs/sim/host.hpp"
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/logging.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::sim {
+
+Host::Host(Simulation& sim, HostId id, std::string name)
+    : sim_(sim), id_(id), name_(std::move(name)) {}
+
+void Host::crash() {
+  if (!alive_) return;
+  log().info("host", name_, " CRASH at t=", sim_.now());
+  // Listeners run while handlers are still in place so runtimes can inspect
+  // their state; then everything volatile is dropped. Listeners themselves
+  // are persistent: a runtime registers its teardown hook once and it fires
+  // on every crash of the host.
+  for (const auto& listener : crash_listeners_) listener();
+  alive_ = false;
+  ++epoch_;
+  handlers_.clear();
+}
+
+void Host::restart() {
+  ensure(!alive_, "Host::restart: host is not crashed");
+  log().info("host", name_, " RESTART at t=", sim_.now());
+  alive_ = true;
+  ++epoch_;
+  faults_.transient_pending = 0;  // transient conditions do not survive reboot
+  for (const auto& listener : restart_listeners_) listener();
+}
+
+void Host::register_handler(std::string type, MessageHandler handler) {
+  ensure(static_cast<bool>(handler), "Host::register_handler: empty handler");
+  handlers_[std::move(type)] = std::move(handler);
+}
+
+void Host::unregister_handler(const std::string& type) { handlers_.erase(type); }
+
+void Host::deliver(const Message& message) {
+  if (!alive_) return;
+  const auto it = handlers_.find(message.type);
+  if (it == handlers_.end()) {
+    log().debug("host", name_, ": no handler for message type '", message.type,
+                "' from ", message.from);
+    return;
+  }
+  // Message handlers are the host's failure boundary: a message a component
+  // cannot process (e.g. one from a peer in a different configuration during
+  // a transition window) must not take the whole node down.
+  try {
+    it->second(message);
+  } catch (const Error& e) {
+    log().error("host", name_, ": handler for '", message.type,
+                "' failed: ", e.what());
+  }
+}
+
+void Host::send(HostId to, std::string type, Value payload) {
+  sim_.network().send(Message{id_, to, std::move(type), std::move(payload)});
+}
+
+TimerId Host::schedule_after(Duration delay, std::function<void()> action,
+                             std::string label) {
+  const auto epoch = epoch_;
+  return sim_.schedule_after(
+      delay,
+      [this, epoch, action = std::move(action)]() {
+        if (alive_ && epoch_ == epoch) action();
+      },
+      std::move(label));
+}
+
+void Host::cancel(TimerId id) { sim_.loop().cancel(id); }
+
+Duration Host::charge_compute(Duration reference_cost) {
+  ensure(reference_cost >= 0, "Host::charge_compute: negative cost");
+  const auto actual = static_cast<Duration>(
+      static_cast<double>(reference_cost) / capacity_.cpu_speed);
+  meter_.charge_cpu(actual);
+  return actual;
+}
+
+}  // namespace rcs::sim

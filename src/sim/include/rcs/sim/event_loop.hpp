@@ -1,0 +1,82 @@
+// Discrete-event scheduler.
+//
+// A single-threaded priority queue of timestamped closures. Events scheduled
+// at the same instant run in scheduling order (stable FIFO tiebreak), which
+// is what makes distributed interleavings reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::sim {
+
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `action` at absolute virtual time `at` (>= now).
+  TimerId schedule_at(Time at, Action action, std::string label = {});
+  /// Schedule `action` after `delay` (>= 0).
+  TimerId schedule_after(Duration delay, Action action, std::string label = {});
+
+  /// Cancel a pending event; no-op if it already ran or was cancelled.
+  void cancel(TimerId id);
+
+  /// Run one event; returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty (or max_events processed; 0 = unlimited).
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = 0);
+
+  /// Run all events with timestamp <= t, then advance the clock to t.
+  std::size_t run_until(Time t);
+
+  /// Run all events within the next `d` of virtual time.
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // FIFO tiebreak for equal timestamps
+    TimerId id;
+    // Action and label live in a side map so the priority queue stays cheap
+    // to copy during heap operations.
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  struct Payload {
+    Action action;
+    std::string label;
+  };
+
+  bool pop_and_run();
+
+  Time now_{0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_timer_{1};
+  std::uint64_t processed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_map<std::uint64_t, Payload> payloads_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace rcs::sim

@@ -1,0 +1,56 @@
+// Fault injection.
+//
+// Drives the paper's FT-dimension events against the simulation:
+//  - crash faults: a host stops (fail-silent) and can later restart;
+//  - transient value faults: the next computation on a host is corrupted
+//    once (a bit flip, e.g. from electromagnetic interference);
+//  - permanent value faults: every computation on a host is corrupted
+//    (hardware aging).
+//
+// Value corruption is applied by application compute wrappers through
+// apply(): the injector only arms the per-host HardwareFaultState. This
+// mirrors the paper's model where faults hit the processing step, while the
+// protocol machinery (checkpoints, notifications) is assumed reliable.
+#pragma once
+
+#include <vector>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/common/rng.hpp"
+#include "rcs/common/value.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::sim {
+
+class Host;
+class Simulation;
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Simulation& sim) : sim_(sim) {}
+
+  /// Crash `host` at absolute time `t`.
+  void crash_at(HostId host, Time t);
+  /// Restart `host` at absolute time `t` (no-op if it is alive by then).
+  void restart_at(HostId host, Time t);
+  /// Arm `count` transient value faults on `host` at time `t`: the next
+  /// `count` computations are corrupted.
+  void transient_at(HostId host, Time t, int count = 1);
+  /// Turn the permanent value fault of `host` on/off at time `t`.
+  void permanent_at(HostId host, Time t, bool on = true);
+  /// Poisson campaign: transient faults arrive on `host` at `rate_per_second`
+  /// during [from, to).
+  void transient_campaign(HostId host, Time from, Time to, double rate_per_second);
+
+  /// Corrupt a computed Value (single pseudo-random bit/element flip).
+  [[nodiscard]] static Value corrupt(const Value& value, Rng& rng);
+
+  /// Pass a freshly computed value through the host's fault state: corrupted
+  /// if a transient fault is pending or a permanent fault is active.
+  [[nodiscard]] static Value apply(Host& host, Value computed, Rng& rng);
+
+ private:
+  Simulation& sim_;
+};
+
+}  // namespace rcs::sim

@@ -1,0 +1,119 @@
+// Simulated host.
+//
+// A host is one of the paper's replica machines: it receives messages
+// (dispatched by type to registered handlers), owns volatile state that is
+// lost on crash, stable storage that survives crashes, resource meters, and a
+// hardware fault state driven by the fault injector (transient bit flips /
+// permanent value faults, the paper's FT variations).
+//
+// Crash semantics: a crashed host neither receives messages nor fires its
+// timers. Crash/restart bump an epoch counter; timers and callbacks scheduled
+// through Host::schedule_after are bound to the epoch they were created in,
+// so stale closures from before a crash never execute after a restart
+// (fail-silent, as the paper assumes for its duplex protocols).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/sim/network.hpp"
+#include "rcs/sim/resources.hpp"
+#include "rcs/sim/stable_storage.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::sim {
+
+class Simulation;
+
+/// Hardware fault condition of a host, set by the FaultInjector and consumed
+/// by application compute wrappers (a pending transient fault corrupts the
+/// next computation once; a permanent fault corrupts every computation).
+struct HardwareFaultState {
+  int transient_pending{0};
+  bool permanent{false};
+  /// Count of corruptions actually applied (for experiment reporting).
+  std::uint64_t corruptions_applied{0};
+};
+
+class Host {
+ public:
+  using MessageHandler = std::function<void(const Message&)>;
+  using Listener = std::function<void()>;
+
+  Host(Simulation& sim, HostId id, std::string name);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] HostId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Simulation& sim() { return sim_; }
+
+  // --- Liveness ---------------------------------------------------------
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Crash the host: volatile handlers are dropped, epoch-bound timers die,
+  /// crash listeners run (so runtimes can tear down their component trees).
+  void crash();
+
+  /// Restart after a crash: new epoch, restart listeners run (so runtimes
+  /// can redeploy from stable storage).
+  void restart();
+
+  /// Invoked on crash (before handlers are cleared) / after restart.
+  void on_crash(Listener listener) { crash_listeners_.push_back(std::move(listener)); }
+  void on_restart(Listener listener) { restart_listeners_.push_back(std::move(listener)); }
+
+  // --- Messaging ----------------------------------------------------------
+  /// Register the handler for a message type. Handlers are volatile: they are
+  /// cleared on crash and must be re-registered on restart.
+  void register_handler(std::string type, MessageHandler handler);
+  void unregister_handler(const std::string& type);
+
+  /// Deliver a message (called by the Network). Dropped if crashed or no
+  /// handler is registered for the type.
+  void deliver(const Message& message);
+
+  /// Convenience: send via the simulation's network.
+  void send(HostId to, std::string type, Value payload);
+
+  // --- Timers -------------------------------------------------------------
+  /// Schedule an action bound to the current epoch: it is skipped if the host
+  /// crashes (or restarts) before it fires.
+  TimerId schedule_after(Duration delay, std::function<void()> action,
+                         std::string label = {});
+  void cancel(TimerId id);
+
+  // --- State, resources, faults -------------------------------------------
+  StableStorage& stable() { return stable_; }
+  ResourceMeter& meter() { return meter_; }
+  [[nodiscard]] const ResourceMeter& meter() const { return meter_; }
+  HostCapacity& capacity() { return capacity_; }
+  [[nodiscard]] const HostCapacity& capacity() const { return capacity_; }
+  HardwareFaultState& faults() { return faults_; }
+
+  /// Charge CPU for a computation of `reference_cost` on the reference host,
+  /// returning the actual duration on this host (scaled by cpu_speed).
+  Duration charge_compute(Duration reference_cost);
+
+ private:
+  Simulation& sim_;
+  HostId id_;
+  std::string name_;
+  bool alive_{true};
+  std::uint64_t epoch_{0};
+  std::map<std::string, MessageHandler> handlers_;
+  std::vector<Listener> crash_listeners_;
+  std::vector<Listener> restart_listeners_;
+  StableStorage stable_;
+  ResourceMeter meter_;
+  HostCapacity capacity_;
+  HardwareFaultState faults_;
+};
+
+}  // namespace rcs::sim

@@ -1,0 +1,101 @@
+// Simulated message-passing network.
+//
+// Hosts exchange typed messages over point-to-point links with configurable
+// latency, bandwidth and drop rate; links can be partitioned and reconfigured
+// mid-run (bandwidth drops are one of the paper's R-parameter variations).
+// All traffic is metered per host and per link so the monitoring engine can
+// observe resource usage, and per-FTM bandwidth costs can be measured
+// empirically (Table 1's R row).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/common/value.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::sim {
+
+class Simulation;
+
+/// One message in flight. `type` routes to a handler on the destination host
+/// (e.g. "ftm.request", "ftm.replica", "adapt.package").
+struct Message {
+  HostId from;
+  HostId to;
+  std::string type;
+  Value payload;
+  /// Wire size: payload encoding plus a fixed header; filled in by send().
+  std::size_t size_bytes{0};
+};
+
+struct LinkParams {
+  Duration latency{1 * kMillisecond};
+  /// Bytes per virtual second. Default 100 Mbit/s.
+  double bandwidth_bps{12'500'000.0};
+  double drop_rate{0.0};
+  bool partitioned{false};
+  /// Multiplicative jitter fraction applied to the transfer delay.
+  double jitter{0.02};
+};
+
+struct LinkStats {
+  std::uint64_t messages{0};
+  std::uint64_t bytes{0};
+  std::uint64_t dropped{0};
+  /// Cumulative time messages spent queued behind earlier transmissions.
+  Duration queueing{0};
+};
+
+struct HostTraffic {
+  std::uint64_t bytes_sent{0};
+  std::uint64_t bytes_received{0};
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_received{0};
+};
+
+class Network {
+ public:
+  explicit Network(Simulation& sim) : sim_(sim) {}
+
+  static constexpr std::size_t kHeaderBytes = 64;
+
+  /// Send a message; delivery is scheduled after latency + size/bandwidth.
+  /// Messages from or to a crashed host are silently dropped (fail-silent).
+  void send(Message message);
+
+  /// Parameters of the (symmetric) link between two hosts. Creates the link
+  /// with default parameters on first access.
+  LinkParams& link(HostId a, HostId b);
+  [[nodiscard]] const LinkParams& link(HostId a, HostId b) const;
+
+  /// Default parameters applied to links created afterwards.
+  LinkParams& default_link() { return default_link_; }
+
+  void set_partitioned(HostId a, HostId b, bool partitioned);
+
+  [[nodiscard]] const LinkStats& link_stats(HostId a, HostId b) const;
+  [[nodiscard]] const HostTraffic& traffic(HostId h) const;
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  using LinkKey = std::pair<std::uint32_t, std::uint32_t>;
+  static LinkKey key(HostId a, HostId b);
+
+  Simulation& sim_;
+  LinkParams default_link_{};
+  std::map<LinkKey, LinkParams> links_;
+  /// Transmission serialization: when each directed link's transmitter
+  /// becomes free again. Sending while busy queues behind earlier frames,
+  /// so sustained overload shows up as growing latency (and the saturation
+  /// probes measure something physical).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Time> tx_free_;
+  mutable std::map<LinkKey, LinkStats> stats_;
+  mutable std::unordered_map<std::uint32_t, HostTraffic> traffic_;
+  std::uint64_t total_bytes_{0};
+};
+
+}  // namespace rcs::sim

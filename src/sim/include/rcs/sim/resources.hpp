@@ -1,0 +1,54 @@
+// Per-host resource accounting.
+//
+// CPU time, network traffic and derived energy are the R dimension of the
+// paper's (FT, A, R) parameter space. FTM bricks charge CPU for computation;
+// the network charges traffic; monitoring probes read these meters to compute
+// adaptation triggers, and the benchmarks read them to reproduce Table 1's
+// resource row empirically.
+#pragma once
+
+#include <cstdint>
+
+#include "rcs/sim/time.hpp"
+
+namespace rcs::sim {
+
+/// Static capacity of a host (what is *available*, the R parameters).
+struct HostCapacity {
+  /// Relative CPU speed; 1.0 = reference host. Compute charges are divided
+  /// by this, so a slower host takes proportionally longer.
+  double cpu_speed{1.0};
+  /// Energy cost per CPU-second, arbitrary units (paper: battery/energy).
+  double energy_per_cpu_second{1.0};
+  /// Energy cost per megabyte moved on the network.
+  double energy_per_mbyte{0.05};
+};
+
+/// Cumulative consumption counters (what has been *used*).
+class ResourceMeter {
+ public:
+  void charge_cpu(Duration cpu_time) { cpu_used_ += cpu_time; }
+  void charge_sent(std::uint64_t bytes) { bytes_sent_ += bytes; }
+  void charge_received(std::uint64_t bytes) { bytes_received_ += bytes; }
+
+  [[nodiscard]] Duration cpu_used() const { return cpu_used_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+
+  [[nodiscard]] double energy_used(const HostCapacity& capacity) const {
+    const double cpu_seconds = static_cast<double>(cpu_used_) / kSecond;
+    const double mbytes =
+        static_cast<double>(bytes_sent_ + bytes_received_) / 1e6;
+    return cpu_seconds * capacity.energy_per_cpu_second +
+           mbytes * capacity.energy_per_mbyte;
+  }
+
+  void reset() { *this = ResourceMeter{}; }
+
+ private:
+  Duration cpu_used_{0};
+  std::uint64_t bytes_sent_{0};
+  std::uint64_t bytes_received_{0};
+};
+
+}  // namespace rcs::sim

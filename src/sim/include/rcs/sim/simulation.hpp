@@ -1,0 +1,64 @@
+// Simulation umbrella: clock + network + hosts + seeded randomness.
+//
+// This replaces the paper's physical testbed (two PCs on a LAN plus the
+// system-manager workstation). Construct a Simulation, add hosts, deploy the
+// component runtimes and FTMs on them, then drive virtual time with run()/
+// run_for(). Constructing a Simulation installs its virtual clock as the
+// logging time source; destruction restores the previous source.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/common/rng.hpp"
+#include "rcs/sim/event_loop.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/network.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // --- Topology -----------------------------------------------------------
+  Host& add_host(std::string name);
+  [[nodiscard]] Host& host(HostId id);
+  [[nodiscard]] const Host& host(HostId id) const;
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  Network& network() { return network_; }
+
+  // --- Time ---------------------------------------------------------------
+  [[nodiscard]] Time now() const { return loop_.now(); }
+  EventLoop& loop() { return loop_; }
+
+  TimerId schedule_after(Duration delay, EventLoop::Action action,
+                         std::string label = {}) {
+    return loop_.schedule_after(delay, std::move(action), std::move(label));
+  }
+  TimerId schedule_at(Time at, EventLoop::Action action, std::string label = {}) {
+    return loop_.schedule_at(at, std::move(action), std::move(label));
+  }
+
+  std::size_t run(std::size_t max_events = 0) { return loop_.run(max_events); }
+  std::size_t run_for(Duration d) { return loop_.run_for(d); }
+  std::size_t run_until(Time t) { return loop_.run_until(t); }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  EventLoop loop_;
+  Network network_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+}  // namespace rcs::sim

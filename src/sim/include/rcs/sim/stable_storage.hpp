@@ -1,0 +1,35 @@
+// Per-host stable storage.
+//
+// A key→Value store that survives host crashes (the paper logs the currently
+// active FTM configuration here so a restarted replica rejoins in the
+// configuration its peer completed, §5.3 "recovery of adaptation").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rcs/common/value.hpp"
+
+namespace rcs::sim {
+
+class StableStorage {
+ public:
+  void put(const std::string& key, Value value) { data_[key] = std::move(value); }
+
+  [[nodiscard]] bool has(const std::string& key) const { return data_.contains(key); }
+
+  /// Returns the stored value or null if absent.
+  [[nodiscard]] Value get(const std::string& key) const {
+    const auto it = data_.find(key);
+    return it == data_.end() ? Value{} : it->second;
+  }
+
+  void erase(const std::string& key) { data_.erase(key); }
+  void clear() { data_.clear(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+ private:
+  std::map<std::string, Value> data_;
+};
+
+}  // namespace rcs::sim

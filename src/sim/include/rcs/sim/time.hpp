@@ -1,0 +1,27 @@
+// Virtual time.
+//
+// The whole system runs on a discrete-event simulation clock measured in
+// microseconds. All protocol timeouts, network delays and cost-model charges
+// are Durations of this clock, which makes every experiment deterministic and
+// lets the benchmarks report milliseconds comparable to the paper's tables.
+#pragma once
+
+#include <cstdint>
+
+namespace rcs::sim {
+
+/// Absolute virtual time in microseconds since simulation start.
+using Time = std::int64_t;
+/// Virtual duration in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1'000'000;
+
+/// Render a Time/Duration as fractional milliseconds (for reports).
+[[nodiscard]] constexpr double to_ms(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace rcs::sim

@@ -1,0 +1,106 @@
+#include "rcs/sim/network.hpp"
+
+#include <algorithm>
+
+#include "rcs/common/logging.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::sim {
+
+Network::LinkKey Network::key(HostId a, HostId b) {
+  return {std::min(a.value(), b.value()), std::max(a.value(), b.value())};
+}
+
+LinkParams& Network::link(HostId a, HostId b) {
+  const auto k = key(a, b);
+  const auto it = links_.find(k);
+  if (it != links_.end()) return it->second;
+  return links_.emplace(k, default_link_).first->second;
+}
+
+const LinkParams& Network::link(HostId a, HostId b) const {
+  const auto it = links_.find(key(a, b));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void Network::set_partitioned(HostId a, HostId b, bool partitioned) {
+  link(a, b).partitioned = partitioned;
+}
+
+const LinkStats& Network::link_stats(HostId a, HostId b) const {
+  return stats_[key(a, b)];
+}
+
+const HostTraffic& Network::traffic(HostId h) const {
+  return traffic_[h.value()];
+}
+
+void Network::send(Message message) {
+  Host& sender = sim_.host(message.from);
+  if (!sender.alive()) return;  // a crashed host is fail-silent
+
+  message.size_bytes = message.payload.encoded_size() + kHeaderBytes;
+  const auto k = key(message.from, message.to);
+  const LinkParams params = link(message.from, message.to);
+  auto& stats = stats_[k];
+
+  // Sender-side accounting happens even for dropped messages: the bytes were
+  // put on the wire.
+  stats.messages += 1;
+  stats.bytes += message.size_bytes;
+  total_bytes_ += message.size_bytes;
+  auto& sender_traffic = traffic_[message.from.value()];
+  sender_traffic.bytes_sent += message.size_bytes;
+  sender_traffic.messages_sent += 1;
+  sender.meter().charge_sent(message.size_bytes);
+
+  if (params.partitioned) {
+    stats.dropped += 1;
+    log().trace("net", "drop (partitioned) ", message.type, " ", message.from,
+                "->", message.to);
+    return;
+  }
+  if (params.drop_rate > 0.0 && sim_.rng().bernoulli(params.drop_rate)) {
+    stats.dropped += 1;
+    log().trace("net", "drop (loss) ", message.type, " ", message.from, "->",
+                message.to);
+    return;
+  }
+
+  Duration delay = 0;
+  if (message.from != message.to) {
+    const double transfer_us =
+        static_cast<double>(message.size_bytes) / params.bandwidth_bps * kSecond;
+    double jitter_factor = 1.0;
+    if (params.jitter > 0.0) {
+      jitter_factor = 1.0 + params.jitter * sim_.rng().uniform(-1.0, 1.0);
+    }
+    const auto transfer = static_cast<Duration>(transfer_us * jitter_factor);
+
+    // Transmission is serialized per directed link: a frame sent while the
+    // transmitter is busy queues behind the earlier ones. Propagation
+    // (latency) still overlaps.
+    auto& tx_free = tx_free_[{message.from.value(), message.to.value()}];
+    const Time start = std::max(sim_.loop().now(), tx_free);
+    const Duration queueing = start - sim_.loop().now();
+    tx_free = start + transfer;
+    stats.queueing += queueing;
+    delay = queueing + transfer + params.latency;
+  }
+
+  sim_.schedule_after(
+      delay,
+      [this, message = std::move(message)]() {
+        Host& receiver = sim_.host(message.to);
+        if (!receiver.alive()) return;
+        auto& recv_traffic = traffic_[message.to.value()];
+        recv_traffic.bytes_received += message.size_bytes;
+        recv_traffic.messages_received += 1;
+        receiver.meter().charge_received(message.size_bytes);
+        receiver.deliver(message);
+      },
+      "net.deliver:" + message.type);
+}
+
+}  // namespace rcs::sim

@@ -1,0 +1,35 @@
+#include "rcs/sim/simulation.hpp"
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
+
+namespace rcs::sim {
+
+Simulation::Simulation(std::uint64_t seed) : network_(*this), rng_(seed) {
+  log().set_time_source([this] { return loop_.now(); });
+}
+
+Simulation::~Simulation() { log().reset_time_source(); }
+
+Host& Simulation::add_host(std::string name) {
+  const HostId id{static_cast<std::uint32_t>(hosts_.size())};
+  hosts_.push_back(std::make_unique<Host>(*this, id, std::move(name)));
+  return *hosts_.back();
+}
+
+Host& Simulation::host(HostId id) {
+  if (id.value() >= hosts_.size()) {
+    throw SimError(strf("Simulation::host: unknown host ", id));
+  }
+  return *hosts_[id.value()];
+}
+
+const Host& Simulation::host(HostId id) const {
+  if (id.value() >= hosts_.size()) {
+    throw SimError(strf("Simulation::host: unknown host ", id));
+  }
+  return *hosts_[id.value()];
+}
+
+}  // namespace rcs::sim

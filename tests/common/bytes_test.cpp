@@ -1,0 +1,110 @@
+#include "rcs/common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "rcs/common/error.hpp"
+
+namespace rcs {
+namespace {
+
+TEST(Bytes, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i64(-42);
+  w.write_f64(3.14159);
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, VarintSmallValuesAreOneByte) {
+  ByteWriter w;
+  w.write_varint(0);
+  w.write_varint(127);
+  EXPECT_EQ(w.size(), 2u);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.read_varint(), 0u);
+  EXPECT_EQ(r.read_varint(), 127u);
+}
+
+TEST(Bytes, VarintBoundaries) {
+  ByteWriter w;
+  const std::uint64_t cases[] = {128, 16383, 16384,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (auto v : cases) w.write_varint(v);
+  ByteReader r(w.buffer());
+  for (auto v : cases) EXPECT_EQ(r.read_varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, StringRoundTripIncludingEmbeddedNul) {
+  ByteWriter w;
+  const std::string s("a\0b", 3);
+  w.write_string(s);
+  w.write_string("");
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.read_string(), s);
+  EXPECT_EQ(r.read_string(), "");
+}
+
+TEST(Bytes, BlobRoundTrip) {
+  ByteWriter w;
+  const Bytes blob{0, 1, 2, 255};
+  w.write_bytes(blob);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.read_bytes(), blob);
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.write_u32(7);
+  Bytes truncated = w.buffer();
+  truncated.pop_back();
+  ByteReader r(truncated);
+  EXPECT_THROW((void)r.read_u32(), ValueError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.write_string("hello world");
+  Bytes truncated = w.buffer();
+  truncated.resize(4);
+  ByteReader r(truncated);
+  EXPECT_THROW((void)r.read_string(), ValueError);
+}
+
+TEST(Bytes, MalformedVarintOverflowThrows) {
+  // 11 continuation bytes exceed the 64-bit range.
+  Bytes bad(11, 0xFF);
+  ByteReader r(bad);
+  EXPECT_THROW((void)r.read_varint(), ValueError);
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  ByteWriter w;
+  w.write_u64(1);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.read_u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Bytes, Fnv1aIsStableAndSensitive) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 4};
+  EXPECT_EQ(fnv1a(a), fnv1a(a));
+  EXPECT_NE(fnv1a(a), fnv1a(b));
+  EXPECT_NE(fnv1a({}), fnv1a(a));
+}
+
+}  // namespace
+}  // namespace rcs

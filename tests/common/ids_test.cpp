@@ -1,0 +1,38 @@
+#include "rcs/common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace rcs {
+namespace {
+
+TEST(Ids, DefaultIsZero) {
+  EXPECT_EQ(HostId{}.value(), 0u);
+  EXPECT_EQ(RequestId{}.value(), 0u);
+}
+
+TEST(Ids, ComparisonAndOrdering) {
+  const HostId a{1}, b{2};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, HostId{1});
+}
+
+TEST(Ids, StreamPrefix) {
+  std::ostringstream os;
+  os << HostId{3} << " " << RequestId{17} << " " << TransitionId{5};
+  EXPECT_EQ(os.str(), "h3 r17 x5");
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<RequestId> seen;
+  seen.insert(RequestId{1});
+  seen.insert(RequestId{2});
+  seen.insert(RequestId{1});
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rcs

@@ -1,0 +1,72 @@
+#include "rcs/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcs {
+namespace {
+
+TEST(Logging, CapturingSinkReceivesRecords) {
+  CapturingLog capture(LogLevel::kDebug);
+  log().debug("test", "hello ", 42);
+  log().info("test", "world");
+  ASSERT_EQ(capture.records().size(), 2u);
+  EXPECT_EQ(capture.records()[0].message, "hello 42");
+  EXPECT_EQ(capture.records()[0].level, LogLevel::kDebug);
+  EXPECT_EQ(capture.records()[1].tag, "test");
+}
+
+TEST(Logging, LevelFilterSuppressesBelow) {
+  CapturingLog capture(LogLevel::kWarn);
+  log().info("test", "ignored");
+  log().warn("test", "kept");
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].message, "kept");
+}
+
+TEST(Logging, ContainsFindsSubstring) {
+  CapturingLog capture;
+  log().info("test", "the needle is here");
+  EXPECT_TRUE(capture.contains("needle"));
+  EXPECT_FALSE(capture.contains("haystack-only"));
+}
+
+TEST(Logging, CountLevelCountsExactLevel) {
+  CapturingLog capture;
+  log().info("t", "a");
+  log().info("t", "b");
+  log().error("t", "c");
+  EXPECT_EQ(capture.count_level(LogLevel::kInfo), 2u);
+  EXPECT_EQ(capture.count_level(LogLevel::kError), 1u);
+  EXPECT_EQ(capture.count_level(LogLevel::kWarn), 0u);
+}
+
+TEST(Logging, TimeSourceIsUsedForTimestamps) {
+  log().set_time_source([] { return std::int64_t{123456}; });
+  CapturingLog capture;
+  log().info("t", "stamped");
+  log().reset_time_source();
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].time_us, 123456);
+}
+
+TEST(Logging, SinkRemovalStopsDelivery) {
+  std::size_t count = 0;
+  const auto id = log().add_sink([&count](const LogRecord&) { ++count; });
+  log().warn("t", "one");
+  log().remove_sink(id);
+  log().warn("t", "two");
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Logging, LevelNamesAreStable) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(Strf, ConcatenatesMixedTypes) {
+  EXPECT_EQ(strf("a=", 1, " b=", 2.5, " c=", true), "a=1 b=2.5 c=1");
+  EXPECT_EQ(strf(), "");
+}
+
+}  // namespace
+}  // namespace rcs

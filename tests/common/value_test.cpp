@@ -1,0 +1,179 @@
+#include "rcs/common/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcs/common/error.hpp"
+
+namespace rcs {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  const Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Value::Type::kNull);
+  EXPECT_STREQ(v.type_name(), "null");
+}
+
+TEST(Value, BoolRoundTrip) {
+  const Value v(true);
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.as_bool());
+  EXPECT_FALSE(Value(false).as_bool());
+}
+
+TEST(Value, IntAccessors) {
+  const Value v(std::int64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_number());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_DOUBLE_EQ(v.as_double(), 42.0);  // int widens to double
+}
+
+TEST(Value, IntFromPlainIntLiteral) {
+  const Value v(7);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 7);
+}
+
+TEST(Value, DoubleDoesNotNarrowToInt) {
+  const Value v(3.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_THROW((void)v.as_int(), ValueError);
+}
+
+TEST(Value, StringAccessors) {
+  const Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello");
+}
+
+TEST(Value, TypeMismatchThrowsWithDiagnostics) {
+  const Value v("text");
+  try {
+    (void)v.as_int();
+    FAIL() << "expected ValueError";
+  } catch (const ValueError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected int"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("string"), std::string::npos);
+  }
+}
+
+TEST(Value, MapSetAndAt) {
+  Value v;
+  v.set("a", 1).set("b", "two");
+  EXPECT_TRUE(v.is_map());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").as_string(), "two");
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(Value, MapAtMissingKeyThrows) {
+  Value v = Value::map();
+  EXPECT_THROW((void)v.at("nope"), ValueError);
+}
+
+TEST(Value, GetOrReturnsFallback) {
+  Value v = Value::map();
+  v.set("present", 5);
+  EXPECT_EQ(v.get_or("present", 0).as_int(), 5);
+  EXPECT_EQ(v.get_or("absent", 9).as_int(), 9);
+}
+
+TEST(Value, ListPushAndIndex) {
+  Value v;
+  v.push_back(1).push_back("x").push_back(true);
+  EXPECT_TRUE(v.is_list());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(0).as_int(), 1);
+  EXPECT_EQ(v.at(1).as_string(), "x");
+  EXPECT_TRUE(v.at(2).as_bool());
+  EXPECT_THROW((void)v.at(3), ValueError);
+}
+
+TEST(Value, NestedStructure) {
+  Value inner = Value::map();
+  inner.set("x", 1.5);
+  Value v = Value::map();
+  v.set("inner", inner).set("list", Value(ValueList{Value(1), Value(2)}));
+  EXPECT_DOUBLE_EQ(v.at("inner").at("x").as_double(), 1.5);
+  EXPECT_EQ(v.at("list").at(1).as_int(), 2);
+}
+
+TEST(Value, EqualityIsDeep) {
+  Value a = Value::map();
+  a.set("k", Value(ValueList{Value(1), Value("s")}));
+  Value b = Value::map();
+  b.set("k", Value(ValueList{Value(1), Value("s")}));
+  EXPECT_EQ(a, b);
+  b.set("k2", 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Value, EncodeDecodeRoundTripAllTypes) {
+  Value v = Value::map();
+  v.set("null", Value{});
+  v.set("bool", true);
+  v.set("int", std::int64_t{-123456789});
+  v.set("double", 2.718281828);
+  v.set("string", "héllo wörld");
+  v.set("bytes", Bytes{0x00, 0xFF, 0x7E});
+  v.set("list", Value(ValueList{Value(1), Value(ValueList{Value("nested")})}));
+  Value inner = Value::map();
+  inner.set("deep", Value(ValueMap{{"deeper", Value(7)}}));
+  v.set("map", inner);
+
+  const Bytes encoded = v.encode();
+  const Value decoded = Value::decode(encoded);
+  EXPECT_EQ(v, decoded);
+}
+
+TEST(Value, DecodeRejectsTrailingGarbage) {
+  Bytes encoded = Value(1).encode();
+  encoded.push_back(0x00);
+  EXPECT_THROW((void)Value::decode(encoded), ValueError);
+}
+
+TEST(Value, DecodeRejectsBadTag) {
+  const Bytes bad{0xEE};
+  EXPECT_THROW((void)Value::decode(bad), ValueError);
+}
+
+TEST(Value, DecodeRejectsTruncation) {
+  Bytes encoded = Value("a longer string payload").encode();
+  encoded.resize(encoded.size() / 2);
+  EXPECT_THROW((void)Value::decode(encoded), ValueError);
+}
+
+TEST(Value, EncodedSizeMatchesEncodeLength) {
+  Value v = Value::map();
+  v.set("k", Value(ValueList{Value(1), Value(2), Value(3)}));
+  EXPECT_EQ(v.encoded_size(), v.encode().size());
+}
+
+TEST(Value, ToStringRendersJsonLike) {
+  Value v = Value::map();
+  v.set("n", 3).set("s", "x").set("b", true);
+  EXPECT_EQ(v.to_string(), R"({"b":true,"n":3,"s":"x"})");
+}
+
+TEST(Value, ToStringRendersListAndNull) {
+  Value v;
+  v.push_back(Value{}).push_back(1.5);
+  EXPECT_EQ(v.to_string(), "[null,1.5]");
+}
+
+TEST(Value, SizeOnScalarThrows) {
+  EXPECT_THROW((void)Value(1).size(), ValueError);
+}
+
+TEST(Value, BytesRoundTrip) {
+  const Bytes data{1, 2, 3, 4, 5};
+  const Value v(data);
+  EXPECT_TRUE(v.is_bytes());
+  EXPECT_EQ(v.as_bytes(), data);
+  EXPECT_EQ(Value::decode(v.encode()).as_bytes(), data);
+}
+
+}  // namespace
+}  // namespace rcs

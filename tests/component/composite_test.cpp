@@ -1,0 +1,235 @@
+#include "rcs/component/composite.hpp"
+
+#include "rcs/component/package.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_types.hpp"
+
+namespace rcs::comp {
+namespace {
+
+using testing::LifecycleSpy;
+using testing::make_full_registry;
+
+struct CompositeFixture : ::testing::Test {
+  ComponentRegistry registry = make_full_registry();
+  Composite root{"root", {.registry = &registry}};
+};
+
+TEST_F(CompositeFixture, AddCreatesStoppedComponent) {
+  Component& c = root.add("test.echo", "echo");
+  EXPECT_EQ(c.state(), LifecycleState::kStopped);
+  EXPECT_EQ(c.name(), "echo");
+  EXPECT_EQ(c.type_name(), "test.echo");
+  EXPECT_TRUE(root.has("echo"));
+}
+
+TEST_F(CompositeFixture, AddRejectsDuplicateName) {
+  root.add("test.echo", "x");
+  EXPECT_THROW(root.add("test.upper", "x"), ComponentError);
+}
+
+TEST_F(CompositeFixture, AddRejectsUnknownType) {
+  EXPECT_THROW(root.add("no.such.type", "x"), ComponentError);
+}
+
+TEST_F(CompositeFixture, HostLibraryGatesInstantiation) {
+  HostLibrary library;
+  library.install_type(registry, "test.echo");
+  Composite gated{"gated", {.library = &library, .registry = &registry}};
+  EXPECT_NO_THROW(gated.add("test.echo", "ok"));
+  EXPECT_THROW(gated.add("test.upper", "missing"), ComponentError);
+}
+
+TEST_F(CompositeFixture, InvokeRequiresStartedComponent) {
+  root.add("test.echo", "echo");
+  EXPECT_THROW(root.invoke("echo", "svc", "op", {}), ComponentError);
+  root.start("echo");
+  const Value out = root.invoke("echo", "svc", "ping", Value(1));
+  EXPECT_EQ(out.at("op").as_string(), "ping");
+  EXPECT_EQ(out.at("args").as_int(), 1);
+}
+
+TEST_F(CompositeFixture, InvokeRejectsUndeclaredService) {
+  root.add("test.echo", "echo");
+  root.start("echo");
+  EXPECT_THROW(root.invoke("echo", "nosvc", "op", {}), ComponentError);
+}
+
+TEST_F(CompositeFixture, StartRequiresRequiredReferencesWired) {
+  root.add("test.forwarder", "fwd");
+  EXPECT_THROW(root.start("fwd"), ComponentError);
+  root.add("test.echo", "echo");
+  root.wire("fwd", "next", "echo", "svc");
+  EXPECT_NO_THROW(root.start("fwd"));
+}
+
+TEST_F(CompositeFixture, OptionalReferenceDoesNotBlockStart) {
+  root.add("test.optional", "opt");
+  EXPECT_NO_THROW(root.start("opt"));
+  EXPECT_EQ(root.invoke("opt", "svc", "op", {}).as_string(), "unwired");
+}
+
+TEST_F(CompositeFixture, OptionalReferenceUsedWhenWired) {
+  root.add("test.optional", "opt");
+  root.add("test.echo", "echo");
+  root.wire("opt", "maybe", "echo", "svc");
+  root.start("opt");
+  root.start("echo");
+  EXPECT_EQ(root.invoke("opt", "svc", "hi", {}).at("op").as_string(), "hi");
+}
+
+TEST_F(CompositeFixture, CallsFlowThroughWires) {
+  root.add("test.forwarder", "fwd");
+  root.add("test.echo", "echo");
+  root.wire("fwd", "next", "echo", "svc");
+  root.start("echo");
+  root.start("fwd");
+  const Value out = root.invoke("fwd", "svc", "fwd-op", Value("payload"));
+  EXPECT_EQ(out.at("op").as_string(), "fwd-op");
+  EXPECT_EQ(out.at("args").as_string(), "payload");
+}
+
+TEST_F(CompositeFixture, RewiringRedirectsCallsWithoutTouchingCaller) {
+  root.add("test.forwarder", "fwd");
+  root.add("test.echo", "echo");
+  root.add("test.upper", "upper");
+  root.wire("fwd", "next", "echo", "svc");
+  root.start("echo");
+  root.start("upper");
+  root.start("fwd");
+  EXPECT_TRUE(root.invoke("fwd", "svc", "x", {}).is_map());
+
+  // The differential-transition move: swap the wire target while the caller
+  // stays started and untouched.
+  root.unwire("fwd", "next");
+  root.wire("fwd", "next", "upper", "svc");
+  EXPECT_EQ(root.invoke("fwd", "svc", "x", {}).as_string(), "upper:x");
+}
+
+TEST_F(CompositeFixture, WireRejectsInterfaceMismatch) {
+  root.add("test.forwarder", "fwd");
+  root.add("test.other", "other");
+  EXPECT_THROW(root.wire("fwd", "next", "other", "svc"), ComponentError);
+}
+
+TEST_F(CompositeFixture, WireRejectsUnknownPorts) {
+  root.add("test.forwarder", "fwd");
+  root.add("test.echo", "echo");
+  EXPECT_THROW(root.wire("fwd", "bogusref", "echo", "svc"), ComponentError);
+  EXPECT_THROW(root.wire("fwd", "next", "echo", "bogussvc"), ComponentError);
+  EXPECT_THROW(root.wire("ghost", "next", "echo", "svc"), ComponentError);
+}
+
+TEST_F(CompositeFixture, WireRejectsDoubleWiring) {
+  root.add("test.forwarder", "fwd");
+  root.add("test.echo", "echo");
+  root.wire("fwd", "next", "echo", "svc");
+  EXPECT_THROW(root.wire("fwd", "next", "echo", "svc"), ComponentError);
+}
+
+TEST_F(CompositeFixture, UnwireOfUnwiredThrows) {
+  root.add("test.forwarder", "fwd");
+  EXPECT_THROW(root.unwire("fwd", "next"), ComponentError);
+}
+
+TEST_F(CompositeFixture, CallThroughUnwiredReferenceThrows) {
+  root.add("test.optional", "opt");
+  root.add("test.forwarder", "fwd");
+  root.add("test.echo", "echo");
+  root.wire("fwd", "next", "echo", "svc");
+  root.start("fwd");
+  root.start("echo");
+  root.unwire("fwd", "next");
+  EXPECT_THROW(root.invoke("fwd", "svc", "x", {}), ComponentError);
+}
+
+TEST_F(CompositeFixture, RemoveRequiresStoppedAndUnwired) {
+  root.add("test.forwarder", "fwd");
+  root.add("test.echo", "echo");
+  root.wire("fwd", "next", "echo", "svc");
+  root.start("echo");
+
+  EXPECT_THROW(root.remove("echo"), ComponentError);  // started
+  root.stop("echo");
+  EXPECT_THROW(root.remove("echo"), ComponentError);  // still wired (as target)
+  EXPECT_THROW(root.remove("fwd"), ComponentError);   // wired (as source)
+  root.unwire("fwd", "next");
+  EXPECT_NO_THROW(root.remove("echo"));
+  EXPECT_NO_THROW(root.remove("fwd"));
+  EXPECT_FALSE(root.has("echo"));
+}
+
+TEST_F(CompositeFixture, StopIsIdempotentStartIsIdempotent) {
+  LifecycleSpy::reset();
+  root.add("test.spy", "spy");
+  root.start("spy");
+  root.start("spy");
+  EXPECT_EQ(LifecycleSpy::starts, 1);
+  root.stop("spy");
+  root.stop("spy");
+  EXPECT_EQ(LifecycleSpy::stops, 1);
+}
+
+TEST_F(CompositeFixture, DefaultPropertiesComeFromTypeInfo) {
+  root.add("test.spy", "spy");
+  EXPECT_EQ(root.property("spy", "mode").as_string(), "default");
+}
+
+TEST_F(CompositeFixture, SetPropertyFiresHook) {
+  LifecycleSpy::reset();
+  root.add("test.spy", "spy");
+  root.set_property("spy", "mode", Value("primary"));
+  EXPECT_EQ(root.property("spy", "mode").as_string(), "primary");
+  EXPECT_EQ(LifecycleSpy::property_changes, 1);
+}
+
+TEST_F(CompositeFixture, PropertyOfMissingKeyIsNull) {
+  root.add("test.echo", "echo");
+  EXPECT_TRUE(root.property("echo", "nope").is_null());
+}
+
+TEST_F(CompositeFixture, IntrospectionListsChildrenAndWires) {
+  root.add("test.forwarder", "fwd");
+  root.add("test.echo", "echo");
+  root.wire("fwd", "next", "echo", "svc");
+
+  const auto children = root.children();
+  EXPECT_EQ(children.size(), 2u);
+  EXPECT_NE(std::find(children.begin(), children.end(), "fwd"), children.end());
+
+  const auto wires = root.wires();
+  ASSERT_EQ(wires.size(), 1u);
+  EXPECT_EQ(wires[0], (WireInfo{"fwd", "next", "echo", "svc"}));
+  EXPECT_TRUE(root.is_wired("fwd", "next"));
+  EXPECT_FALSE(root.is_wired("echo", "anything"));
+}
+
+TEST_F(CompositeFixture, ValidateDetectsUnwiredRequiredReferenceOfStarted) {
+  root.add("test.forwarder", "fwd");
+  root.add("test.echo", "echo");
+  root.wire("fwd", "next", "echo", "svc");
+  root.start("fwd");
+  EXPECT_TRUE(root.validate().is_ok());
+  root.unwire("fwd", "next");
+  const Status s = root.validate();
+  EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("fwd"), std::string::npos);
+}
+
+TEST_F(CompositeFixture, ValidateOkOnEmptyComposite) {
+  EXPECT_TRUE(root.validate().is_ok());
+}
+
+TEST_F(CompositeFixture, ChildLookupFailureThrows) {
+  EXPECT_THROW((void)root.child("ghost"), ComponentError);
+  EXPECT_THROW(root.start("ghost"), ComponentError);
+  EXPECT_THROW(root.stop("ghost"), ComponentError);
+  EXPECT_THROW(root.remove("ghost"), ComponentError);
+}
+
+}  // namespace
+}  // namespace rcs::comp

@@ -1,0 +1,111 @@
+#include "rcs/component/package.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_types.hpp"
+
+namespace rcs::comp {
+namespace {
+
+struct PackageFixture : ::testing::Test {
+  ComponentRegistry registry = testing::make_test_registry();
+};
+
+TEST_F(PackageFixture, EntryCodeMatchesDeclaredSize) {
+  const auto& info = registry.info("test.echo");
+  const auto entry = PackageEntry::for_type(info);
+  EXPECT_EQ(entry.code.size(), info.code_size);
+  EXPECT_EQ(entry.checksum, fnv1a(entry.code));
+}
+
+TEST_F(PackageFixture, CodeIsDeterministicPerTypeAndDiffersAcrossTypes) {
+  const auto a1 = PackageEntry::for_type(registry.info("test.echo"));
+  const auto a2 = PackageEntry::for_type(registry.info("test.echo"));
+  const auto b = PackageEntry::for_type(registry.info("test.upper"));
+  EXPECT_EQ(a1.code, a2.code);
+  EXPECT_NE(a1.code, b.code);
+}
+
+TEST_F(PackageFixture, PackageEncodeDecodeRoundTrip) {
+  ComponentPackage package("transition:pbr->lfr");
+  package.add_type(registry, "test.echo");
+  package.add_type(registry, "test.upper");
+
+  const auto decoded = ComponentPackage::decode(package.encode());
+  EXPECT_EQ(decoded.name(), "transition:pbr->lfr");
+  ASSERT_EQ(decoded.entries().size(), 2u);
+  EXPECT_EQ(decoded.entries()[0].type_name, "test.echo");
+  EXPECT_EQ(decoded.entries()[0].code, package.entries()[0].code);
+  EXPECT_EQ(decoded.total_code_size(), package.total_code_size());
+}
+
+TEST_F(PackageFixture, LibraryInstallAndQuery) {
+  HostLibrary library;
+  EXPECT_FALSE(library.installed("test.echo"));
+  library.install_type(registry, "test.echo");
+  EXPECT_TRUE(library.installed("test.echo"));
+  EXPECT_EQ(library.version("test.echo"), 1u);
+  EXPECT_EQ(library.version("missing"), 0u);
+}
+
+TEST_F(PackageFixture, InstallRejectsCorruptedCode) {
+  HostLibrary library;
+  auto entry = PackageEntry::for_type(registry.info("test.echo"));
+  entry.code[0] ^= 0xFF;  // bit-flip in transit
+  const Status s = library.install(entry);
+  EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_FALSE(library.installed("test.echo"));
+}
+
+TEST_F(PackageFixture, InstallPackageStopsAtFirstFailure) {
+  HostLibrary library;
+  ComponentPackage package("p");
+  package.add_type(registry, "test.echo");
+  auto bad = PackageEntry::for_type(registry.info("test.upper"));
+  bad.checksum ^= 1;
+  package.add(bad);
+  package.add_type(registry, "test.other");
+
+  const Status s = library.install(package);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_TRUE(library.installed("test.echo"));
+  EXPECT_FALSE(library.installed("test.other")) << "install stops at failure";
+}
+
+TEST_F(PackageFixture, ReinstallUpgradesVersion) {
+  HostLibrary library;
+  auto entry = PackageEntry::for_type(registry.info("test.echo"));
+  library.install(entry).check();
+  entry.version = 3;
+  library.install(entry).check();
+  EXPECT_EQ(library.version("test.echo"), 3u);
+  // Downgrade attempts keep the newer version.
+  entry.version = 2;
+  library.install(entry).check();
+  EXPECT_EQ(library.version("test.echo"), 3u);
+}
+
+TEST_F(PackageFixture, RemoveUninstalls) {
+  HostLibrary library;
+  library.install_type(registry, "test.echo");
+  library.remove("test.echo");
+  EXPECT_FALSE(library.installed("test.echo"));
+}
+
+TEST_F(PackageFixture, InstallAllCoversRegistry) {
+  HostLibrary library;
+  library.install_all(registry);
+  EXPECT_EQ(library.installed_types().size(), registry.type_names().size());
+}
+
+TEST_F(PackageFixture, TotalCodeSizeSumsEntries) {
+  ComponentPackage package("p");
+  package.add_type(registry, "test.echo");
+  const auto one = package.total_code_size();
+  package.add_type(registry, "test.upper");
+  EXPECT_EQ(package.total_code_size(),
+            one + registry.info("test.upper").code_size);
+}
+
+}  // namespace
+}  // namespace rcs::comp

@@ -1,0 +1,123 @@
+// Shared lambda component types for component/script tests.
+#pragma once
+
+#include "rcs/component/component.hpp"
+#include "rcs/component/registry.hpp"
+
+namespace rcs::comp::testing {
+
+/// Builds a registry with small synthetic types:
+///  - "test.echo":      provides svc(I.Echo); returns {"op":op,"args":args}
+///  - "test.upper":     provides svc(I.Echo); returns "args+<op>" marker
+///  - "test.forwarder": provides svc(I.Echo), requires next(I.Echo);
+///                      forwards every call to `next`
+///  - "test.optional":  provides svc(I.Echo), optional reference maybe(I.Echo)
+///  - "test.other":     provides svc(I.Other) — interface-mismatch fodder
+inline ComponentRegistry make_test_registry() {
+  ComponentRegistry registry;
+
+  registry.register_type(LambdaComponent::make_type(
+      "test.echo", {{"svc", "I.Echo"}}, {},
+      [](const std::string&, const std::string& op, const Value& args) {
+        Value out = Value::map();
+        out.set("op", op).set("args", args);
+        return out;
+      }));
+
+  registry.register_type(LambdaComponent::make_type(
+      "test.upper", {{"svc", "I.Echo"}}, {},
+      [](const std::string&, const std::string& op, const Value&) {
+        return Value("upper:" + op);
+      }));
+
+  {
+    auto info = LambdaComponent::make_type(
+        "test.other", {{"svc", "I.Other"}}, {},
+        [](const std::string&, const std::string&, const Value&) {
+          return Value{};
+        });
+    registry.register_type(std::move(info));
+  }
+
+  return registry;
+}
+
+/// A forwarder implemented as a real subclass so it can use call().
+class Forwarder : public Component {
+ public:
+  static ComponentTypeInfo type_info() {
+    ComponentTypeInfo info;
+    info.type_name = "test.forwarder";
+    info.services = {{"svc", "I.Echo"}};
+    info.references = {{"next", "I.Echo"}};
+    info.factory = [] { return std::make_unique<Forwarder>(); };
+    return info;
+  }
+
+ protected:
+  Value on_invoke(const std::string&, const std::string& op,
+                  const Value& args) override {
+    return call("next", op, args);
+  }
+};
+
+/// Component with an optional reference; reports whether it is wired.
+class MaybeCaller : public Component {
+ public:
+  static ComponentTypeInfo type_info() {
+    ComponentTypeInfo info;
+    info.type_name = "test.optional";
+    info.services = {{"svc", "I.Echo"}};
+    info.references = {{"maybe", "I.Echo", /*required=*/false}};
+    info.factory = [] { return std::make_unique<MaybeCaller>(); };
+    return info;
+  }
+
+ protected:
+  Value on_invoke(const std::string&, const std::string& op,
+                  const Value& args) override {
+    if (wired("maybe")) return call("maybe", op, args);
+    return Value("unwired");
+  }
+};
+
+/// Component that counts lifecycle hook invocations.
+class LifecycleSpy : public Component {
+ public:
+  static int starts;
+  static int stops;
+  static int property_changes;
+
+  static ComponentTypeInfo type_info() {
+    ComponentTypeInfo info;
+    info.type_name = "test.spy";
+    info.services = {{"svc", "I.Echo"}};
+    info.default_properties.set("mode", "default");
+    info.factory = [] { return std::make_unique<LifecycleSpy>(); };
+    return info;
+  }
+
+  static void reset() { starts = stops = property_changes = 0; }
+
+ protected:
+  Value on_invoke(const std::string&, const std::string&, const Value&) override {
+    return Value{};
+  }
+  void on_start() override { ++starts; }
+  void on_stop() override { ++stops; }
+  void on_property_changed(const std::string&) override { ++property_changes; }
+};
+
+inline int LifecycleSpy::starts = 0;
+inline int LifecycleSpy::stops = 0;
+inline int LifecycleSpy::property_changes = 0;
+
+inline ComponentRegistry make_full_registry() {
+  ComponentRegistry registry = make_test_registry();
+  registry.register_type(Forwarder::type_info());
+  registry.register_type(MaybeCaller::type_info());
+  registry.register_type(LifecycleSpy::type_info());
+  return registry;
+}
+
+}  // namespace rcs::comp::testing

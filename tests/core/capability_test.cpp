@@ -1,0 +1,229 @@
+// Capability model vs Table 1: fault coverage, applicability requirements,
+// resource classes, validity and viability.
+#include "rcs/core/capability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcs/app/apps.hpp"
+#include "rcs/ftm/registration.hpp"
+
+namespace rcs::core {
+namespace {
+
+using ftm::FtmConfig;
+
+struct CapabilityFixture : ::testing::Test {
+  CapabilityFixture() {
+    ftm::register_components();
+    app::register_components();
+  }
+
+  ftm::AppSpec kv = app::spec_for("app.kvstore");
+  ftm::AppSpec sensor = app::spec_for("app.sensor");
+  ftm::AppSpec transformer = app::spec_for("app.transformer");
+
+  FtarState state_with(FaultModel ft, ftm::AppSpec app,
+                       Resources r = Resources{}) {
+    return FtarState{ft, std::move(app), r};
+  }
+};
+
+// --- Table 1, fault-model rows ---------------------------------------------
+
+TEST_F(CapabilityFixture, Table1FaultModelRow) {
+  EXPECT_TRUE(capability_of(FtmConfig::pbr(), kv).coverage.crash);
+  EXPECT_FALSE(capability_of(FtmConfig::pbr(), kv).coverage.transient_value);
+  EXPECT_TRUE(capability_of(FtmConfig::lfr(), kv).coverage.crash);
+  EXPECT_FALSE(capability_of(FtmConfig::lfr(), kv).coverage.permanent_value);
+
+  const auto tr = capability_of(FtmConfig::tr(), kv);
+  EXPECT_FALSE(tr.coverage.crash) << "single host cannot survive a crash";
+  EXPECT_TRUE(tr.coverage.transient_value);
+  EXPECT_FALSE(tr.coverage.permanent_value);
+
+  const auto a_duplex = capability_of(FtmConfig::a_lfr(), kv);
+  EXPECT_TRUE(a_duplex.coverage.crash);
+  EXPECT_TRUE(a_duplex.coverage.transient_value);
+  EXPECT_TRUE(a_duplex.coverage.permanent_value);
+}
+
+TEST_F(CapabilityFixture, CompositionAddsCoverage) {
+  // PBR⊕TR = crash (from PBR) + transient (from TR), as in Fig. 2.
+  const auto pbr_tr = capability_of(FtmConfig::pbr_tr(), kv);
+  EXPECT_TRUE(pbr_tr.coverage.crash);
+  EXPECT_TRUE(pbr_tr.coverage.transient_value);
+  EXPECT_FALSE(pbr_tr.coverage.permanent_value);
+}
+
+// --- Table 1, application-characteristics rows ------------------------------
+
+TEST_F(CapabilityFixture, Table1DeterminismRow) {
+  EXPECT_FALSE(capability_of(FtmConfig::pbr(), kv).requires_determinism)
+      << "PBR allows non-determinism: only the primary computes";
+  EXPECT_TRUE(capability_of(FtmConfig::lfr(), kv).requires_determinism);
+  EXPECT_TRUE(capability_of(FtmConfig::tr(), kv).requires_determinism);
+  EXPECT_FALSE(capability_of(FtmConfig::a_pbr(), kv).requires_determinism)
+      << "semantic assertions tolerate non-determinism";
+}
+
+TEST_F(CapabilityFixture, Table1StateAccessRow) {
+  EXPECT_TRUE(capability_of(FtmConfig::pbr(), kv).needs_state_when_stateful);
+  EXPECT_TRUE(capability_of(FtmConfig::tr(), kv).needs_state_when_stateful);
+  EXPECT_FALSE(capability_of(FtmConfig::lfr(), kv).needs_state_when_stateful);
+}
+
+TEST_F(CapabilityFixture, Table1ResourceRow) {
+  EXPECT_STREQ(capability_of(FtmConfig::pbr(), kv).bandwidth_class(), "high");
+  EXPECT_STREQ(capability_of(FtmConfig::lfr(), kv).bandwidth_class(), "low");
+  EXPECT_STREQ(capability_of(FtmConfig::tr(), kv).bandwidth_class(), "n/a");
+  EXPECT_STREQ(capability_of(FtmConfig::a_lfr(), kv).bandwidth_class(), "low");
+
+  EXPECT_STREQ(capability_of(FtmConfig::pbr(), kv).cpu_class(), "low");
+  EXPECT_STREQ(capability_of(FtmConfig::lfr(), kv).cpu_class(), "high")
+      << "total CPU across replicas doubles under active replication";
+  EXPECT_STREQ(capability_of(FtmConfig::tr(), kv).cpu_class(), "high");
+}
+
+// --- Validity ---------------------------------------------------------------
+
+TEST_F(CapabilityFixture, LfrInvalidForNondeterministicApp) {
+  const auto report =
+      validate(FtmConfig::lfr(), state_with({true, false, false}, sensor));
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.reasons.front().find("deterministic"), std::string::npos);
+}
+
+TEST_F(CapabilityFixture, PbrInvalidWithoutStateAccessForStatefulApp) {
+  ftm::AppSpec no_access = kv;
+  no_access.state_access = false;
+  const auto report =
+      validate(FtmConfig::pbr(), state_with({true, false, false}, no_access));
+  EXPECT_FALSE(report.valid);
+}
+
+TEST_F(CapabilityFixture, PbrValidForStatelessAppWithoutStateAccess) {
+  const auto report = validate(FtmConfig::pbr(),
+                               state_with({true, false, false}, transformer));
+  EXPECT_TRUE(report.valid);
+}
+
+TEST_F(CapabilityFixture, AssertFtmsNeedAnAssertion) {
+  ftm::AppSpec no_assert = kv;
+  no_assert.has_assertion = false;
+  EXPECT_FALSE(
+      validate(FtmConfig::a_pbr(), state_with({true, true, true}, no_assert))
+          .valid);
+  EXPECT_TRUE(
+      validate(FtmConfig::a_pbr(), state_with({true, true, true}, kv)).valid);
+}
+
+TEST_F(CapabilityFixture, FaultCoverageGatesValidity) {
+  const FtarState transient_world = state_with({true, true, false}, kv);
+  EXPECT_FALSE(validate(FtmConfig::pbr(), transient_world).valid);
+  EXPECT_TRUE(validate(FtmConfig::pbr_tr(), transient_world).valid);
+  EXPECT_TRUE(validate(FtmConfig::a_pbr(), transient_world).valid);
+
+  const FtarState permanent_world = state_with({true, true, true}, kv);
+  EXPECT_FALSE(validate(FtmConfig::pbr_tr(), permanent_world).valid);
+  EXPECT_TRUE(validate(FtmConfig::a_lfr(), permanent_world).valid);
+}
+
+TEST_F(CapabilityFixture, DevelopmentFaultsNeedDesignDiversity) {
+  // §2's third fault class: only recovery blocks (a diversified alternate)
+  // cover development faults; repetition and identical-replica re-execution
+  // do not.
+  EXPECT_TRUE(capability_of(FtmConfig::rb(), kv).coverage.development);
+  EXPECT_TRUE(capability_of(FtmConfig::pbr_rb(), kv).coverage.development);
+  EXPECT_FALSE(capability_of(FtmConfig::pbr_tr(), kv).coverage.development);
+  EXPECT_FALSE(capability_of(FtmConfig::a_pbr(), kv).coverage.development);
+
+  const FtarState dev_world = state_with({true, false, false, true}, kv);
+  EXPECT_TRUE(validate(FtmConfig::pbr_rb(), dev_world).valid);
+  EXPECT_FALSE(validate(FtmConfig::a_pbr(), dev_world).valid);
+  EXPECT_FALSE(validate(FtmConfig::rb(), dev_world).valid)
+      << "crash requirement excludes the single-host variant";
+
+  // Without a diversified alternate, RB is inapplicable (A requirement).
+  ftm::AppSpec no_alt = kv;
+  no_alt.has_alternate = false;
+  EXPECT_FALSE(
+      validate(FtmConfig::pbr_rb(), state_with({true, false, false, true}, no_alt))
+          .valid);
+}
+
+TEST_F(CapabilityFixture, ManagerSelectsRecoveryBlocksForDevelopmentFaults) {
+  // (Selection logic itself is exercised in manager_test; here: PBR_RB is
+  // the unique standard candidate for {crash, development}.)
+  const FtarState dev_world = state_with({true, false, false, true}, kv);
+  int valid_count = 0;
+  std::string valid_name;
+  for (const auto& config : FtmConfig::standard_set()) {
+    if (validate(config, dev_world).valid) {
+      ++valid_count;
+      valid_name = config.name;
+    }
+  }
+  EXPECT_EQ(valid_count, 1);
+  EXPECT_EQ(valid_name, "PBR_RB");
+}
+
+TEST_F(CapabilityFixture, CrashRequirementExcludesSingleHostTr) {
+  EXPECT_FALSE(validate(FtmConfig::tr(), state_with({true, true, false}, kv)).valid);
+  EXPECT_TRUE(
+      validate(FtmConfig::tr(), state_with({false, true, false}, kv)).valid);
+}
+
+// --- Viability (R dimension) -------------------------------------------------
+
+TEST_F(CapabilityFixture, BandwidthCollapseMakesPbrNonViable) {
+  FtarState state = state_with({true, false, false}, kv);
+  EXPECT_TRUE(resource_viable(FtmConfig::pbr(), state).valid);
+  state.resources.bandwidth_bps = 400'000.0;
+  EXPECT_FALSE(resource_viable(FtmConfig::pbr(), state).valid)
+      << "checkpoints no longer fit the link budget";
+  EXPECT_TRUE(resource_viable(FtmConfig::lfr(), state).valid)
+      << "notifications still fit";
+}
+
+TEST_F(CapabilityFixture, CpuCollapseMakesTrNonViable) {
+  FtarState state = state_with({true, true, false}, kv);
+  EXPECT_TRUE(resource_viable(FtmConfig::lfr_tr(), state).valid);
+  state.resources.cpu_speed = 0.4;
+  EXPECT_FALSE(resource_viable(FtmConfig::lfr_tr(), state).valid)
+      << "double execution exceeds the CPU budget";
+  EXPECT_TRUE(resource_viable(FtmConfig::lfr(), state).valid);
+}
+
+TEST_F(CapabilityFixture, CostRanksPbrCheaperOnFastLink) {
+  const FtarState state = state_with({true, false, false}, kv);
+  EXPECT_LT(resource_cost(FtmConfig::pbr(), state),
+            resource_cost(FtmConfig::lfr(), state))
+      << "with ample bandwidth, passive replication is the economical choice";
+}
+
+TEST_F(CapabilityFixture, CostRanksLfrCheaperOnSlowLink) {
+  FtarState state = state_with({true, false, false}, kv);
+  state.resources.bandwidth_bps = 400'000.0;
+  EXPECT_LT(resource_cost(FtmConfig::lfr(), state),
+            resource_cost(FtmConfig::pbr(), state));
+}
+
+TEST_F(CapabilityFixture, EnergyConstraintPenalizesComputationHeavyFtms) {
+  FtarState state = state_with({true, true, false}, kv);
+  const double unconstrained = resource_cost(FtmConfig::lfr_tr(), state);
+  state.resources.energy_constrained = true;
+  EXPECT_GT(resource_cost(FtmConfig::lfr_tr(), state), unconstrained);
+}
+
+TEST_F(CapabilityFixture, FaultModelHelpers) {
+  const FaultModel crash_only{true, false, false};
+  const FaultModel everything{true, true, true};
+  EXPECT_TRUE(crash_only.covered_by(everything));
+  EXPECT_FALSE(everything.covered_by(crash_only));
+  EXPECT_EQ(crash_only.to_string(), "crash");
+  EXPECT_EQ(everything.to_string(), "crash transient permanent");
+  EXPECT_EQ((FaultModel{false, false, false}).to_string(), "(none)");
+}
+
+}  // namespace
+}  // namespace rcs::core

@@ -1,0 +1,335 @@
+// Monitoring-to-manager loop: triggers, mandatory vs possible decisions,
+// man-in-the-loop approval, oscillation avoidance, no-solution detection.
+#include <gtest/gtest.h>
+
+#include "rcs/core/system.hpp"
+
+namespace rcs::core {
+namespace {
+
+using ftm::FtmConfig;
+
+struct ManagerFixture : ::testing::Test {
+  ManagerFixture() : system(make_options()) {}
+
+  static SystemOptions make_options() {
+    SystemOptions options;
+    options.start_monitoring = true;
+    options.monitor_interval = 200 * sim::kMillisecond;
+    return options;
+  }
+
+  static Value kv_incr(const std::string& key) {
+    return Value::map().set("op", "incr").set("key", key).set("by", 1);
+  }
+
+  ResilientSystem system;
+};
+
+TEST_F(ManagerFixture, BandwidthDropTriggersMandatoryPbrToLfr) {
+  system.deploy_and_wait(FtmConfig::pbr());
+  // The environment degrades: the replica link collapses to 3.2 Mbit/s.
+  system.sim().network().link(system.replica(0).id(), system.replica(1).id())
+      .bandwidth_bps = 400'000.0;
+  system.sim().run_for(30 * sim::kSecond);
+
+  EXPECT_EQ(system.engine().current().name, "LFR");
+  ASSERT_FALSE(system.manager().history().empty());
+  const auto& entry = system.manager().history().back();
+  EXPECT_EQ(entry.decision, DecisionKind::kMandatory);
+  EXPECT_TRUE(entry.executed);
+  // Service still up under the new FTM.
+  const Value reply = system.roundtrip(kv_incr("x"), 20 * sim::kSecond);
+  EXPECT_FALSE(reply.has("error"));
+}
+
+TEST_F(ManagerFixture, BandwidthRestoredIsOnlyPossibleAndNeedsApproval) {
+  system.deploy_and_wait(FtmConfig::pbr());
+  auto& link = system.sim().network().link(system.replica(0).id(),
+                                           system.replica(1).id());
+  link.bandwidth_bps = 400'000.0;
+  system.sim().run_for(30 * sim::kSecond);
+  ASSERT_EQ(system.engine().current().name, "LFR");
+
+  // Bandwidth comes back. Without manager approval the system must NOT
+  // oscillate back to PBR (§5.4: the reverse of a mandatory transition is a
+  // possible one).
+  link.bandwidth_bps = 12'500'000.0;
+  system.sim().run_for(30 * sim::kSecond);
+  EXPECT_EQ(system.engine().current().name, "LFR");
+  bool saw_unexecuted_possible = false;
+  for (const auto& entry : system.manager().history()) {
+    if (entry.decision == DecisionKind::kPossible && !entry.executed) {
+      saw_unexecuted_possible = true;
+    }
+  }
+  EXPECT_TRUE(saw_unexecuted_possible);
+
+  // With the system manager approving, the possible transition executes.
+  system.manager().set_approval_policy(
+      [](const FtmConfig&, const std::string&) { return true; });
+  link.bandwidth_bps = 400'000.0;
+  system.sim().run_for(30 * sim::kSecond);  // still LFR (mandatory path idle)
+  link.bandwidth_bps = 12'500'000.0;
+  system.sim().run_for(40 * sim::kSecond);
+  EXPECT_EQ(system.engine().current().name, "PBR");
+}
+
+TEST_F(ManagerFixture, OscillatingBandwidthDoesNotFlapFtms) {
+  system.deploy_and_wait(FtmConfig::pbr());
+  auto& link = system.sim().network().link(system.replica(0).id(),
+                                           system.replica(1).id());
+  std::size_t executed = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    link.bandwidth_bps = 400'000.0;
+    system.sim().run_for(10 * sim::kSecond);
+    link.bandwidth_bps = 12'500'000.0;
+    system.sim().run_for(10 * sim::kSecond);
+  }
+  for (const auto& entry : system.manager().history()) {
+    if (entry.executed) ++executed;
+  }
+  // Exactly one mandatory PBR->LFR; the restores are unexecuted possibles.
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(system.engine().current().name, "LFR");
+}
+
+TEST_F(ManagerFixture, ObservedValueFaultsEscalateTheFaultModel) {
+  system.deploy_and_wait(FtmConfig::pbr_tr());
+  // A burst of transient faults hits the primary; TR masks them, the
+  // monitoring engine counts the mismatch events.
+  for (int i = 0; i < 3; ++i) {
+    system.replica(0).faults().transient_pending = 1;
+    (void)system.roundtrip(kv_incr("x"), 20 * sim::kSecond);
+  }
+  system.sim().run_for(5 * sim::kSecond);
+  EXPECT_GE(system.monitoring().events_observed("tr_mismatch"), 2u);
+  EXPECT_TRUE(system.manager().state().fault_model.transient_value)
+      << "FT dimension updated from observed evidence";
+  // PBR⊕TR already covers transients: no transition needed.
+  EXPECT_EQ(system.engine().current().name, "PBR_TR");
+}
+
+TEST_F(ManagerFixture, PermanentFaultEvidenceForcesAssertionFtm) {
+  system.deploy_and_wait(FtmConfig::pbr_tr());
+  // Hardware aging: every computation on the primary is corrupted. TR can
+  // detect (no majority) but not mask it; the monitoring engine should
+  // escalate to a permanent fault model, which only A&Duplex covers.
+  system.replica(0).faults().permanent = true;
+  for (int i = 0; i < 6; ++i) {
+    system.client().send(kv_incr("x"), [](const Value&) {});
+    system.sim().run_for(2 * sim::kSecond);
+  }
+  system.sim().run_for(60 * sim::kSecond);
+  EXPECT_TRUE(system.manager().state().fault_model.permanent_value);
+  const auto& current = system.engine().current().name;
+  EXPECT_TRUE(current == "A_PBR" || current == "A_LFR") << current;
+  // And the system actually masks the permanent fault now.
+  const Value reply = system.roundtrip(kv_incr("x"), 30 * sim::kSecond);
+  EXPECT_FALSE(reply.has("error")) << reply.to_string();
+}
+
+TEST_F(ManagerFixture, ProactiveCriticalPhaseChangeViaManagerInput) {
+  system.deploy_and_wait(FtmConfig::lfr());
+  // §5.4: entering a more critical phase strengthens the fault model BEFORE
+  // faults occur (proactive FT transition).
+  system.manager().notify_fault_model_change(FaultModel{true, true, false},
+                                             "start of critical phase");
+  system.sim().run_for(30 * sim::kSecond);
+  EXPECT_EQ(system.engine().current().name, "LFR_TR");
+  const auto& entry = system.manager().history().back();
+  EXPECT_EQ(entry.decision, DecisionKind::kMandatory);
+}
+
+TEST_F(ManagerFixture, AppVersionChangeToNondeterministicLeavesLfr) {
+  system.deploy_and_wait(FtmConfig::lfr());
+  ftm::AppSpec new_version = system.app_spec();
+  new_version.deterministic = false;
+  system.manager().notify_app_change(new_version, "v2.0 rollout");
+  system.sim().run_for(30 * sim::kSecond);
+  EXPECT_EQ(system.engine().current().name, "PBR")
+      << "non-determinism invalidates active replication (Table 1)";
+}
+
+TEST_F(ManagerFixture, NoGenericSolutionIsDetectedAndReported) {
+  system.deploy_and_wait(FtmConfig::pbr());
+  ftm::AppSpec hopeless = system.app_spec();
+  hopeless.deterministic = false;
+  hopeless.state_access = false;
+  hopeless.has_assertion = false;
+  system.manager().notify_app_change(hopeless, "worst-case version");
+  EXPECT_TRUE(system.manager().no_solution());
+  EXPECT_EQ(system.manager().history().back().decision,
+            DecisionKind::kNoSolution);
+}
+
+TEST_F(ManagerFixture, DivergenceEvidenceAbandonsActiveReplication) {
+  // LFR was deployed assuming determinism; the application actually behaves
+  // non-deterministically. The follower's divergence reports reach the
+  // monitoring engine, which corrects the A parameters; leaving LFR becomes
+  // mandatory.
+  SystemOptions options = make_options();
+  options.app_type = "app.sensor";
+  ResilientSystem sensors(options);
+  // Pretend the A characteristics claimed determinism (mis-declared app).
+  ftm::AppSpec claimed = sensors.app_spec();
+  claimed.deterministic = true;
+  sensors.manager().notify_app_change(claimed, "declared deterministic");
+  sensors.deploy_and_wait(FtmConfig::lfr());
+  for (int i = 0; i < 6; ++i) {
+    (void)sensors.roundtrip(Value::map().set("op", "read").set("target", 50.0),
+                            20 * sim::kSecond);
+  }
+  sensors.sim().run_for(30 * sim::kSecond);
+  EXPECT_GE(sensors.monitoring().events_observed("divergence"), 2u);
+  EXPECT_FALSE(sensors.manager().state().app.deterministic);
+  EXPECT_EQ(sensors.engine().current().name, "PBR");
+}
+
+TEST_F(ManagerFixture, SuspectedSoftwareFaultMovesToRecoveryBlocks) {
+  // §2/§3.2.1: a new application version is suspected of development faults
+  // (e.g. a hurried OTA fix). The manager strengthens the fault model
+  // proactively; PBR⊕RB is the only standard FTM with design diversity.
+  system.deploy_and_wait(FtmConfig::pbr());
+  FaultModel with_dev{true, false, false, true};
+  system.manager().notify_fault_model_change(with_dev, "unvetted hotfix v1.3");
+  system.sim().run_for(30 * sim::kSecond);
+  ASSERT_EQ(system.engine().current().name, "PBR_RB");
+
+  // The suspicion was justified: the primary variant IS buggy everywhere.
+  for (std::size_t i = 0; i < 2; ++i) {
+    system.agent(i).runtime().composite().set_property("server", "primary_bug",
+                                                       Value(true));
+  }
+  const Value reply = system.roundtrip(kv_incr("x"), 20 * sim::kSecond);
+  ASSERT_FALSE(reply.has("error")) << reply.to_string();
+  EXPECT_GT(reply.at("result").at("value").as_int(), 0)
+      << "recovery blocks masked the development fault";
+
+  // Once v1.4 is vetted, relaxation back to plain PBR is a possible
+  // transition requiring approval.
+  system.manager().set_approval_policy(
+      [](const FtmConfig&, const std::string&) { return true; });
+  system.manager().notify_fault_model_change(FaultModel{true, false, false},
+                                             "v1.4 formally verified");
+  system.sim().run_for(30 * sim::kSecond);
+  EXPECT_EQ(system.engine().current().name, "PBR");
+}
+
+TEST_F(ManagerFixture, IntraFtmTransitionRecordsContextChange) {
+  // Fig. 8's dotted edges: the app becomes non-deterministic while running
+  // PBR — PBR stays valid, so the FTM is kept, but an intra-FTM transition
+  // updates the configuration context on every replica.
+  system.deploy_and_wait(FtmConfig::pbr());
+  ftm::AppSpec v2 = system.app_spec();
+  v2.deterministic = false;
+  system.manager().notify_app_change(v2, "v2: non-deterministic");
+  system.sim().run_for(5 * sim::kSecond);
+
+  ASSERT_FALSE(system.manager().history().empty());
+  const auto& entry = system.manager().history().back();
+  EXPECT_EQ(entry.decision, DecisionKind::kIntraFtm);
+  EXPECT_TRUE(entry.executed);
+  EXPECT_EQ(system.engine().current().name, "PBR");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Value context =
+        system.agent(i).runtime().composite().property("protocol", "context");
+    ASSERT_TRUE(context.is_map()) << "context not propagated to replica " << i;
+    EXPECT_FALSE(context.at("deterministic").as_bool());
+  }
+  // A second identical notification changes nothing: no new intra entry.
+  const auto history_size = system.manager().history().size();
+  system.manager().notify_app_change(v2, "v2 again");
+  EXPECT_EQ(system.manager().history().back().decision,
+            DecisionKind::kNoChange);
+  EXPECT_EQ(system.manager().history().size(), history_size + 1);
+}
+
+TEST_F(ManagerFixture, WorkloadSaturationForcesLeanerFtm) {
+  // The link capacity is intact but the WORKLOAD grows until PBR's
+  // checkpoint traffic saturates it: the utilization probe (measured
+  // bytes/s, §3.1 "measure resource usage") must trigger a mandatory move
+  // to the bandwidth-lean LFR.
+  SystemOptions options = make_options();
+  options.replica_bandwidth_bps = 1'250'000.0;           // 10 Mbit/s
+  options.thresholds.bandwidth_low_bps = 0.2e6;          // capacity is fine
+  options.thresholds.bandwidth_high_bps = 0.4e6;
+  ResilientSystem loaded(options);
+  ASSERT_TRUE(loaded.deploy_and_wait(FtmConfig::pbr()).ok);
+
+  // ~120 requests/s for a while: ~560 KB/s of checkpoints on a 1.25 MB/s
+  // link — 45% utilization, past the 35% saturation latch.
+  int ok = 0;
+  for (int i = 0; i < 1200; ++i) {
+    loaded.client().send(kv_incr("k"), [&ok](const Value& r) {
+      if (!r.has("error")) ++ok;
+    });
+    loaded.sim().run_for(8300);  // ~8.3 ms
+  }
+  loaded.sim().run_for(30 * sim::kSecond);
+
+  EXPECT_EQ(loaded.engine().current().name, "LFR")
+      << "saturation did not force the bandwidth-lean FTM";
+  bool saw_saturation = false;
+  for (const auto& trigger : loaded.monitoring().trigger_log()) {
+    if (trigger.kind == TriggerKind::kLinkSaturated) saw_saturation = true;
+  }
+  EXPECT_TRUE(saw_saturation);
+  EXPECT_GT(loaded.manager().state().resources.request_rate, 80.0)
+      << "workload intensity inferred from the measured traffic";
+  EXPECT_GE(ok, 1150) << "the service rode out the saturation + transition";
+}
+
+TEST_F(ManagerFixture, DeferredMandatoryTransitionIsRetried) {
+  // A mandatory FT change lands while the engine is mid-transition: the
+  // manager must retry it once the engine frees up, not drop it.
+  system.deploy_and_wait(FtmConfig::pbr());
+  bool manual_done = false;
+  system.engine().transition(
+      FtmConfig::lfr(),
+      [&manual_done](const TransitionReport&) { manual_done = true; });
+  system.manager().notify_fault_model_change(FaultModel{true, true, false},
+                                             "radiation while busy");
+  ASSERT_FALSE(system.manager().history().back().executed) << "deferred";
+  system.sim().run_for(60 * sim::kSecond);
+  EXPECT_TRUE(manual_done);
+  EXPECT_EQ(system.engine().current().name, "LFR_TR")
+      << "the deferred mandatory transition eventually executed";
+}
+
+TEST_F(ManagerFixture, MonitoringMeasuresServiceThroughput) {
+  system.deploy_and_wait(FtmConfig::pbr());
+  // Steady 20 requests/s for 5 s; the monitoring engine's telemetry-based
+  // rate estimate should settle near it.
+  for (int i = 0; i < 100; ++i) {
+    system.client().send(kv_incr("k"), [](const Value&) {});
+    system.sim().run_for(50 * sim::kMillisecond);
+  }
+  const double rate = system.monitoring().request_rate();
+  EXPECT_GT(rate, 12.0) << "measured " << rate;
+  EXPECT_LT(rate, 30.0) << "measured " << rate;
+}
+
+TEST_F(ManagerFixture, TriggerLogRecordsFiredTriggers) {
+  system.deploy_and_wait(FtmConfig::pbr());
+  system.sim().network().link(system.replica(0).id(), system.replica(1).id())
+      .bandwidth_bps = 400'000.0;
+  system.sim().run_for(10 * sim::kSecond);
+  ASSERT_FALSE(system.monitoring().trigger_log().empty());
+  const auto& trigger = system.monitoring().trigger_log().front();
+  EXPECT_EQ(trigger.kind, TriggerKind::kBandwidthDrop);
+  EXPECT_NEAR(trigger.measured, 400'000.0, 1.0);
+  EXPECT_FALSE(trigger.detail.empty());
+}
+
+TEST_F(ManagerFixture, HistoryRecordsCauses) {
+  system.deploy_and_wait(FtmConfig::pbr());
+  system.manager().notify_fault_model_change(FaultModel{true, true, false},
+                                             "radiation environment");
+  ASSERT_FALSE(system.manager().history().empty());
+  EXPECT_NE(system.manager().history().back().cause.find("radiation"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcs::core

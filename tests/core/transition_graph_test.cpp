@@ -1,0 +1,147 @@
+#include "rcs/core/transition_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcs/app/apps.hpp"
+#include "rcs/common/error.hpp"
+#include "rcs/ftm/registration.hpp"
+
+namespace rcs::core {
+namespace {
+
+struct GraphFixture : ::testing::Test {
+  GraphFixture() {
+    ftm::register_components();
+    app::register_components();
+  }
+};
+
+TEST_F(GraphFixture, Figure2HasFiveFtmsAndBidirectionalEdges) {
+  const auto graph = TransitionGraph::figure2();
+  EXPECT_EQ(graph.nodes().size(), 5u);
+  // Each FTM-pair edge of Fig. 2 has labels among FT / A / R classes.
+  for (const auto& edge : graph.edges()) {
+    EXPECT_TRUE(edge.label.find('A') != std::string::npos ||
+                edge.label.find("FT") != std::string::npos ||
+                edge.label.find('R') != std::string::npos)
+        << edge.label;
+  }
+  // PBR <-> LFR both directions exist.
+  int pbr_lfr = 0;
+  for (const auto& edge : graph.edges()) {
+    if ((edge.from == "PBR" && edge.to == "LFR") ||
+        (edge.from == "LFR" && edge.to == "PBR")) {
+      ++pbr_lfr;
+    }
+  }
+  EXPECT_EQ(pbr_lfr, 2);
+}
+
+TEST_F(GraphFixture, Figure2IsConsistentWithCapabilityModel) {
+  EXPECT_EQ(TransitionGraph::figure2().validate_against_model(),
+            std::vector<std::string>{});
+}
+
+TEST_F(GraphFixture, Figure8HasSevenStates) {
+  const auto graph = TransitionGraph::figure8();
+  EXPECT_EQ(graph.nodes().size(), 7u);
+  EXPECT_NO_THROW((void)graph.node("No generic solution"));
+  EXPECT_THROW((void)graph.node("ghost state"), LogicError);
+}
+
+TEST_F(GraphFixture, Figure8IsConsistentWithCapabilityModel) {
+  // Every mandatory/possible/intra tag from the paper's figure must agree
+  // with what the capability + viability model derives mechanically.
+  EXPECT_EQ(TransitionGraph::figure8().validate_against_model(),
+            std::vector<std::string>{});
+}
+
+TEST_F(GraphFixture, MandatoryEdgesHavePossibleReverses) {
+  // §5.4: "the reverse of a mandatory transition is always a possible one" —
+  // this is the oscillation-avoidance argument.
+  const auto graph = TransitionGraph::figure8();
+  for (const auto& edge : graph.edges()) {
+    if (edge.kind != EdgeKind::kMandatory || edge.to == "No generic solution") {
+      continue;
+    }
+    bool reverse_found = false;
+    bool reverse_is_mandatory = false;
+    for (const auto& other : graph.edges()) {
+      if (other.from == edge.to && other.to == edge.from) {
+        reverse_found = true;
+        if (other.kind == EdgeKind::kMandatory) reverse_is_mandatory = true;
+      }
+    }
+    if (reverse_found) {
+      EXPECT_FALSE(reverse_is_mandatory)
+          << edge.from << " <-> " << edge.to
+          << ": both directions mandatory would oscillate";
+    }
+  }
+}
+
+TEST_F(GraphFixture, ProactiveEdgesAreExactlyTheFaultModelOnes) {
+  // §5.4: FT-driven transitions are proactive; A/R-driven ones reactive.
+  const auto graph = TransitionGraph::figure8();
+  for (const auto& edge : graph.edges()) {
+    const bool ft_edge = edge.label.find("critical phase") != std::string::npos ||
+                         edge.label.find("Hardware") != std::string::npos;
+    EXPECT_EQ(edge.nature == EdgeNature::kProactive, ft_edge) << edge.label;
+  }
+}
+
+TEST_F(GraphFixture, ProbeEdgesAreTheResourceOnes) {
+  const auto graph = TransitionGraph::figure8();
+  for (const auto& edge : graph.edges()) {
+    const bool resource_edge = edge.label.find("Bandwidth") != std::string::npos ||
+                               edge.label.find("CPU") != std::string::npos;
+    EXPECT_EQ(edge.detection == EdgeDetection::kProbe, resource_edge)
+        << edge.label;
+  }
+}
+
+TEST_F(GraphFixture, IntraEdgesKeepTheSameFtm) {
+  const auto graph = TransitionGraph::figure8();
+  int intra = 0;
+  for (const auto& edge : graph.edges()) {
+    if (edge.kind != EdgeKind::kIntra) continue;
+    ++intra;
+    EXPECT_EQ(graph.node(edge.from).ftm_name, graph.node(edge.to).ftm_name)
+        << edge.label;
+  }
+  EXPECT_GE(intra, 3);
+}
+
+TEST_F(GraphFixture, RenderListsEveryEdge) {
+  const auto graph = TransitionGraph::figure8();
+  const std::string rendered = graph.render();
+  for (const auto& edge : graph.edges()) {
+    EXPECT_NE(rendered.find(edge.label), std::string::npos) << edge.label;
+  }
+  EXPECT_NE(rendered.find("mandatory"), std::string::npos);
+  EXPECT_NE(rendered.find("proactive"), std::string::npos);
+}
+
+TEST_F(GraphFixture, ClassifyMatchesHandPickedCases) {
+  const auto graph = TransitionGraph::figure8();
+  const auto& pbr_det = graph.node("PBR (determinism)");
+  const auto& lfr_state = graph.node("LFR (state access)");
+
+  // Bandwidth collapse: staying on PBR is not an option.
+  FtarState after = pbr_det.context;
+  after.resources.bandwidth_bps = 400'000.0;
+  EXPECT_EQ(graph.classify(pbr_det, lfr_state, after), EdgeKind::kMandatory);
+
+  // Plenty of everything: moving to LFR is merely possible.
+  after = pbr_det.context;
+  after.resources.cpu_speed = 1.6;
+  EXPECT_EQ(graph.classify(pbr_det, lfr_state, after), EdgeKind::kPossible);
+
+  // Same FTM, changed context: intra.
+  const auto& pbr_nondet = graph.node("PBR (non-determinism)");
+  EXPECT_EQ(graph.classify(pbr_det, pbr_nondet, pbr_nondet.context),
+            EdgeKind::kIntra);
+}
+
+}  // namespace
+}  // namespace rcs::core

@@ -1,0 +1,167 @@
+// Parameterized sweeps over the full experiment space:
+//   - every ordered pair of Table 3 FTMs: differential transition under a
+//     live workload with state continuity and exactly-once checks;
+//   - every FTM x fault-class cell of Table 1: the injected fault is
+//     tolerated if and only if the capability model says so.
+#include <gtest/gtest.h>
+
+#include "rcs/app/app_base.hpp"
+#include "rcs/core/capability.hpp"
+#include "rcs/core/system.hpp"
+
+namespace rcs::core {
+namespace {
+
+using ftm::FtmConfig;
+
+Value kv_incr() {
+  return Value::map().set("op", "incr").set("key", "k").set("by", 1);
+}
+
+// ---------------------------------------------------------------------------
+// All ordered Table 3 pairs
+// ---------------------------------------------------------------------------
+
+using Pair = std::tuple<std::string, std::string>;
+
+std::vector<Pair> all_pairs() {
+  std::vector<Pair> pairs;
+  for (const auto& from : FtmConfig::table3_set()) {
+    for (const auto& to : FtmConfig::table3_set()) {
+      if (from == to) continue;
+      pairs.emplace_back(from.name, to.name);
+    }
+  }
+  return pairs;
+}
+
+class TransitionMatrix : public ::testing::TestWithParam<Pair> {};
+
+TEST_P(TransitionMatrix, DifferentialTransitionPreservesService) {
+  const auto& [from_name, to_name] = GetParam();
+  const FtmConfig& from = FtmConfig::by_name(from_name);
+  const FtmConfig& to = FtmConfig::by_name(to_name);
+
+  SystemOptions options;
+  options.start_monitoring = false;
+  ResilientSystem system(options);
+  ASSERT_TRUE(system.deploy_and_wait(from).ok);
+
+  // Two increments before, transition, two after: state continuity and
+  // exactly-once execution across the swap.
+  for (int i = 1; i <= 2; ++i) {
+    const Value reply = system.roundtrip(kv_incr(), 20 * sim::kSecond);
+    ASSERT_FALSE(reply.has("error"));
+    ASSERT_EQ(reply.at("result").at("value").as_int(), i);
+  }
+
+  const auto report = system.transition_and_wait(to);
+  ASSERT_TRUE(report.ok) << from.name << " -> " << to.name;
+  EXPECT_EQ(report.components_shipped, from.diff_size(to));
+  EXPECT_EQ(system.engine().current().name, to.name);
+
+  for (int i = 3; i <= 4; ++i) {
+    const Value reply = system.roundtrip(kv_incr(), 20 * sim::kSecond);
+    ASSERT_FALSE(reply.has("error"));
+    ASSERT_EQ(reply.at("result").at("value").as_int(), i)
+        << "state continuity through " << from.name << " -> " << to.name;
+  }
+
+  // Both replicas agree on the architecture.
+  for (std::size_t r = 0; r < 2; ++r) {
+    auto& composite = system.agent(r).runtime().composite();
+    EXPECT_EQ(composite.child("syncBefore").type_name(), to.sync_before);
+    EXPECT_EQ(composite.child("proceed").type_name(), to.proceed);
+    EXPECT_EQ(composite.child("syncAfter").type_name(), to.sync_after);
+    EXPECT_TRUE(composite.validate().is_ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, TransitionMatrix,
+                         ::testing::ValuesIn(all_pairs()),
+                         [](const ::testing::TestParamInfo<Pair>& info) {
+                           return std::get<0>(info.param) + "_to_" +
+                                  std::get<1>(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Table 1 fault-injection matrix
+// ---------------------------------------------------------------------------
+
+using Cell = std::tuple<std::string, std::string>;  // (ftm, fault)
+
+std::vector<Cell> all_cells() {
+  std::vector<Cell> cells;
+  for (const auto& config : FtmConfig::standard_set()) {
+    for (const char* fault : {"crash", "transient", "permanent", "software"}) {
+      cells.emplace_back(config.name, fault);
+    }
+  }
+  return cells;
+}
+
+class FaultMatrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(FaultMatrix, ToleranceMatchesCapabilityModel) {
+  const auto& [ftm_name, fault] = GetParam();
+  const FtmConfig& config = FtmConfig::by_name(ftm_name);
+
+  SystemOptions options;
+  options.start_monitoring = false;
+  ResilientSystem system(options);
+  ASSERT_TRUE(system.deploy_and_wait(config).ok);
+  (void)system.roundtrip(kv_incr(), 20 * sim::kSecond);  // pre-fault warm-up
+
+  if (fault == "crash") {
+    system.replica(0).crash();
+  } else if (fault == "permanent") {
+    system.replica(0).faults().permanent = true;
+  } else if (fault == "software") {
+    // Development fault: the SAME bug in the primary variant on every
+    // replica (common mode) — semantically wrong but checksummed results.
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (!system.replica(i).alive()) continue;
+      if (!system.agent(i).runtime().deployed()) continue;
+      system.agent(i).runtime().composite().set_property("server",
+                                                         "primary_bug",
+                                                         Value(true));
+    }
+  }
+
+  bool tolerated = true;
+  std::int64_t expected = 1;  // warm-up incremented once
+  for (int i = 0; i < 3; ++i) {
+    if (fault == "transient") system.replica(0).faults().transient_pending = 1;
+    Value reply;
+    bool got = false;
+    system.client().send(kv_incr(), [&](const Value& r) {
+      reply = r;
+      got = true;
+    });
+    system.sim().run_for(30 * sim::kSecond);
+    ++expected;
+    if (!got || reply.has("error") ||
+        !app::AppServerBase::checksum_ok(reply.at("result")) ||
+        reply.at("result").at("value").as_int() != expected) {
+      tolerated = false;
+      break;
+    }
+  }
+
+  const auto cap = capability_of(config, system.app_spec());
+  const bool predicted = fault == "crash"       ? cap.coverage.crash
+                         : fault == "transient" ? cap.coverage.transient_value
+                         : fault == "permanent" ? cap.coverage.permanent_value
+                                                : cap.coverage.development;
+  EXPECT_EQ(tolerated, predicted)
+      << ftm_name << " under " << fault << ": Table 1 disagreement";
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FaultMatrix, ::testing::ValuesIn(all_cells()),
+                         [](const ::testing::TestParamInfo<Cell>& info) {
+                           return std::get<0>(info.param) + "_" +
+                                  std::get<1>(info.param);
+                         });
+
+}  // namespace
+}  // namespace rcs::core

@@ -1,0 +1,121 @@
+// Client retransmission/failover behaviour and the quiescence gate used by
+// on-line transitions (§5.3 "consistency of request processing").
+#include <gtest/gtest.h>
+
+#include "duplex_fixture.hpp"
+
+namespace rcs::ftm::testing {
+namespace {
+
+using Fixture = DuplexFixture;
+
+TEST_F(Fixture, ClientCollectsLatencyStats) {
+  deploy(FtmConfig::pbr());
+  for (int i = 0; i < 4; ++i) (void)roundtrip(kv_incr("n"));
+  EXPECT_EQ(client.stats().sent, 4u);
+  EXPECT_EQ(client.stats().ok, 4u);
+  EXPECT_EQ(client.stats().retries, 0u);
+  ASSERT_EQ(client.stats().latencies.size(), 4u);
+  EXPECT_GT(client.stats().mean_latency_ms(), 0.0);
+}
+
+TEST_F(Fixture, ClientRetriesThroughCrash) {
+  deploy(FtmConfig::pbr());
+  inject.crash_at(h0.id(), sim.now() + 1 * sim::kMillisecond);
+  const Value reply = roundtrip(kv_incr("n"), 15 * sim::kSecond);
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_GE(client.stats().retries, 1u);
+  EXPECT_EQ(client.stats().ok, 1u);
+}
+
+TEST_F(Fixture, ClientGivesUpWhenEverythingIsDown) {
+  deploy(FtmConfig::pbr());
+  h0.crash();
+  h1.crash();
+  Value reply;
+  client.send(kv_incr("n"), [&](const Value& r) { reply = r; });
+  sim.run_for(30 * sim::kSecond);
+  ASSERT_TRUE(reply.is_map());
+  EXPECT_EQ(reply.at("error").as_string(), "timeout");
+  EXPECT_EQ(client.stats().gave_up, 1u);
+}
+
+TEST_F(Fixture, QuiesceFiresImmediatelyWhenIdle) {
+  deploy(FtmConfig::pbr());
+  bool drained = false;
+  rt0.quiesce([&] { drained = true; });
+  EXPECT_TRUE(drained);
+  rt0.resume();
+}
+
+TEST_F(Fixture, QuiesceWaitsForInFlightRequestThenBuffers) {
+  deploy(FtmConfig::pbr());
+
+  // Launch a request and quiesce while it is still being processed (compute
+  // takes 5ms of virtual time).
+  Value first_reply;
+  client.send(kv_incr("n"), [&](const Value& r) { first_reply = r; });
+  sim.run_for(3 * sim::kMillisecond);  // request reached the primary
+  ASSERT_GE(rt0.kernel().in_flight(), 1u);
+
+  bool drained = false;
+  rt0.quiesce([&] { drained = true; });
+  EXPECT_FALSE(drained) << "must wait for the in-flight request";
+
+  sim.run_for(sim::kSecond);
+  EXPECT_TRUE(drained) << "in-flight request completes the drain";
+  ASSERT_TRUE(first_reply.is_map());
+  EXPECT_FALSE(first_reply.has("error"));
+
+  // New requests during the blocked window are buffered, not lost.
+  Value second_reply;
+  client.send(kv_incr("n"), [&](const Value& r) { second_reply = r; });
+  sim.run_for(100 * sim::kMillisecond);
+  EXPECT_TRUE(second_reply.is_null());
+  EXPECT_GE(rt0.kernel().buffered(), 1u);
+
+  rt0.resume();
+  sim.run_for(sim::kSecond);
+  ASSERT_TRUE(second_reply.is_map());
+  EXPECT_EQ(second_reply.at("result").at("value").as_int(), 2);
+}
+
+TEST_F(Fixture, NoRequestLossAcrossQuiesceResumeBurst) {
+  deploy(FtmConfig::lfr());
+  int replies = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.send(kv_incr("n"), [&](const Value& r) {
+      ASSERT_FALSE(r.has("error"));
+      ++replies;
+    });
+  }
+  sim.run_for(3 * sim::kMillisecond);
+  rt0.quiesce([] {});
+  sim.run_for(200 * sim::kMillisecond);
+  rt0.resume();
+  sim.run_for(10 * sim::kSecond);
+  EXPECT_EQ(replies, 10);
+  // The counter saw every increment exactly once.
+  const Value got = roundtrip(kv_get("n"));
+  EXPECT_EQ(got.at("result").at("value").as_int(), 10);
+}
+
+TEST_F(Fixture, BufferedRequestsServedInOrder)  {
+  deploy(FtmConfig::pbr());
+  rt0.quiesce([] {});
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 5; ++i) {
+    client.send(kv_incr("n"), [&](const Value& r) {
+      ASSERT_FALSE(r.has("error"));
+      values.push_back(r.at("result").at("value").as_int());
+    });
+  }
+  sim.run_for(100 * sim::kMillisecond);
+  EXPECT_TRUE(values.empty());
+  rt0.resume();
+  sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(values, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace rcs::ftm::testing

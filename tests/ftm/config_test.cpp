@@ -1,0 +1,98 @@
+#include "rcs/ftm/config.hpp"
+
+#include "rcs/ftm/interfaces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rcs/common/error.hpp"
+
+namespace rcs::ftm {
+namespace {
+
+TEST(FtmConfig, StandardSetHasNineDistinctNames) {
+  std::set<std::string> names;
+  for (const auto& config : FtmConfig::standard_set()) names.insert(config.name);
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(FtmConfig::table3_set().size(), 6u)
+      << "the paper's Table 3 matrix stays the original six";
+}
+
+TEST(FtmConfig, RecoveryBlocksConfigs) {
+  EXPECT_EQ(FtmConfig::rb().proceed, brick::kProceedRb);
+  EXPECT_FALSE(FtmConfig::rb().duplex);
+  EXPECT_EQ(FtmConfig::pbr_rb().sync_after, brick::kSyncAfterPbr);
+  EXPECT_TRUE(FtmConfig::pbr_rb().duplex);
+  // PBR⊕RB is a one-brick composition away from PBR (like PBR⊕TR).
+  EXPECT_EQ(FtmConfig::pbr().diff_size(FtmConfig::pbr_rb()), 1);
+}
+
+TEST(FtmConfig, Table2BrickAssignments) {
+  EXPECT_EQ(FtmConfig::pbr().sync_before, brick::kSyncBeforeNoop);
+  EXPECT_EQ(FtmConfig::pbr().sync_after, brick::kSyncAfterPbr);
+  EXPECT_EQ(FtmConfig::lfr().sync_before, brick::kSyncBeforeLfr);
+  EXPECT_EQ(FtmConfig::lfr().sync_after, brick::kSyncAfterLfr);
+  EXPECT_EQ(FtmConfig::pbr_tr().proceed, brick::kProceedTr);
+  EXPECT_EQ(FtmConfig::lfr_tr().proceed, brick::kProceedTr);
+  EXPECT_EQ(FtmConfig::a_pbr().sync_after, brick::kSyncAfterPbrAssert);
+  EXPECT_EQ(FtmConfig::a_lfr().sync_after, brick::kSyncAfterLfrAssert);
+  EXPECT_FALSE(FtmConfig::tr().duplex);
+}
+
+TEST(FtmConfig, CompositionSharesDuplexBricks) {
+  // PBR⊕TR keeps PBR's syncBefore/syncAfter: composition only changes proceed.
+  EXPECT_EQ(FtmConfig::pbr_tr().sync_before, FtmConfig::pbr().sync_before);
+  EXPECT_EQ(FtmConfig::pbr_tr().sync_after, FtmConfig::pbr().sync_after);
+  EXPECT_EQ(FtmConfig::pbr().diff_size(FtmConfig::pbr_tr()), 1);
+}
+
+TEST(FtmConfig, DiffSizesMatchFigure9Scenarios) {
+  // The three transitions of Figure 9 replace 1, 2 and 3 components.
+  EXPECT_EQ(FtmConfig::lfr().diff_size(FtmConfig::lfr_tr()), 1);
+  EXPECT_EQ(FtmConfig::pbr().diff_size(FtmConfig::lfr()), 2);
+  EXPECT_EQ(FtmConfig::pbr().diff_size(FtmConfig::lfr_tr()), 3);
+}
+
+TEST(FtmConfig, DiffIsSymmetricAndZeroOnSelf) {
+  for (const auto& a : FtmConfig::table3_set()) {
+    EXPECT_EQ(a.diff_size(a), 0);
+    for (const auto& b : FtmConfig::table3_set()) {
+      EXPECT_EQ(a.diff_size(b), b.diff_size(a));
+    }
+  }
+}
+
+TEST(FtmConfig, EveryTable3PairDiffersInAtLeastOneSlot) {
+  const auto& set = FtmConfig::table3_set();
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_GE(set[i].diff_size(set[j]), 1)
+          << set[i].name << " vs " << set[j].name;
+      EXPECT_LE(set[i].diff_size(set[j]), 3);
+    }
+  }
+}
+
+TEST(FtmConfig, ValueRoundTrip) {
+  const FtmConfig& original = FtmConfig::a_lfr();
+  const FtmConfig decoded = FtmConfig::from_value(original.to_value());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(FtmConfig, ByNameLookupAndFailure) {
+  EXPECT_EQ(FtmConfig::by_name("PBR_TR"), FtmConfig::pbr_tr());
+  EXPECT_THROW((void)FtmConfig::by_name("NVP"), FtmError);
+}
+
+TEST(FtmConfig, RoleRoundTrip) {
+  EXPECT_EQ(role_from_string("primary"), Role::kPrimary);
+  EXPECT_EQ(role_from_string("backup"), Role::kBackup);
+  EXPECT_EQ(role_from_string("alone"), Role::kAlone);
+  EXPECT_STREQ(to_string(Role::kAlone), "alone");
+  EXPECT_THROW((void)role_from_string("king"), FtmError);
+}
+
+}  // namespace
+}  // namespace rcs::ftm

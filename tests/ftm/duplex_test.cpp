@@ -1,0 +1,203 @@
+// End-to-end duplex protocol behaviour: normal operation, at-most-once,
+// crash failover, state continuity, rejoin (§3.2.1 and §5.3).
+#include <gtest/gtest.h>
+
+#include "duplex_fixture.hpp"
+
+namespace rcs::ftm::testing {
+namespace {
+
+using Fixture = DuplexFixture;
+
+TEST_F(Fixture, PbrServesRequests) {
+  deploy(FtmConfig::pbr());
+  const Value reply = roundtrip(kv_put("k", Value(42)));
+  ASSERT_FALSE(reply.has("error")) << reply.to_string();
+  EXPECT_TRUE(reply.at("result").at("ok").as_bool());
+
+  const Value got = roundtrip(kv_get("k"));
+  EXPECT_EQ(got.at("result").at("value").as_int(), 42);
+}
+
+TEST_F(Fixture, LfrServesRequests) {
+  deploy(FtmConfig::lfr());
+  const Value reply = roundtrip(kv_incr("n", 5));
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 5);
+}
+
+TEST_F(Fixture, EveryStandardFtmServesTheKvWorkload) {
+  // Parameterized manually over the full set (TR included: single host).
+  for (const auto& config : FtmConfig::standard_set()) {
+    SCOPED_TRACE(config.name);
+    sim::Simulation local_sim{99};
+    sim::Host& a = local_sim.add_host("a");
+    sim::Host& b = local_sim.add_host("b");
+    sim::Host& c = local_sim.add_host("c");
+    comp::HostLibrary la, lb;
+    la.install_all(comp::ComponentRegistry::instance());
+    lb.install_all(comp::ComponentRegistry::instance());
+    FtmRuntime ra{a, la}, rb{b, lb};
+    DeployParams params;
+    params.config = config;
+    params.role = Role::kPrimary;
+    if (config.duplex) params.peers = {b.id().value()};
+    params.master = a.id().value();
+    params.app = app::spec_for(app::kKvStore);
+    ra.deploy(params);
+    if (config.duplex) {
+      params.role = Role::kBackup;
+      params.peers = {a.id().value()};
+      rb.deploy(params);
+    }
+    Client cl{c, {a.id(), b.id()}};
+    Value reply;
+    cl.send(kv_incr("x"), [&](const Value& r) { reply = r; });
+    local_sim.run_for(3 * sim::kSecond);
+    ASSERT_TRUE(reply.is_map()) << "no reply under " << config.name;
+    ASSERT_FALSE(reply.has("error")) << reply.to_string();
+    EXPECT_EQ(reply.at("result").at("value").as_int(), 1);
+  }
+}
+
+TEST_F(Fixture, RetransmissionIsServedFromReplyLog) {
+  deploy(FtmConfig::pbr());
+  (void)roundtrip(kv_incr("ctr"));
+  // Manually retransmit the same request id straight to the primary.
+  Value payload = Value::map();
+  payload.set("client", static_cast<std::int64_t>(hc.id().value()))
+      .set("id", 1)
+      .set("request", kv_incr("ctr"));
+  hc.send(h0.id(), msg::kRequest, payload);
+  sim.run_for(sim::kSecond);
+  // The increment must NOT have been applied twice.
+  const Value got = roundtrip(kv_get("ctr"));
+  EXPECT_EQ(got.at("result").at("value").as_int(), 1);
+  EXPECT_GE(rt0.kernel().counters().duplicates_served, 1u);
+}
+
+TEST_F(Fixture, PbrPrimaryCrashFailsOverWithState) {
+  deploy(FtmConfig::pbr());
+  for (int i = 0; i < 3; ++i) (void)roundtrip(kv_incr("ctr"));
+
+  inject.crash_at(h0.id(), sim.now() + 10 * sim::kMillisecond);
+  sim.run_for(50 * sim::kMillisecond);
+  EXPECT_FALSE(h0.alive());
+
+  // The client retries and lands on the promoted backup; the checkpointed
+  // state makes the counter continue from 3.
+  const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  ASSERT_FALSE(reply.has("error")) << reply.to_string();
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 4);
+  EXPECT_EQ(rt1.kernel().role(), Role::kAlone);
+  EXPECT_EQ(rt1.kernel().counters().promotions, 1u);
+}
+
+TEST_F(Fixture, LfrLeaderCrashFailsOverWithState) {
+  deploy(FtmConfig::lfr());
+  for (int i = 0; i < 3; ++i) (void)roundtrip(kv_incr("ctr"));
+
+  inject.crash_at(h0.id(), sim.now() + 10 * sim::kMillisecond);
+  sim.run_for(50 * sim::kMillisecond);
+
+  // The follower computed every request itself; its state is already current.
+  const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 4);
+  EXPECT_EQ(rt1.kernel().role(), Role::kAlone);
+}
+
+TEST_F(Fixture, BackupCrashLeavesPrimaryServingAlone) {
+  deploy(FtmConfig::pbr());
+  (void)roundtrip(kv_incr("ctr"));
+  inject.crash_at(h1.id(), sim.now() + 10 * sim::kMillisecond);
+  sim.run_for(400 * sim::kMillisecond);  // let the FD suspect
+  EXPECT_EQ(rt0.kernel().role(), Role::kAlone);
+
+  const Value reply = roundtrip(kv_incr("ctr"), 5 * sim::kSecond);
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 2);
+}
+
+TEST_F(Fixture, AtMostOnceHoldsAcrossFailover) {
+  deploy(FtmConfig::pbr());
+  (void)roundtrip(kv_incr("ctr"));
+
+  // Crash the primary, then retransmit the SAME id; the backup must serve
+  // the logged reply (the log travelled in the checkpoint), not re-execute.
+  inject.crash_at(h0.id(), sim.now() + 5 * sim::kMillisecond);
+  sim.run_for(400 * sim::kMillisecond);
+  ASSERT_EQ(rt1.kernel().role(), Role::kAlone);
+
+  Value payload = Value::map();
+  payload.set("client", static_cast<std::int64_t>(hc.id().value()))
+      .set("id", 1)
+      .set("request", kv_incr("ctr"));
+  hc.send(h1.id(), msg::kRequest, payload);
+  sim.run_for(sim::kSecond);
+  EXPECT_GE(rt1.kernel().counters().duplicates_served, 1u);
+
+  const Value got = roundtrip(kv_get("ctr"), 5 * sim::kSecond);
+  EXPECT_EQ(got.at("result").at("value").as_int(), 1) << "no double increment";
+}
+
+TEST_F(Fixture, RestartedBackupRejoinsAndProtectsAgainstNextCrash) {
+  deploy(FtmConfig::pbr());
+  for (int i = 0; i < 2; ++i) (void)roundtrip(kv_incr("ctr"));
+
+  // Backup dies; primary goes alone and keeps serving.
+  inject.crash_at(h1.id(), sim.now() + 5 * sim::kMillisecond);
+  sim.run_for(400 * sim::kMillisecond);
+  ASSERT_EQ(rt0.kernel().role(), Role::kAlone);
+  (void)roundtrip(kv_incr("ctr"), 5 * sim::kSecond);  // ctr = 3
+
+  // Backup restarts, redeploys from stable storage, rejoins.
+  h1.restart();
+  auto persisted = FtmRuntime::load_persisted(h1);
+  ASSERT_TRUE(persisted.has_value());
+  persisted->role = Role::kBackup;
+  rt1.deploy(*persisted);
+  rt1.request_rejoin();
+  sim.run_for(500 * sim::kMillisecond);
+  EXPECT_EQ(rt0.kernel().role(), Role::kPrimary);
+  EXPECT_EQ(rt1.kernel().role(), Role::kBackup);
+
+  // Now the PRIMARY dies; the rejoined backup must carry the full state.
+  inject.crash_at(h0.id(), sim.now() + 5 * sim::kMillisecond);
+  sim.run_for(400 * sim::kMillisecond);
+  const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 4);
+}
+
+TEST_F(Fixture, PbrMovesCheckpointTraffic) {
+  deploy(FtmConfig::pbr());
+  for (int i = 0; i < 5; ++i) (void)roundtrip(kv_incr("ctr"));
+  EXPECT_EQ(rt0.kernel().counters().checkpoints_sent, 5u);
+  EXPECT_EQ(rt1.kernel().counters().checkpoints_applied, 5u);
+  // Checkpoints (state_size ~4KB each) dominate LFR-style notification bytes.
+  EXPECT_GT(sim.network().traffic(h0.id()).bytes_sent, 5u * 4000u);
+}
+
+TEST_F(Fixture, LfrKeepsBandwidthLowButBothReplicasCompute) {
+  deploy(FtmConfig::lfr());
+  for (int i = 0; i < 5; ++i) (void)roundtrip(kv_incr("ctr"));
+  EXPECT_EQ(rt0.kernel().counters().notifications, 5u);
+  EXPECT_EQ(rt1.kernel().counters().forwarded, 5u);
+  // Both replicas burned CPU (active replication).
+  EXPECT_GT(h0.meter().cpu_used(), 0);
+  EXPECT_GT(h1.meter().cpu_used(), 0);
+  EXPECT_NEAR(static_cast<double>(h0.meter().cpu_used()),
+              static_cast<double>(h1.meter().cpu_used()),
+              static_cast<double>(h0.meter().cpu_used()) * 0.2);
+}
+
+TEST_F(Fixture, StablStorageRecordsActiveConfiguration) {
+  deploy(FtmConfig::lfr_tr());
+  const auto persisted = FtmRuntime::load_persisted(h0);
+  ASSERT_TRUE(persisted.has_value());
+  EXPECT_EQ(persisted->config, FtmConfig::lfr_tr());
+  EXPECT_EQ(persisted->role, Role::kPrimary);
+}
+
+}  // namespace
+}  // namespace rcs::ftm::testing

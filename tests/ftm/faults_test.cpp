@@ -1,0 +1,257 @@
+// Value-fault behaviour: which FTM masks which fault (the dynamics behind
+// Table 1's fault-model rows), plus the runtime detection events that feed
+// the monitoring engine.
+#include <gtest/gtest.h>
+
+#include "duplex_fixture.hpp"
+#include "rcs/app/app_base.hpp"
+
+namespace rcs::ftm::testing {
+namespace {
+
+using app::AppServerBase;
+using Fixture = DuplexFixture;
+
+/// Extract the application-level result and verify its checksum.
+bool result_checksum_ok(const Value& reply) {
+  return !reply.has("error") &&
+         AppServerBase::checksum_ok(reply.at("result"));
+}
+
+TEST_F(Fixture, PlainPbrDeliversCorruptedResultUndetected) {
+  // PBR's fault model is crash-only (Table 1): an injected transient value
+  // fault slips through to the client — the motivation for adapting the FTM
+  // when the fault model changes.
+  deploy(FtmConfig::pbr());
+  h0.faults().transient_pending = 1;
+  const Value reply = roundtrip(kv_get("missing"));
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_FALSE(result_checksum_ok(reply)) << "corruption reached the client";
+}
+
+TEST_F(Fixture, PbrTrMasksTransientFault) {
+  deploy(FtmConfig::pbr_tr());
+  h0.faults().transient_pending = 1;
+  const Value reply = roundtrip(kv_incr("ctr"));
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_TRUE(result_checksum_ok(reply));
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 1);
+  EXPECT_EQ(rt0.kernel().counters().tr_mismatches, 1u);
+}
+
+TEST_F(Fixture, LfrTrMasksTransientFault) {
+  deploy(FtmConfig::lfr_tr());
+  h0.faults().transient_pending = 1;
+  const Value reply = roundtrip(kv_incr("ctr"));
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_TRUE(result_checksum_ok(reply));
+  EXPECT_EQ(rt0.kernel().counters().tr_mismatches, 1u);
+}
+
+TEST_F(Fixture, TrSingleHostMasksTransientFault) {
+  deploy(FtmConfig::tr());
+  h0.faults().transient_pending = 1;
+  Value reply;
+  Client solo{sim.add_host("solo-client"), {h0.id()}};
+  solo.send(kv_incr("ctr"), [&](const Value& r) { reply = r; });
+  sim.run_for(3 * sim::kSecond);
+  ASSERT_TRUE(reply.is_map());
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_TRUE(result_checksum_ok(reply));
+}
+
+TEST_F(Fixture, TrStateIsConsistentAfterVoting) {
+  deploy(FtmConfig::pbr_tr());
+  h0.faults().transient_pending = 1;
+  (void)roundtrip(kv_incr("ctr"));
+  // Repeated execution with state restore must leave exactly ONE increment.
+  const Value got = roundtrip(kv_get("ctr"));
+  EXPECT_EQ(got.at("result").at("value").as_int(), 1);
+}
+
+TEST_F(Fixture, APbrMasksTransientViaReexecutionOnBackup) {
+  deploy(FtmConfig::a_pbr());
+  h0.faults().transient_pending = 1;
+  const Value reply = roundtrip(kv_incr("ctr"));
+  ASSERT_FALSE(reply.has("error")) << reply.to_string();
+  EXPECT_TRUE(result_checksum_ok(reply));
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 1);
+  EXPECT_EQ(rt0.kernel().counters().assertion_failures, 1u);
+}
+
+TEST_F(Fixture, ALfrMasksTransientViaReexecutionOnFollower) {
+  deploy(FtmConfig::a_lfr());
+  h0.faults().transient_pending = 1;
+  const Value reply = roundtrip(kv_incr("ctr"));
+  ASSERT_FALSE(reply.has("error")) << reply.to_string();
+  EXPECT_TRUE(result_checksum_ok(reply));
+  EXPECT_EQ(rt0.kernel().counters().assertion_failures, 1u);
+}
+
+TEST_F(Fixture, APbrSurvivesPermanentFaultOnPrimary) {
+  // Permanent value fault (hardware aging): every primary computation is
+  // corrupted; A&PBR keeps answering correctly by re-executing on the backup.
+  deploy(FtmConfig::a_pbr());
+  h0.faults().permanent = true;
+  for (int i = 1; i <= 3; ++i) {
+    const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+    ASSERT_FALSE(reply.has("error")) << reply.to_string();
+    EXPECT_TRUE(result_checksum_ok(reply));
+    EXPECT_EQ(reply.at("result").at("value").as_int(), i);
+  }
+  EXPECT_GE(rt0.kernel().counters().assertion_failures, 3u);
+}
+
+TEST_F(Fixture, ALfrSurvivesPermanentFaultOnLeader) {
+  deploy(FtmConfig::a_lfr());
+  h0.faults().permanent = true;
+  for (int i = 1; i <= 3; ++i) {
+    const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+    ASSERT_FALSE(reply.has("error")) << reply.to_string();
+    EXPECT_TRUE(result_checksum_ok(reply));
+    EXPECT_EQ(reply.at("result").at("value").as_int(), i);
+  }
+}
+
+TEST_F(Fixture, BothReplicasPermanentlyFaultyYieldsErrorReply) {
+  deploy(FtmConfig::a_pbr());
+  h0.faults().permanent = true;
+  h1.faults().permanent = true;
+  const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  EXPECT_TRUE(reply.has("error")) << reply.to_string();
+}
+
+TEST_F(Fixture, AssertionFailureWithoutPeerFailsSafely) {
+  deploy(FtmConfig::a_pbr());
+  // Kill the backup first, then inject: no re-execution target remains.
+  inject.crash_at(h1.id(), sim.now() + 5 * sim::kMillisecond);
+  sim.run_for(400 * sim::kMillisecond);
+  ASSERT_EQ(rt0.kernel().role(), Role::kAlone);
+  h0.faults().permanent = true;
+  const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  EXPECT_TRUE(reply.has("error")) << "unsafe result must not be delivered";
+}
+
+TEST_F(Fixture, RecoveryBlocksMaskPlantedSoftwareFault) {
+  // A development fault in the primary variant (§2's third fault class):
+  // increments come out negated — wrong but correctly checksummed, so only
+  // the semantic acceptance test can catch it; the diversified alternate
+  // masks it (§3.2.1's recovery blocks).
+  deploy(FtmConfig::pbr_rb());
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& rt = i == 0 ? rt0 : rt1;
+    rt.composite().set_property("server", "primary_bug", Value(true));
+  }
+  for (int i = 1; i <= 3; ++i) {
+    const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+    ASSERT_FALSE(reply.has("error")) << reply.to_string();
+    EXPECT_EQ(reply.at("result").at("value").as_int(), i);
+  }
+  // The acceptance test fired once per request.
+  const Value stats = rt0.composite().invoke("protocol", "control", "stats", {});
+  EXPECT_EQ(rt0.kernel().counters().replies, 3u);
+}
+
+TEST_F(Fixture, TrCannotMaskSoftwareFaults) {
+  // The bug is deterministic: repetition reproduces it, both runs agree,
+  // and the wrong (but checksummed) result is delivered — why development
+  // faults need diversity, not redundancy.
+  deploy(FtmConfig::pbr_tr());
+  rt0.composite().set_property("server", "primary_bug", Value(true));
+  const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  ASSERT_FALSE(reply.has("error"));
+  EXPECT_LT(reply.at("result").at("value").as_int(), 0)
+      << "TR delivered the buggy result";
+}
+
+TEST_F(Fixture, ADuplexCannotMaskCommonModeSoftwareFaults) {
+  // Identical replicas share the bug: re-execution on the peer produces the
+  // same wrong answer — the paper's point that A&Duplex handles software
+  // faults only "when replicas are diversified".
+  deploy(FtmConfig::a_pbr());
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& rt = i == 0 ? rt0 : rt1;
+    rt.composite().set_property("server", "primary_bug", Value(true));
+  }
+  const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  EXPECT_TRUE(reply.has("error")) << reply.to_string();
+}
+
+TEST_F(Fixture, RecoveryBlocksAlsoMaskTransients) {
+  deploy(FtmConfig::rb());
+  h0.faults().transient_pending = 1;
+  Value reply;
+  Client solo{sim.add_host("rb-client"), {h0.id()}};
+  solo.send(kv_incr("ctr"), [&](const Value& r) { reply = r; });
+  sim.run_for(5 * sim::kSecond);
+  ASSERT_TRUE(reply.is_map());
+  ASSERT_FALSE(reply.has("error")) << reply.to_string();
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 1);
+}
+
+TEST_F(Fixture, RecoveryBlocksStateConsistentAfterFallback) {
+  deploy(FtmConfig::pbr_rb());
+  rt0.composite().set_property("server", "primary_bug", Value(true));
+  rt1.composite().set_property("server", "primary_bug", Value(true));
+  for (int i = 0; i < 3; ++i) (void)roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  // Primary rejected + alternate executed = exactly one increment each.
+  const Value got = roundtrip(kv_get("ctr"), 10 * sim::kSecond);
+  EXPECT_EQ(got.at("result").at("value").as_int(), 3);
+}
+
+TEST_F(Fixture, NondeterministicAppUnderLfrReportsDivergence) {
+  // Deploying LFR under a non-deterministic application violates Table 1's
+  // determinism requirement; the follower's digest comparison surfaces it.
+  deploy(FtmConfig::lfr(), app::kSensor);
+  for (int i = 0; i < 5; ++i) {
+    (void)roundtrip(Value::map().set("op", "read").set("target", 40.0));
+  }
+  EXPECT_GE(rt1.kernel().counters().divergences, 1u);
+}
+
+TEST_F(Fixture, NondeterministicAppUnderPbrIsFine) {
+  deploy(FtmConfig::pbr(), app::kSensor);
+  for (int i = 0; i < 5; ++i) {
+    const Value reply =
+        roundtrip(Value::map().set("op", "read").set("target", 40.0));
+    ASSERT_FALSE(reply.has("error"));
+  }
+  EXPECT_EQ(rt1.kernel().counters().divergences, 0u);
+}
+
+TEST_F(Fixture, NondeterministicAppUnderTrFailsRequests) {
+  // TR re-executes and compares: a non-deterministic app can never produce
+  // a majority — Table 1's determinism requirement observed at runtime.
+  deploy(FtmConfig::pbr_tr(), app::kSensor);
+  const Value reply =
+      roundtrip(Value::map().set("op", "read").set("target", 40.0),
+                10 * sim::kSecond);
+  EXPECT_TRUE(reply.has("error"));
+}
+
+TEST_F(Fixture, ASensorToleratesNondeterminismViaSemanticAssertion) {
+  // A&Duplex's assertion is a semantic range property, not an equality
+  // check, so it accepts non-deterministic results (Table 1: A&Duplex
+  // supports non-deterministic applications).
+  deploy(FtmConfig::a_pbr(), app::kSensor);
+  const Value reply =
+      roundtrip(Value::map().set("op", "read").set("target", 40.0));
+  ASSERT_FALSE(reply.has("error"));
+  const double reading = reply.at("result").at("reading").as_double();
+  EXPECT_GE(reading, 0.0);
+  EXPECT_LE(reading, 100.0);
+}
+
+TEST_F(Fixture, FaultListenerFiresForMonitoring) {
+  deploy(FtmConfig::pbr_tr());
+  std::vector<std::string> events;
+  rt0.kernel().set_fault_listener(
+      [&](const std::string& kind) { events.push_back(kind); });
+  h0.faults().transient_pending = 1;
+  (void)roundtrip(kv_incr("ctr"));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], "tr_mismatch");
+}
+
+}  // namespace
+}  // namespace rcs::ftm::testing

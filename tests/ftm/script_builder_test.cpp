@@ -1,0 +1,116 @@
+#include "rcs/ftm/script_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcs/app/apps.hpp"
+#include "rcs/common/error.hpp"
+#include "rcs/ftm/registration.hpp"
+#include "rcs/script/parser.hpp"
+
+namespace rcs::ftm {
+namespace {
+
+struct BuilderFixture : ::testing::Test {
+  BuilderFixture() {
+    register_components();
+    app::register_components();
+  }
+  const comp::ComponentRegistry& registry = comp::ComponentRegistry::instance();
+  ScriptBuilder builder{registry};
+  AppSpec kv = app::spec_for(app::kKvStore);
+  AppSpec stateless = app::spec_for(app::kTransformer);
+};
+
+TEST_F(BuilderFixture, DeploymentScriptParses) {
+  for (const auto& config : FtmConfig::standard_set()) {
+    const std::string source = builder.deployment_script(config, kv);
+    EXPECT_NO_THROW((void)script::parse(source)) << source;
+  }
+}
+
+TEST_F(BuilderFixture, DeploymentScriptContainsAllSevenComponents) {
+  const std::string source = builder.deployment_script(FtmConfig::pbr(), kv);
+  for (const char* name :
+       {"\"protocol\"", "\"replyLog\"", "\"detector\"", "\"server\"",
+        "\"syncBefore\"", "\"proceed\"", "\"syncAfter\""}) {
+    EXPECT_NE(source.find(name), std::string::npos) << "missing " << name;
+  }
+  EXPECT_NE(source.find(app::kKvStore), std::string::npos);
+}
+
+TEST_F(BuilderFixture, StateWireOnlyWhenAppProvidesState) {
+  const std::string with_state =
+      builder.deployment_script(FtmConfig::pbr(), kv);
+  EXPECT_NE(with_state.find("\"state\""), std::string::npos);
+
+  const std::string without_state =
+      builder.deployment_script(FtmConfig::lfr(), stateless);
+  EXPECT_EQ(without_state.find("\"state\""), std::string::npos);
+}
+
+TEST_F(BuilderFixture, AssertionWireOnlyForAssertFtms) {
+  const std::string plain = builder.deployment_script(FtmConfig::pbr(), kv);
+  EXPECT_EQ(plain.find("\"assertion\""), std::string::npos);
+  const std::string asserting =
+      builder.deployment_script(FtmConfig::a_pbr(), kv);
+  EXPECT_NE(asserting.find("\"assertion\""), std::string::npos);
+}
+
+TEST_F(BuilderFixture, TransitionScriptTouchesOnlyChangedSlots) {
+  const std::string source = builder.transition_script(
+      FtmConfig::lfr(), FtmConfig::lfr_tr(), kv);
+  // LFR -> LFR⊕TR replaces only proceed (Fig. 9a).
+  EXPECT_NE(source.find("remove(\"proceed\")"), std::string::npos);
+  EXPECT_EQ(source.find("remove(\"syncBefore\")"), std::string::npos);
+  EXPECT_EQ(source.find("remove(\"syncAfter\")"), std::string::npos);
+  EXPECT_NO_THROW((void)script::parse(source));
+}
+
+TEST_F(BuilderFixture, TransitionScriptGuardsSourceConfiguration) {
+  const std::string source =
+      builder.transition_script(FtmConfig::pbr(), FtmConfig::lfr(), kv);
+  EXPECT_NE(source.find("require property(\"protocol\", \"ftm\") == \"PBR\""),
+            std::string::npos);
+  EXPECT_NE(source.find("set(\"protocol\", \"ftm\", \"LFR\")"),
+            std::string::npos);
+}
+
+TEST_F(BuilderFixture, ChangedSlotsMatchDiff) {
+  EXPECT_EQ(ScriptBuilder::changed_slots(FtmConfig::pbr(), FtmConfig::lfr()),
+            (std::vector<std::string>{"syncBefore", "syncAfter"}));
+  EXPECT_EQ(ScriptBuilder::changed_slots(FtmConfig::pbr(), FtmConfig::a_pbr()),
+            (std::vector<std::string>{"syncAfter"}));
+  EXPECT_EQ(
+      ScriptBuilder::changed_slots(FtmConfig::pbr(), FtmConfig::lfr_tr()).size(),
+      3u);
+}
+
+TEST_F(BuilderFixture, TransitionNewTypesAreTheTargetBricks) {
+  const auto types =
+      ScriptBuilder::transition_new_types(FtmConfig::pbr(), FtmConfig::lfr());
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], brick::kSyncBeforeLfr);
+  EXPECT_EQ(types[1], brick::kSyncAfterLfr);
+}
+
+TEST_F(BuilderFixture, AllTable3TransitionsParse) {
+  for (const auto& from : FtmConfig::table3_set()) {
+    for (const auto& to : FtmConfig::table3_set()) {
+      if (from == to) continue;
+      const std::string source = builder.transition_script(from, to, kv);
+      EXPECT_NO_THROW((void)script::parse(source))
+          << from.name << " -> " << to.name << "\n" << source;
+    }
+  }
+}
+
+TEST_F(BuilderFixture, IdentityTransitionOnlyUpdatesLabel) {
+  const std::string source =
+      builder.transition_script(FtmConfig::pbr(), FtmConfig::pbr(), kv);
+  EXPECT_EQ(source.find("remove("), std::string::npos);
+  EXPECT_NE(source.find("set(\"protocol\", \"ftm\", \"PBR\")"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcs::ftm

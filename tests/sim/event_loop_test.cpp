@@ -1,0 +1,154 @@
+#include "rcs/sim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rcs/common/error.hpp"
+
+namespace rcs::sim {
+namespace {
+
+TEST(EventLoop, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, SameTimestampRunsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  Time observed = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { observed = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(EventLoop, SchedulingInThePastThrows) {
+  EventLoop loop;
+  loop.schedule_at(10, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(5, [] {}), SimError);
+  EXPECT_THROW(loop.schedule_after(-1, [] {}), SimError);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto id = loop.schedule_at(10, [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelUnknownIdIsNoop) {
+  EventLoop loop;
+  EXPECT_NO_THROW(loop.cancel(TimerId{999}));
+}
+
+TEST(EventLoop, CancelFromWithinEarlierEvent) {
+  EventLoop loop;
+  bool ran = false;
+  const auto victim = loop.schedule_at(20, [&] { ran = true; });
+  loop.schedule_at(10, [&] { loop.cancel(victim); });
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventLoop loop;
+  loop.run_until(500);
+  EXPECT_EQ(loop.now(), 500);
+}
+
+TEST(EventLoop, RunUntilLeavesLaterEventsPending) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_at(10, [&] { ++ran; });
+  loop.schedule_at(100, [&] { ++ran; });
+  loop.run_until(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), 50);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventLoop, RunForIsRelative) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_at(80, [&] { ++ran; });
+  loop.run_for(50);
+  EXPECT_EQ(ran, 0);
+  loop.run_for(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), 100);
+}
+
+TEST(EventLoop, EventsCanCascade) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) loop.schedule_after(1, recurse);
+  };
+  loop.schedule_after(1, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.now(), 10);
+}
+
+TEST(EventLoop, MaxEventsBoundsRun) {
+  EventLoop loop;
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) loop.schedule_at(i, [&] { ++ran; });
+  EXPECT_EQ(loop.run(3), 3u);
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventLoop, ProcessedCounterAccumulates) {
+  EventLoop loop;
+  loop.schedule_at(1, [] {});
+  loop.schedule_at(2, [] {});
+  loop.run();
+  EXPECT_EQ(loop.processed(), 2u);
+}
+
+TEST(EventLoop, EmptyActionRejected) {
+  EventLoop loop;
+  EXPECT_THROW(loop.schedule_at(1, EventLoop::Action{}), LogicError);
+}
+
+TEST(EventLoop, PendingExcludesCancelled) {
+  EventLoop loop;
+  const auto a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.empty());
+}
+
+}  // namespace
+}  // namespace rcs::sim

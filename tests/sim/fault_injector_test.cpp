@@ -1,0 +1,126 @@
+#include "rcs/sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::sim {
+namespace {
+
+struct FaultFixture : ::testing::Test {
+  Simulation sim{11};
+  Host& h = sim.add_host("victim");
+  FaultInjector inject{sim};
+};
+
+TEST_F(FaultFixture, CrashAtTime) {
+  inject.crash_at(h.id(), 100);
+  sim.run_until(99);
+  EXPECT_TRUE(h.alive());
+  sim.run_until(100);
+  EXPECT_FALSE(h.alive());
+}
+
+TEST_F(FaultFixture, RestartAtTime) {
+  inject.crash_at(h.id(), 100);
+  inject.restart_at(h.id(), 200);
+  sim.run_until(150);
+  EXPECT_FALSE(h.alive());
+  sim.run_until(200);
+  EXPECT_TRUE(h.alive());
+}
+
+TEST_F(FaultFixture, RestartOfAliveHostIsNoop) {
+  inject.restart_at(h.id(), 50);
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_TRUE(h.alive());
+}
+
+TEST_F(FaultFixture, TransientArmsPendingCount) {
+  inject.transient_at(h.id(), 10, 2);
+  sim.run();
+  EXPECT_EQ(h.faults().transient_pending, 2);
+}
+
+TEST_F(FaultFixture, PermanentTogglesFlag) {
+  inject.permanent_at(h.id(), 10, true);
+  inject.permanent_at(h.id(), 20, false);
+  sim.run_until(15);
+  EXPECT_TRUE(h.faults().permanent);
+  sim.run_until(25);
+  EXPECT_FALSE(h.faults().permanent);
+}
+
+TEST_F(FaultFixture, ApplyConsumesOneTransientPerComputation) {
+  h.faults().transient_pending = 1;
+  const Value good(std::int64_t{100});
+  const Value first = FaultInjector::apply(h, good, sim.rng());
+  EXPECT_NE(first, good) << "armed transient must corrupt";
+  const Value second = FaultInjector::apply(h, good, sim.rng());
+  EXPECT_EQ(second, good) << "transient fires only once";
+  EXPECT_EQ(h.faults().corruptions_applied, 1u);
+}
+
+TEST_F(FaultFixture, ApplyPermanentCorruptsEveryTime) {
+  h.faults().permanent = true;
+  const Value good(std::int64_t{100});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(FaultInjector::apply(h, good, sim.rng()), good);
+  }
+  EXPECT_EQ(h.faults().corruptions_applied, 5u);
+}
+
+TEST_F(FaultFixture, CorruptChangesEveryScalarType) {
+  Rng rng(3);
+  EXPECT_NE(FaultInjector::corrupt(Value(std::int64_t{7}), rng), Value(std::int64_t{7}));
+  EXPECT_NE(FaultInjector::corrupt(Value(true), rng), Value(true));
+  EXPECT_NE(FaultInjector::corrupt(Value(2.5), rng), Value(2.5));
+  EXPECT_NE(FaultInjector::corrupt(Value("abc"), rng), Value("abc"));
+  EXPECT_NE(FaultInjector::corrupt(Value(Bytes{1, 2}), rng), Value(Bytes{1, 2}));
+  EXPECT_NE(FaultInjector::corrupt(Value{}, rng), Value{});
+}
+
+TEST_F(FaultFixture, CorruptContainersChangesOneElement) {
+  Rng rng(5);
+  Value list(ValueList{Value(1), Value(2), Value(3)});
+  const Value corrupted = FaultInjector::corrupt(list, rng);
+  ASSERT_TRUE(corrupted.is_list());
+  ASSERT_EQ(corrupted.size(), 3u);
+  int diffs = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (corrupted.at(i) != list.at(i)) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+
+  Value map = Value::map();
+  map.set("a", 1).set("b", 2);
+  const Value corrupted_map = FaultInjector::corrupt(map, rng);
+  EXPECT_NE(corrupted_map, map);
+  EXPECT_EQ(corrupted_map.size(), 2u);
+}
+
+TEST_F(FaultFixture, CorruptEmptyContainersStillDiffers) {
+  Rng rng(9);
+  EXPECT_NE(FaultInjector::corrupt(Value::list(), rng), Value::list());
+  EXPECT_NE(FaultInjector::corrupt(Value::map(), rng), Value::map());
+  EXPECT_NE(FaultInjector::corrupt(Value(std::string{}), rng), Value(std::string{}));
+  EXPECT_NE(FaultInjector::corrupt(Value(Bytes{}), rng), Value(Bytes{}));
+}
+
+TEST_F(FaultFixture, CampaignArrivalsFollowRate) {
+  inject.transient_campaign(h.id(), 0, 100 * kSecond, 1.0);  // ~100 faults
+  sim.run();
+  const auto armed = h.faults().transient_pending;
+  EXPECT_GT(armed, 60);
+  EXPECT_LT(armed, 140);
+}
+
+TEST_F(FaultFixture, ApplyWithoutFaultsIsIdentity) {
+  const Value v(ValueList{Value("ok"), Value(1)});
+  EXPECT_EQ(FaultInjector::apply(h, v, sim.rng()), v);
+  EXPECT_EQ(h.faults().corruptions_applied, 0u);
+}
+
+}  // namespace
+}  // namespace rcs::sim

@@ -1,0 +1,162 @@
+#include "rcs/sim/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcs/common/error.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::sim {
+namespace {
+
+struct HostFixture : ::testing::Test {
+  Simulation sim{7};
+  Host& h = sim.add_host("node");
+  Host& peer = sim.add_host("peer");
+};
+
+TEST_F(HostFixture, StartsAliveAtEpochZero) {
+  EXPECT_TRUE(h.alive());
+  EXPECT_EQ(h.epoch(), 0u);
+  EXPECT_EQ(h.name(), "node");
+}
+
+TEST_F(HostFixture, CrashMakesHostSilent) {
+  bool got = false;
+  h.register_handler("m", [&](const Message&) { got = true; });
+  h.crash();
+  EXPECT_FALSE(h.alive());
+  h.deliver({peer.id(), h.id(), "m", Value(1)});
+  EXPECT_FALSE(got);
+}
+
+TEST_F(HostFixture, CrashBumpsEpochAndClearsHandlers) {
+  h.register_handler("m", [](const Message&) {});
+  h.crash();
+  EXPECT_EQ(h.epoch(), 1u);
+  h.restart();
+  EXPECT_EQ(h.epoch(), 2u);
+  bool got = false;
+  h.register_handler("m2", [&](const Message&) { got = true; });
+  h.deliver({peer.id(), h.id(), "m", Value(1)});   // old handler gone
+  h.deliver({peer.id(), h.id(), "m2", Value(1)});  // new one works
+  EXPECT_TRUE(got);
+}
+
+TEST_F(HostFixture, DoubleCrashIsIdempotent) {
+  h.crash();
+  EXPECT_NO_THROW(h.crash());
+  EXPECT_EQ(h.epoch(), 1u);
+}
+
+TEST_F(HostFixture, RestartOfAliveHostThrows) {
+  EXPECT_THROW(h.restart(), LogicError);
+}
+
+TEST_F(HostFixture, EpochBoundTimerSkippedAfterCrash) {
+  bool fired = false;
+  h.schedule_after(10, [&] { fired = true; });
+  h.crash();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(HostFixture, EpochBoundTimerSkippedAfterCrashRestartCycle) {
+  bool fired = false;
+  h.schedule_after(10, [&] { fired = true; });
+  h.crash();
+  h.restart();
+  sim.run();
+  EXPECT_FALSE(fired) << "timer from a previous epoch must not fire";
+}
+
+TEST_F(HostFixture, TimerFiresWhenHostStaysUp) {
+  bool fired = false;
+  h.schedule_after(10, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(HostFixture, CancelledHostTimerDoesNotFire) {
+  bool fired = false;
+  const auto id = h.schedule_after(10, [&] { fired = true; });
+  h.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(HostFixture, CrashListenersRunBeforeTeardown) {
+  bool saw_handler_alive = false;
+  h.register_handler("m", [](const Message&) {});
+  h.on_crash([&] { saw_handler_alive = h.alive(); });
+  h.crash();
+  EXPECT_TRUE(saw_handler_alive);
+}
+
+TEST_F(HostFixture, RestartListenersArePersistentAcrossCycles) {
+  int restarts = 0;
+  h.on_restart([&] { ++restarts; });
+  h.crash();
+  h.restart();
+  EXPECT_EQ(restarts, 1);
+  // Listeners persist: every crash/restart cycle re-runs them (a node agent
+  // relies on this for repeated automatic recovery).
+  h.crash();
+  h.restart();
+  EXPECT_EQ(restarts, 2);
+}
+
+TEST_F(HostFixture, StableStorageSurvivesCrash) {
+  h.stable().put("config", Value("LFR"));
+  h.crash();
+  h.restart();
+  EXPECT_EQ(h.stable().get("config").as_string(), "LFR");
+  EXPECT_TRUE(h.stable().get("missing").is_null());
+}
+
+TEST_F(HostFixture, StableStorageEraseAndClear) {
+  h.stable().put("a", 1);
+  h.stable().put("b", 2);
+  h.stable().erase("a");
+  EXPECT_FALSE(h.stable().has("a"));
+  EXPECT_EQ(h.stable().size(), 1u);
+  h.stable().clear();
+  EXPECT_EQ(h.stable().size(), 0u);
+}
+
+TEST_F(HostFixture, ChargeComputeScalesWithCpuSpeed) {
+  h.capacity().cpu_speed = 2.0;
+  const auto actual = h.charge_compute(1000);
+  EXPECT_EQ(actual, 500);
+  EXPECT_EQ(h.meter().cpu_used(), 500);
+}
+
+TEST_F(HostFixture, EnergyCombinesCpuAndTraffic) {
+  h.capacity() = HostCapacity{1.0, 2.0, 0.5};
+  h.meter().charge_cpu(kSecond);        // 1 cpu-second -> 2.0 energy
+  h.meter().charge_sent(1'000'000);     // 1 MB -> 0.5 energy
+  EXPECT_DOUBLE_EQ(h.meter().energy_used(h.capacity()), 2.5);
+}
+
+TEST_F(HostFixture, SendConvenienceRoutesThroughNetwork) {
+  Value got;
+  peer.register_handler("hello", [&](const Message& m) { got = m.payload; });
+  h.send(peer.id(), "hello", Value(99));
+  sim.run();
+  EXPECT_EQ(got.as_int(), 99);
+}
+
+TEST_F(HostFixture, UnknownHostLookupThrows) {
+  EXPECT_THROW((void)sim.host(HostId{99}), SimError);
+}
+
+TEST_F(HostFixture, TransientFaultsClearedOnRestart) {
+  h.faults().transient_pending = 3;
+  h.faults().permanent = true;
+  h.crash();
+  h.restart();
+  EXPECT_EQ(h.faults().transient_pending, 0);
+  EXPECT_TRUE(h.faults().permanent) << "permanent faults survive reboot";
+}
+
+}  // namespace
+}  // namespace rcs::sim
