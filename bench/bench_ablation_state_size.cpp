@@ -14,8 +14,11 @@ using namespace rcs;
 
 namespace {
 
-double bytes_per_request(const ftm::FtmConfig& config, std::size_t state_size,
+double bytes_per_request(ftm::FtmConfig config, std::size_t state_size,
                          int requests) {
+  // This ablation is about the FULL-state checkpoint cost (the Table 1
+  // profile); the incremental default is swept in bench_checkpoint_delta.
+  config.delta_checkpoint = false;
   core::SystemOptions options;
   options.seed = 77;
   options.start_monitoring = false;

@@ -1,0 +1,116 @@
+// Delta vs full checkpointing: the hot-path cost of PBR's "checkpoint to
+// backup" step. Full mode ships the whole application state and reply log on
+// every request (Table 1's "PBR: bandwidth high"); incremental mode ships
+// only the keys mutated since the last acknowledged checkpoint plus the
+// reply-log tail. Sweep the state size under a fixed single-key incr
+// workload, measure replica-link bytes per request and client-visible
+// latency for both modes, and emit one JSON line per configuration so the
+// results can be plotted or diffed across revisions.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rcs/core/system.hpp"
+
+using namespace rcs;
+
+namespace {
+
+struct Sample {
+  double bytes_per_request{0};
+  double latency_ms{0};
+  int errors{0};
+};
+
+Sample run_config(bool delta, std::size_t state_size, int requests) {
+  core::SystemOptions options;
+  options.seed = 77;
+  options.start_monitoring = false;
+  core::ResilientSystem system(options);
+  ftm::AppSpec app = system.app_spec();
+  app.state_size = state_size;
+  ftm::FtmConfig config = ftm::FtmConfig::pbr();
+  config.delta_checkpoint = delta;
+  std::optional<core::TransitionReport> report;
+  system.engine().deploy_initial(
+      config, app, [&](const core::TransitionReport& r) { report = r; });
+  system.sim().run_for(60 * sim::kSecond);
+  for (std::size_t i = 0; i < 2; ++i) {
+    system.agent(i).runtime().composite().set_property(
+        "server", "state_size", Value(static_cast<std::int64_t>(state_size)));
+  }
+
+  const auto& stats = system.sim().network().link_stats(system.replica(0).id(),
+                                                        system.replica(1).id());
+  const auto before = stats.bytes;
+  Sample sample;
+  double latency_total = 0;
+  for (int i = 0; i < requests; ++i) {
+    const sim::Time start = system.sim().now();
+    const Value reply = system.roundtrip(
+        Value::map().set("op", "incr").set("key", "k").set("by", 1),
+        20 * sim::kSecond);
+    latency_total += static_cast<double>(system.sim().now() - start);
+    if (!reply.is_map() || reply.has("error")) ++sample.errors;
+  }
+  sample.bytes_per_request =
+      static_cast<double>(stats.bytes - before) / requests;
+  sample.latency_ms =
+      latency_total / requests / static_cast<double>(sim::kMillisecond);
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  const int requests = 20;
+  bench::title("Checkpoint delta — replica bytes/request and latency, "
+               "full vs incremental");
+  std::printf("%d single-key incr requests per point; state filler is dead "
+              "weight for the\ndelta (only the mutated key travels) but "
+              "rides in every full checkpoint\n\n",
+              requests);
+  std::printf("%-10s %14s %14s %12s %11s %11s %7s\n", "state", "full B/req",
+              "delta B/req", "reduction", "full ms", "delta ms", "errors");
+  bench::rule();
+
+  bool reduction_ok = true;
+  bool errors_ok = true;
+  bool latency_ok = true;
+  const std::size_t sizes[] = {256, 1024, 4096, 16384, 65536};
+  for (const auto size : sizes) {
+    const Sample full = run_config(false, size, requests);
+    const Sample delta = run_config(true, size, requests);
+    const double reduction = full.bytes_per_request / delta.bytes_per_request;
+    // The win must be decisive at the default state size and beyond; tiny
+    // states have little filler to elide.
+    if (size >= 4096 && reduction < 5.0) reduction_ok = false;
+    if (full.errors != 0 || delta.errors != 0) errors_ok = false;
+    if (delta.latency_ms > full.latency_ms * 1.05) latency_ok = false;
+    std::printf("%7zu B %14.0f %14.0f %11.1fx %11.3f %11.3f %4d/%d\n", size,
+                full.bytes_per_request, delta.bytes_per_request, reduction,
+                full.latency_ms, delta.latency_ms, full.errors + delta.errors,
+                2 * requests);
+    std::printf("{\"bench\":\"checkpoint_delta\",\"mode\":\"full\","
+                "\"state_size\":%zu,\"bytes_per_request\":%.1f,"
+                "\"latency_ms\":%.4f,\"errors\":%d}\n",
+                size, full.bytes_per_request, full.latency_ms, full.errors);
+    std::printf("{\"bench\":\"checkpoint_delta\",\"mode\":\"delta\","
+                "\"state_size\":%zu,\"bytes_per_request\":%.1f,"
+                "\"latency_ms\":%.4f,\"errors\":%d}\n",
+                size, delta.bytes_per_request, delta.latency_ms, delta.errors);
+  }
+
+  bench::rule();
+  std::printf("SHAPE CHECK: delta cuts replica bytes/request >= 5x at "
+              "state sizes >= 4 KB: %s\n",
+              reduction_ok ? "PASS" : "FAIL");
+  std::printf("SHAPE CHECK: no client-visible errors in either mode: %s\n",
+              errors_ok ? "PASS" : "FAIL");
+  std::printf("SHAPE CHECK: delta latency no worse than full (+5%% slack): "
+              "%s\n",
+              latency_ok ? "PASS" : "FAIL");
+  std::printf("(delta traffic is flat in the state size — the checkpoint "
+              "cost now tracks the\nwrite set, so PBR stays viable on "
+              "constrained links far past the full-state\ncrossover)\n");
+  return !(reduction_ok && errors_ok && latency_ok);
+}

@@ -36,6 +36,27 @@ Value AppServerBase::on_invoke(const std::string& service,
       state_set(args);
       return {};
     }
+    if (op == "capture_delta") return capture_delta();
+    if (op == "ack_delta") {
+      ack_delta(static_cast<std::uint64_t>(args.at("seq").as_int()));
+      return {};
+    }
+    if (op == "apply_delta") return apply_delta(args);
+    if (op == "export_full") return export_full();
+    if (op == "import_full") {
+      import_full(args);
+      return {};
+    }
+    if (op == "delta_info") {
+      Value info = Value::map();
+      info.set("stream", static_cast<std::int64_t>(stream_))
+          .set("capture_seq", static_cast<std::int64_t>(capture_seq_))
+          .set("acked_seq", static_cast<std::int64_t>(acked_seq_))
+          .set("applied_stream", static_cast<std::int64_t>(applied_stream_))
+          .set("applied_seq", static_cast<std::int64_t>(applied_seq_))
+          .set("delta_capable", supports_state_delta());
+      return info;
+    }
     throw FtmError(strf("app.state: unknown op '", op, "'"));
   }
   if (service == "assert") {
@@ -45,6 +66,99 @@ Value AppServerBase::on_invoke(const std::string& service,
     throw FtmError(strf("app.assert: unknown op '", op, "'"));
   }
   throw FtmError(strf("app: unknown service '", service, "'"));
+}
+
+std::uint64_t AppServerBase::make_stream_id() {
+  // Deterministic within a simulation run, unique across the scenarios that
+  // matter: different hosts, different host epochs (crash/restart), and
+  // repeated capture-side resets within one epoch (the nonce).
+  ++stream_nonce_;
+  std::uint64_t host_part = 0;
+  std::uint64_t epoch_part = 0;
+  if (host() != nullptr) {
+    host_part = host()->id().value() + 1;
+    epoch_part = host()->epoch();
+  }
+  return (host_part << 24) | ((epoch_part & 0xFFu) << 16) |
+         (stream_nonce_ & 0xFFFFu);
+}
+
+Value AppServerBase::capture_delta() {
+  if (stream_ == 0) stream_ = make_stream_id();
+  ++capture_seq_;
+  Value out = Value::map();
+  out.set("stream", static_cast<std::int64_t>(stream_))
+      .set("seq", static_cast<std::int64_t>(capture_seq_))
+      .set("base", static_cast<std::int64_t>(acked_seq_));
+  if (supports_state_delta()) {
+    out.set("full", false).set("delta", delta_capture());
+  } else {
+    // No fine-grained tracking: a "delta" is the whole state, but it still
+    // rides the sequence protocol so gap detection and resync keep working.
+    out.set("full", true).set("state", state_get());
+  }
+  return out;
+}
+
+void AppServerBase::ack_delta(std::uint64_t seq) {
+  if (seq > acked_seq_) acked_seq_ = seq;
+  delta_ack(seq);
+}
+
+Value AppServerBase::apply_delta(const Value& ckpt) {
+  const auto stream = static_cast<std::uint64_t>(ckpt.at("stream").as_int());
+  const auto seq = static_cast<std::uint64_t>(ckpt.at("seq").as_int());
+  const auto base = static_cast<std::uint64_t>(ckpt.at("base").as_int());
+  Value out = Value::map();
+  if (ckpt.at("full").as_bool()) {
+    state_set(ckpt.at("state"));
+    delta_clear();
+    applied_stream_ = stream;
+    applied_seq_ = seq;
+    return out.set("ok", true);
+  }
+  const bool same_stream = applied_stream_ == stream;
+  if (same_stream && seq <= applied_seq_) {
+    // Retransmission of a checkpoint we already hold (link jitter can
+    // reorder): ack again, apply nothing.
+    return out.set("ok", true).set("duplicate", true);
+  }
+  // A fresh backup (never applied anything) may adopt a delta stream from its
+  // genesis: both sides started from the same deploy-time state.
+  const bool genesis = applied_stream_ == 0 && applied_seq_ == 0;
+  if ((same_stream || genesis) && base <= applied_seq_) {
+    delta_apply(ckpt.at("delta"));
+    applied_stream_ = stream;
+    applied_seq_ = seq;
+    return out.set("ok", true);
+  }
+  // Unknown stream (new primary after promotion) or a gap (we missed
+  // checkpoints): only a full resync through the join path can recover.
+  return out.set("ok", false).set("resync", true);
+}
+
+Value AppServerBase::export_full() {
+  // Join snapshots anchor the joiner into the CURRENT delta stream: ship the
+  // state together with (stream, capture_seq) so overlapping deltas that were
+  // already captured apply idempotently on top.
+  if (stream_ == 0) stream_ = make_stream_id();
+  Value out = Value::map();
+  out.set("state", state_get())
+      .set("stream", static_cast<std::int64_t>(stream_))
+      .set("seq", static_cast<std::int64_t>(capture_seq_));
+  return out;
+}
+
+void AppServerBase::import_full(const Value& args) {
+  state_set(args.at("state"));
+  delta_clear();
+  applied_stream_ = static_cast<std::uint64_t>(args.at("stream").as_int());
+  applied_seq_ = static_cast<std::uint64_t>(args.at("seq").as_int());
+  // This node is (re)joining as a backup: its own capture side restarts on a
+  // fresh stream if it is ever promoted.
+  stream_ = 0;
+  capture_seq_ = 0;
+  acked_seq_ = 0;
 }
 
 Value AppServerBase::state_get() {

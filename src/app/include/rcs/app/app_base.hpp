@@ -6,6 +6,20 @@
 //   - "state" (rcs.StateManager): get -> state, set(state)   [if accessible]
 //   - "assert"(rcs.Assertion):    check {request, result} -> bool [if provided]
 //
+// The state service also implements the incremental-checkpoint protocol used
+// by the PBR syncAfter brick: capture_delta / ack_delta on the primary side,
+// apply_delta on the backup side, and export_full / import_full for join
+// snapshots. All sequence bookkeeping lives here (generic); applications that
+// can track dirty keys override the delta_* hooks, the rest fall back to
+// full-state captures tagged with the same sequence numbers.
+//
+// Captured deltas cover everything mutated since the last ACKNOWLEDGED
+// checkpoint (not the last captured one), so a retransmitted checkpoint is
+// always a superset of what the backup may have missed. Delta streams are
+// identified by a stream id derived from (host, host epoch, nonce): a backup
+// only applies deltas from the stream it is tracking and asks for a full
+// resync on a gap or an unknown stream — promotion and rejoin stay correct.
+//
 // process() runs the primary variant; process_alt the diversified alternate
 // (recovery blocks). Both charge the host's CPU meter and pass
 // the result through the host's hardware-fault state — this is where injected
@@ -15,6 +29,7 @@
 // through a clearly identified hook without breaking separation of concerns.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "rcs/component/component.hpp"
@@ -50,11 +65,47 @@ class AppServerBase : public comp::Component {
   virtual Value state_get();
   virtual void state_set(const Value& state);
 
+  // --- Incremental checkpoint hooks ---------------------------------------
+  /// Whether the application tracks dirty keys; false means capture_delta
+  /// falls back to a full state_get tagged with the checkpoint sequence.
+  [[nodiscard]] virtual bool supports_state_delta() const { return false; }
+  /// Capture everything mutated since the last acknowledged checkpoint.
+  /// Must NOT forget the tracked mutations: retransmissions re-capture.
+  virtual Value delta_capture() { return {}; }
+  /// Merge a delta produced by delta_capture into the local state.
+  virtual void delta_apply(const Value& delta) { (void)delta; }
+  /// A checkpoint up to `seq` was acknowledged: forget mutations captured in
+  /// checkpoints <= seq (mutations recorded after that capture must survive).
+  virtual void delta_ack(std::uint64_t seq) { (void)seq; }
+  /// Forget all dirty tracking (after a full state transfer).
+  virtual void delta_clear() {}
+
+  /// Epoch to tag a mutation with: the sequence number the NEXT capture will
+  /// use. delta_ack(seq) then only clears mutations tagged <= seq.
+  [[nodiscard]] std::uint64_t mutation_epoch() const { return capture_seq_ + 1; }
+
   /// Safety assertion over a (request, result) pair; default accepts all.
   virtual bool assertion(const Value& request, const Value& result);
 
   /// CPU cost of one request on the reference host (property-overridable).
   [[nodiscard]] sim::Duration cpu_per_request() const;
+
+ private:
+  Value capture_delta();
+  Value apply_delta(const Value& ckpt);
+  void ack_delta(std::uint64_t seq);
+  Value export_full();
+  void import_full(const Value& args);
+  [[nodiscard]] std::uint64_t make_stream_id();
+
+  // Capture side (primary).
+  std::uint64_t stream_{0};       // 0 = not capturing yet; lazily assigned
+  std::uint64_t stream_nonce_{0}; // distinguishes streams within one epoch
+  std::uint64_t capture_seq_{0};
+  std::uint64_t acked_seq_{0};
+  // Apply side (backup).
+  std::uint64_t applied_stream_{0};
+  std::uint64_t applied_seq_{0};
 };
 
 /// Standard port sets for application types.

@@ -7,6 +7,8 @@
 // any value fault that corrupts a result is detectable (an "executable
 // assertion" in the paper's sense). The state exposes a filler blob sized by
 // the "state_size" property, making checkpoint traffic realistic.
+#include <cstdint>
+#include <iterator>
 #include <map>
 
 #include "rcs/app/app_base.hpp"
@@ -40,7 +42,9 @@ class KvStore final : public AppServerBase {
     const auto& op = request.at("op").as_string();
     Value result = Value::map();
     if (op == "put") {
-      data_[request.at("key").as_string()] = request.at("value");
+      const auto& key = request.at("key").as_string();
+      data_[key] = request.at("value");
+      dirty_[key] = mutation_epoch();
       result.set("ok", true);
     } else if (op == "get") {
       const auto it = data_.find(request.at("key").as_string());
@@ -52,6 +56,7 @@ class KvStore final : public AppServerBase {
       auto& slot = data_[key];
       const auto current = slot.is_int() ? slot.as_int() : 0;
       slot = Value(current + by);
+      dirty_[key] = mutation_epoch();
       result.set("value", buggy ? -(current + by) : current + by);
     } else {
       throw FtmError(strf("kvstore: unknown op '", op, "'"));
@@ -75,11 +80,55 @@ class KvStore final : public AppServerBase {
   }
 
   void state_set(const Value& state) override {
+    // A wholesale replacement (TR snapshot restore, exec_result adoption,
+    // full checkpoint) invalidates fine-grained knowledge: conservatively
+    // mark the union of old and new keys dirty, so the next delta capture
+    // ships every key this reset may have changed or removed.
+    const auto epoch = mutation_epoch();
+    for (const auto& [key, value] : data_) dirty_[key] = epoch;
     data_.clear();
     for (const auto& [key, value] : state.at("entries").as_map()) {
       data_[key] = value;
+      dirty_[key] = epoch;
     }
   }
+
+  // --- Incremental checkpointing -------------------------------------------
+  bool supports_state_delta() const override { return true; }
+
+  Value delta_capture() override {
+    // Everything mutated since the last ACK: present keys travel as entries,
+    // keys that vanished (a state_set restore dropped them) as "gone".
+    Value entries = Value::map();
+    Value gone = Value::list();
+    for (const auto& [key, epoch] : dirty_) {
+      const auto it = data_.find(key);
+      if (it != data_.end()) {
+        entries.set(key, it->second);
+      } else {
+        gone.push_back(key);
+      }
+    }
+    return Value::map().set("entries", std::move(entries))
+        .set("gone", std::move(gone));
+  }
+
+  void delta_apply(const Value& delta) override {
+    for (const auto& [key, value] : delta.at("entries").as_map()) {
+      data_[key] = value;
+    }
+    for (const auto& key : delta.at("gone").as_list()) {
+      data_.erase(key.as_string());
+    }
+  }
+
+  void delta_ack(std::uint64_t seq) override {
+    for (auto it = dirty_.begin(); it != dirty_.end();) {
+      it = it->second <= seq ? dirty_.erase(it) : std::next(it);
+    }
+  }
+
+  void delta_clear() override { dirty_.clear(); }
 
   bool assertion(const Value& /*request*/, const Value& result) override {
     if (!checksum_ok(result)) return false;
@@ -94,6 +143,8 @@ class KvStore final : public AppServerBase {
 
  private:
   std::map<std::string, Value> data_;
+  // key -> mutation_epoch() at last write; survives captures, cleared by acks.
+  std::map<std::string, std::uint64_t> dirty_;
 };
 
 }  // namespace

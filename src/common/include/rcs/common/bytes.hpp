@@ -20,6 +20,10 @@ class ByteWriter {
   ByteWriter() = default;
   explicit ByteWriter(Bytes initial) : buffer_(std::move(initial)) {}
 
+  /// Pre-size the buffer for `n` more bytes (single allocation for encodes
+  /// whose size is known up front, e.g. Value::encode).
+  void reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
+
   void write_u8(std::uint8_t v);
   void write_u32(std::uint32_t v);
   void write_u64(std::uint64_t v);

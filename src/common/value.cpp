@@ -159,6 +159,7 @@ void Value::encode(ByteWriter& w) const {
 
 Bytes Value::encode() const {
   ByteWriter w;
+  w.reserve(encoded_size());
   encode(w);
   return w.take();
 }
@@ -215,7 +216,54 @@ Value Value::decode(const Bytes& data) {
   return v;
 }
 
-std::size_t Value::encoded_size() const { return encode().size(); }
+namespace {
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+// Mirrors encode() exactly (tag byte + payload per type) without touching the
+// heap: this runs once per Network::send to price the message, so it must not
+// cost a full serialization.
+std::size_t Value::encoded_size() const {
+  switch (type()) {
+    case Type::kNull:
+      return 1;
+    case Type::kBool:
+      return 2;
+    case Type::kInt:
+    case Type::kDouble:
+      return 1 + 8;
+    case Type::kString: {
+      const auto& s = std::get<std::string>(data_);
+      return 1 + varint_size(s.size()) + s.size();
+    }
+    case Type::kBytes: {
+      const auto& b = std::get<Bytes>(data_);
+      return 1 + varint_size(b.size()) + b.size();
+    }
+    case Type::kList: {
+      const auto& l = std::get<ValueList>(data_);
+      std::size_t n = 1 + varint_size(l.size());
+      for (const auto& v : l) n += v.encoded_size();
+      return n;
+    }
+    case Type::kMap: {
+      const auto& m = std::get<ValueMap>(data_);
+      std::size_t n = 1 + varint_size(m.size());
+      for (const auto& [k, v] : m) {
+        n += varint_size(k.size()) + k.size() + v.encoded_size();
+      }
+      return n;
+    }
+  }
+  throw ValueError("Value::encoded_size: unreachable");
+}
 
 namespace {
 void render(std::ostream& os, const Value& v) {

@@ -29,9 +29,23 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
     const auto group = alive_peers();
     if (group.empty() || !peer_available(ctx)) return done();  // master-alone
     Value data = Value::map();
-    data.set("key", ctx.at("key"))
-        .set("state", capture_state())
-        .set("replies", export_replies());
+    data.set("key", ctx.at("key"));
+    if (delta_enabled()) {
+      // Incremental checkpoint: only the state mutated since the backup's
+      // last ack, plus the reply-log entries it has not acknowledged. A
+      // retransmission (kernel retry) re-captures, which widens the delta —
+      // never narrows it — so the backup can always catch up or detect a gap.
+      if (wired("state")) {
+        Value ckpt = call("state", "capture_delta");
+        count_event(ckpt.at("full").as_bool() ? "full_checkpoint_sent"
+                                              : "delta_sent");
+        data.set("ckpt", std::move(ckpt));
+      }
+      data.set("rlog", call("replyLog", "export_since"));
+    } else {
+      data.set("state", capture_state()).set("replies", export_replies());
+      count_event("full_checkpoint_sent");
+    }
     // The current request's reply is recorded in the reply log only after
     // this phase completes, so ship it explicitly: at-most-once must hold on
     // the backup even if we crash right after answering the client.
@@ -46,7 +60,20 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
   }
 
   Value on_solicited(const Value& /*ctx*/, const Value& message) override {
-    if (message.at("kind").as_string() == "checkpoint_ack") return done();
+    if (message.at("kind").as_string() == "checkpoint_ack") {
+      // The whole group confirmed this checkpoint: it will never need to be
+      // retransmitted, so drop its dirty keys and reply-log entries from
+      // future deltas. (All acks of one round echo the same seq/upto.)
+      const Value data = message.get_or("data", Value::map());
+      if (data.is_map() && data.has("seq") && wired("state")) {
+        call("state", "ack_delta", Value::map().set("seq", data.at("seq")));
+      }
+      if (data.is_map() && data.has("upto")) {
+        call("replyLog", "ack_export",
+             Value::map().set("upto", data.at("upto")));
+      }
+      return done();
+    }
     return done();  // anything else while waiting: treat as completion
   }
 
@@ -54,17 +81,17 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
     const std::string& kind = message.at("kind").as_string();
     if (kind == "checkpoint") {
       const Value& data = message.at("data");
+      const auto from = message.get_or("_from", Value(-1)).as_int();
+      if (data.has("ckpt") || data.has("rlog")) {
+        return apply_delta_checkpoint(data, from);
+      }
+      // Legacy full-state checkpoint (delta knob off on the primary).
       if (!data.at("state").is_null()) restore_state(data.at("state"));
       import_replies(data.at("replies"));
-      if (data.has("pending_reply")) {
-        call("replyLog", "record",
-             Value::map()
-                 .set("key", data.at("key"))
-                 .set("reply", data.at("pending_reply")));
-      }
+      record_pending_reply(data);
       count_event("checkpoint_applied");
-      send_peer_to(message.get_or("_from", Value(-1)).as_int(), "after",
-                   "checkpoint_ack", Value::map().set("key", data.at("key")));
+      send_peer_to(from, "after", "checkpoint_ack",
+                   Value::map().set("key", data.at("key")));
     }
     return Value::map();
   }
@@ -72,6 +99,47 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
   Value forwarded_after(const Value& /*ctx*/) override {
     // PBR backups never run forwarded pipelines; nothing to synchronize.
     return done();
+  }
+
+ private:
+  [[nodiscard]] bool delta_enabled() const {
+    const Value v = property("delta");
+    return !v.is_bool() || v.as_bool();
+  }
+
+  void record_pending_reply(const Value& data) {
+    if (!data.has("pending_reply")) return;
+    call("replyLog", "record",
+         Value::map()
+             .set("key", data.at("key"))
+             .set("reply", data.at("pending_reply")));
+  }
+
+  Value apply_delta_checkpoint(const Value& data, std::int64_t from) {
+    Value ack = Value::map().set("key", data.at("key"));
+    bool ok = true;
+    if (data.has("ckpt") && wired("state")) {
+      const Value applied = call("state", "apply_delta", data.at("ckpt"));
+      ok = applied.at("ok").as_bool();
+      if (ok) ack.set("seq", data.at("ckpt").at("seq"));
+    }
+    if (ok && data.has("rlog")) {
+      const Value imported = call("replyLog", "import_delta", data.at("rlog"));
+      ok = imported.at("ok").as_bool();
+      if (ok) ack.set("upto", data.at("rlog").at("upto"));
+    }
+    if (!ok) {
+      // We missed checkpoints (restart, loss burst, or a new primary's
+      // stream): ask for a full resync through the join path and withhold
+      // the ack — the primary's retry loop re-sends once we caught up.
+      count_event("resync_requested");
+      call("control", "join", Value::map());
+      return Value::map();
+    }
+    record_pending_reply(data);
+    count_event("checkpoint_applied");
+    send_peer_to(from, "after", "checkpoint_ack", std::move(ack));
+    return Value::map();
   }
 };
 
@@ -91,6 +159,9 @@ comp::ComponentTypeInfo make_type(const char* type_name, bool with_assertion) {
     info.references.push_back({"server", iface::kServer, /*required=*/false});
     info.references.push_back({"assertion", iface::kAssertion});
   }
+  // Incremental checkpoints by default; the deployment script flips this off
+  // when the FtmConfig asks for full-state checkpointing.
+  info.default_properties.set("delta", true);
   info.code_size = with_assertion ? 22'000 : 18'000;
   info.source_file = "src/ftm/brick_sync_after_pbr.cpp";
   info.factory = [with_assertion] {

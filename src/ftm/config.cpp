@@ -27,7 +27,8 @@ Value FtmConfig::to_value() const {
       .set("sync_before", sync_before)
       .set("proceed", proceed)
       .set("sync_after", sync_after)
-      .set("duplex", duplex);
+      .set("duplex", duplex)
+      .set("delta_checkpoint", delta_checkpoint);
   return v;
 }
 
@@ -38,6 +39,10 @@ FtmConfig FtmConfig::from_value(const Value& value) {
   config.proceed = value.at("proceed").as_string();
   config.sync_after = value.at("sync_after").as_string();
   config.duplex = value.at("duplex").as_bool();
+  // Absent in configurations persisted before the knob existed: delta is the
+  // default.
+  config.delta_checkpoint =
+      value.get_or("delta_checkpoint", Value(true)).as_bool();
   return config;
 }
 

@@ -53,6 +53,11 @@ struct FtmConfig {
   std::string proceed;
   std::string sync_after;
   bool duplex{true};
+  /// PBR checkpoint mode: incremental (dirty keys + reply-log watermark) by
+  /// default; set to false to ship the full state and reply log on every
+  /// request (the Table 2 worst case, kept for benchmarks and ablations).
+  /// Ignored by FTMs without a PBR-family syncAfter brick.
+  bool delta_checkpoint{true};
 
   [[nodiscard]] std::vector<std::string> brick_types() const {
     return {sync_before, proceed, sync_after};

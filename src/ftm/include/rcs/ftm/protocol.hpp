@@ -48,6 +48,12 @@ class ProtocolKernel : public comp::Component {
     std::uint64_t forwarded{0};
     std::uint64_t checkpoints_sent{0};
     std::uint64_t checkpoints_applied{0};
+    // Checkpoint composition: every checkpoint_sent is also counted as
+    // either a delta or a full-state transfer.
+    std::uint64_t deltas_sent{0};
+    std::uint64_t full_checkpoints_sent{0};
+    // Backup-side gap detections that triggered a full resync (join path).
+    std::uint64_t resyncs{0};
     std::uint64_t notifications{0};
     std::uint64_t divergences{0};
     std::uint64_t assertion_failures{0};

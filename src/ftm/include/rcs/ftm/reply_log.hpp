@@ -9,8 +9,15 @@
 // window, so the oldest entries are dead weight — and the log travels inside
 // every PBR checkpoint, so a tight bound keeps checkpoint traffic close to
 // the state size.
+//
+// For incremental checkpoints, every record is stamped with a monotone
+// sequence number; export_since ships only entries newer than the
+// acknowledged watermark, and import_delta refuses snapshots whose base is
+// ahead of what this log has seen (the caller then falls back to a full
+// export/import through the join path).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <string>
@@ -29,19 +36,31 @@ class ReplyLogComponent : public comp::Component {
   // Service "log", interface rcs.ReplyLog. Ops:
   //   lookup {key}            -> {found: bool, reply?: value}
   //   record {key, reply}     -> null
-  //   export {}               -> {entries: {key: reply}, order: [key]}
-  //   import {entries, order} -> null (replaces content)
+  //   export {}               -> {entries: {key: reply}, order: [key], upto}
+  //   import {entries, order, upto?} -> null (replaces content)
+  //   export_since {}         -> {entries, order, from, upto} (unacked only)
+  //   ack_export {upto}       -> null (advance the export watermark)
+  //   import_delta {entries, order, from, upto} -> {ok: bool}
   //   size {}                 -> int
   //   clear {}                -> null
   Value on_invoke(const std::string& service, const std::string& op,
                   const Value& args) override;
 
  private:
+  struct Entry {
+    Value reply;
+    std::uint64_t seq{0};  // record order, for incremental export
+  };
+
   [[nodiscard]] std::size_t capacity() const;
   void evict_to_capacity();
+  void record(const std::string& key, const Value& reply);
 
-  std::map<std::string, Value> entries_;
+  std::map<std::string, Entry> entries_;
   std::deque<std::string> order_;  // insertion order, for FIFO eviction
+  std::uint64_t record_seq_{0};    // stamp of the newest record
+  std::uint64_t export_acked_{0};  // primary: highest seq the peer acked
+  std::uint64_t import_mark_{0};   // backup: highest seq imported so far
 };
 
 }  // namespace rcs::ftm

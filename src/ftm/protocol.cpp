@@ -662,6 +662,9 @@ Value ProtocolKernel::dispatch_control(const std::string& op, const Value& args)
     const auto& kind = args.at("kind").as_string();
     if (kind == "checkpoint_sent") ++counters_.checkpoints_sent;
     if (kind == "checkpoint_applied") ++counters_.checkpoints_applied;
+    if (kind == "delta_sent") ++counters_.deltas_sent;
+    if (kind == "full_checkpoint_sent") ++counters_.full_checkpoints_sent;
+    if (kind == "resync_requested") ++counters_.resyncs;
     if (kind == "notification") ++counters_.notifications;
     return {};
   }
@@ -700,6 +703,9 @@ Value ProtocolKernel::dispatch_control(const std::string& op, const Value& args)
         .set("forwarded", counters_.forwarded)
         .set("checkpoints_sent", counters_.checkpoints_sent)
         .set("checkpoints_applied", counters_.checkpoints_applied)
+        .set("deltas_sent", counters_.deltas_sent)
+        .set("full_checkpoints_sent", counters_.full_checkpoints_sent)
+        .set("resyncs", counters_.resyncs)
         .set("notifications", counters_.notifications)
         .set("divergences", counters_.divergences)
         .set("assertion_failures", counters_.assertion_failures)

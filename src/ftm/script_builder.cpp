@@ -101,6 +101,11 @@ std::string ScriptBuilder::deployment_script(const FtmConfig& config,
   os << "  set(\"protocol\", \"peers\", peers);\n";
   os << "  set(\"protocol\", \"master\", master);\n";
   os << "  set(\"protocol\", \"ftm\", \"" << config.name << "\");\n";
+  if (config.sync_after == brick::kSyncAfterPbr ||
+      config.sync_after == brick::kSyncAfterPbrAssert) {
+    os << "  set(\"syncAfter\", \"delta\", "
+       << (config.delta_checkpoint ? "true" : "false") << ");\n";
+  }
 
   // Start order: dependencies first, the kernel and detector last.
   os << "  start(\"replyLog\");\n";

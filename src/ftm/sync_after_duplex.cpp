@@ -20,13 +20,32 @@ Value SyncAfterDuplexBase::on_invoke(const std::string& /*service*/,
     return on_unsolicited(message);
   }
   if (op == "make_join_snapshot") {
+    // Anchor the joiner into the current delta stream: the snapshot carries
+    // the capture-side (stream, seq) so checkpoints captured concurrently
+    // with the join re-apply idempotently on the joiner.
     Value snapshot = Value::map();
-    snapshot.set("state", capture_state()).set("replies", export_replies());
+    if (wired("state")) {
+      Value full = call("state", "export_full");
+      snapshot.set("state", full.at("state"))
+          .set("ckpt_stream", full.at("stream"))
+          .set("ckpt_seq", full.at("seq"));
+    } else {
+      snapshot.set("state", Value{});
+    }
+    snapshot.set("replies", export_replies());
     return snapshot;
   }
   if (op == "apply_join_snapshot") {
     if (args.has("state") && !args.at("state").is_null()) {
-      restore_state(args.at("state"));
+      if (args.has("ckpt_seq") && wired("state")) {
+        call("state", "import_full",
+             Value::map()
+                 .set("state", args.at("state"))
+                 .set("stream", args.at("ckpt_stream"))
+                 .set("seq", args.at("ckpt_seq")));
+      } else {
+        restore_state(args.at("state"));
+      }
     }
     if (args.has("replies")) import_replies(args.at("replies"));
     return {};

@@ -5,29 +5,62 @@
 
 namespace rcs::sim {
 
-TimerId EventLoop::schedule_at(Time at, Action action, std::string label) {
+TimerId EventLoop::schedule_at(Time at, Action action, std::string_view label) {
   if (at < now_) {
     throw SimError(strf("EventLoop::schedule_at: t=", at, " is in the past (now=",
                         now_, ", label='", label, "')"));
   }
   ensure(static_cast<bool>(action), "EventLoop::schedule_at: empty action");
-  const TimerId id{next_timer_++};
-  queue_.push(Event{at, next_seq_++, id});
-  payloads_.emplace(id.value(), Payload{std::move(action), std::move(label)});
-  return id;
+
+  std::uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.action = std::move(action);
+  slot.live = true;
+  const std::uint64_t handle =
+      (static_cast<std::uint64_t>(slot.generation) << 32) | index;
+  queue_.push(Event{at, next_seq_++, handle});
+  ++live_;
+  return TimerId{handle};
 }
 
-TimerId EventLoop::schedule_after(Duration delay, Action action, std::string label) {
+TimerId EventLoop::schedule_after(Duration delay, Action action,
+                                  std::string_view label) {
   if (delay < 0) {
     throw SimError(strf("EventLoop::schedule_after: negative delay ", delay,
                         " (label='", label, "')"));
   }
-  return schedule_at(now_ + delay, std::move(action), std::move(label));
+  return schedule_at(now_ + delay, std::move(action), label);
+}
+
+EventLoop::Slot* EventLoop::live_slot(std::uint64_t handle) {
+  const auto index = static_cast<std::uint32_t>(handle & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(handle >> 32);
+  if (index >= slots_.size()) return nullptr;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation) return nullptr;
+  return &slot;
+}
+
+void EventLoop::release(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.action = nullptr;
+  slot.live = false;
+  ++slot.generation;  // invalidates the heap entry still referencing the slot
+  slot.next_free = free_head_;
+  free_head_ = index;
+  --live_;
 }
 
 void EventLoop::cancel(TimerId id) {
-  if (payloads_.contains(id.value())) {
-    cancelled_.insert(id.value());
+  if (live_slot(id.value()) != nullptr) {
+    release(static_cast<std::uint32_t>(id.value() & 0xFFFFFFFFu));
   }
 }
 
@@ -35,16 +68,12 @@ bool EventLoop::pop_and_run() {
   while (!queue_.empty()) {
     const Event event = queue_.top();
     queue_.pop();
-    const auto payload_it = payloads_.find(event.id.value());
-    if (payload_it == payloads_.end()) continue;  // stale heap entry
-    if (cancelled_.erase(event.id.value()) > 0) {
-      payloads_.erase(payload_it);
-      continue;
-    }
+    Slot* slot = live_slot(event.handle);
+    if (slot == nullptr) continue;  // ran or cancelled: stale heap entry
     now_ = event.at;
     // Move the action out before running: the action may schedule/cancel.
-    Action action = std::move(payload_it->second.action);
-    payloads_.erase(payload_it);
+    Action action = std::move(slot->action);
+    release(static_cast<std::uint32_t>(event.handle & 0xFFFFFFFFu));
     ++processed_;
     action();
     return true;
@@ -65,7 +94,7 @@ std::size_t EventLoop::run_until(Time t) {
   std::size_t n = 0;
   while (!queue_.empty()) {
     const Event& head = queue_.top();
-    if (!payloads_.contains(head.id.value())) {
+    if (live_slot(head.handle) == nullptr) {
       queue_.pop();
       continue;
     }

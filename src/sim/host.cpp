@@ -62,14 +62,14 @@ void Host::send(HostId to, std::string type, Value payload) {
 }
 
 TimerId Host::schedule_after(Duration delay, std::function<void()> action,
-                             std::string label) {
+                             std::string_view label) {
   const auto epoch = epoch_;
   return sim_.schedule_after(
       delay,
       [this, epoch, action = std::move(action)]() {
         if (alive_ && epoch_ == epoch) action();
       },
-      std::move(label));
+      label);
 }
 
 void Host::cancel(TimerId id) { sim_.loop().cancel(id); }

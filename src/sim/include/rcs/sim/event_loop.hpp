@@ -3,14 +3,17 @@
 // A single-threaded priority queue of timestamped closures. Events scheduled
 // at the same instant run in scheduling order (stable FIFO tiebreak), which
 // is what makes distributed interleavings reproducible.
+//
+// Actions live in a free-list slab; each heap entry carries its slot index
+// plus the slot's generation at scheduling time. Cancellation bumps the
+// generation, so stale heap entries are skipped with one array access — no
+// hash lookups and no per-event label allocation on the hot path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <string_view>
 #include <vector>
 
 #include "rcs/common/ids.hpp"
@@ -24,10 +27,12 @@ class EventLoop {
 
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedule `action` at absolute virtual time `at` (>= now).
-  TimerId schedule_at(Time at, Action action, std::string label = {});
+  /// Schedule `action` at absolute virtual time `at` (>= now). The label is
+  /// only used in error messages at scheduling time; it is never stored.
+  TimerId schedule_at(Time at, Action action, std::string_view label = {});
   /// Schedule `action` after `delay` (>= 0).
-  TimerId schedule_after(Duration delay, Action action, std::string label = {});
+  TimerId schedule_after(Duration delay, Action action,
+                         std::string_view label = {});
 
   /// Cancel a pending event; no-op if it already ran or was cancelled.
   void cancel(TimerId id);
@@ -45,17 +50,17 @@ class EventLoop {
   /// Run all events within the next `d` of virtual time.
   std::size_t run_for(Duration d) { return run_until(now_ + d); }
 
-  [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   struct Event {
     Time at;
-    std::uint64_t seq;  // FIFO tiebreak for equal timestamps
-    TimerId id;
-    // Action and label live in a side map so the priority queue stays cheap
-    // to copy during heap operations.
+    std::uint64_t seq;     // FIFO tiebreak for equal timestamps
+    std::uint64_t handle;  // (generation << 32) | slot index
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -63,20 +68,26 @@ class EventLoop {
       return a.seq > b.seq;
     }
   };
-  struct Payload {
+  struct Slot {
     Action action;
-    std::string label;
+    // Starts at 1 so no live handle ever equals the default TimerId{0};
+    // bumped on every release, so stale heap entries never match.
+    std::uint32_t generation{1};
+    std::uint32_t next_free{kNoSlot};
+    bool live{false};
   };
 
+  [[nodiscard]] Slot* live_slot(std::uint64_t handle);
+  void release(std::uint32_t index);
   bool pop_and_run();
 
   Time now_{0};
   std::uint64_t next_seq_{0};
-  std::uint64_t next_timer_{1};
   std::uint64_t processed_{0};
+  std::size_t live_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_map<std::uint64_t, Payload> payloads_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_{kNoSlot};
 };
 
 }  // namespace rcs::sim

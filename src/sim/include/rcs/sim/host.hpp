@@ -86,7 +86,7 @@ class Host {
   /// Schedule an action bound to the current epoch: it is skipped if the host
   /// crashes (or restarts) before it fires.
   TimerId schedule_after(Duration delay, std::function<void()> action,
-                         std::string label = {});
+                         std::string_view label = {});
   void cancel(TimerId id);
 
   // --- State, resources, faults -------------------------------------------

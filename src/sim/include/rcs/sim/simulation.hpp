@@ -41,11 +41,12 @@ class Simulation {
   EventLoop& loop() { return loop_; }
 
   TimerId schedule_after(Duration delay, EventLoop::Action action,
-                         std::string label = {}) {
-    return loop_.schedule_after(delay, std::move(action), std::move(label));
+                         std::string_view label = {}) {
+    return loop_.schedule_after(delay, std::move(action), label);
   }
-  TimerId schedule_at(Time at, EventLoop::Action action, std::string label = {}) {
-    return loop_.schedule_at(at, std::move(action), std::move(label));
+  TimerId schedule_at(Time at, EventLoop::Action action,
+                      std::string_view label = {}) {
+    return loop_.schedule_at(at, std::move(action), label);
   }
 
   std::size_t run(std::size_t max_events = 0) { return loop_.run(max_events); }

@@ -100,7 +100,7 @@ void Network::send(Message message) {
         receiver.meter().charge_received(message.size_bytes);
         receiver.deliver(message);
       },
-      "net.deliver:" + message.type);
+      "net.deliver");
 }
 
 }  // namespace rcs::sim

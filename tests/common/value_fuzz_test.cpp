@@ -78,6 +78,17 @@ TEST_P(ValueFuzz, EncodingIsCanonical) {
   }
 }
 
+TEST_P(ValueFuzz, EncodedSizeMatchesEncodeExactly) {
+  // encoded_size() computes sizes without serializing; it must agree with the
+  // real encoding byte-for-byte on arbitrary shapes (message size accounting
+  // in the simulated network depends on it).
+  Rng rng(0xD1CE + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Value v = random_value(rng, 3);
+    ASSERT_EQ(v.encoded_size(), v.encode().size()) << v.to_string();
+  }
+}
+
 TEST_P(ValueFuzz, SingleByteCorruptionNeverGoesUnnoticed) {
   Rng rng(0xCAFE + GetParam());
   for (int i = 0; i < 50; ++i) {

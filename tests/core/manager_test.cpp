@@ -255,7 +255,12 @@ TEST_F(ManagerFixture, WorkloadSaturationForcesLeanerFtm) {
   options.thresholds.bandwidth_low_bps = 0.2e6;          // capacity is fine
   options.thresholds.bandwidth_high_bps = 0.4e6;
   ResilientSystem loaded(options);
-  ASSERT_TRUE(loaded.deploy_and_wait(FtmConfig::pbr()).ok);
+  // Full (non-incremental) checkpoints: the worst-case bandwidth profile
+  // this saturation scenario is about. Delta checkpointing — the default —
+  // is exactly the remedy; the sibling test below covers it.
+  FtmConfig pbr_full = FtmConfig::pbr();
+  pbr_full.delta_checkpoint = false;
+  ASSERT_TRUE(loaded.deploy_and_wait(pbr_full).ok);
 
   // ~120 requests/s for a while: ~560 KB/s of checkpoints on a 1.25 MB/s
   // link — 45% utilization, past the 35% saturation latch.
@@ -278,6 +283,34 @@ TEST_F(ManagerFixture, WorkloadSaturationForcesLeanerFtm) {
   EXPECT_GT(loaded.manager().state().resources.request_rate, 80.0)
       << "workload intensity inferred from the measured traffic";
   EXPECT_GE(ok, 1150) << "the service rode out the saturation + transition";
+}
+
+TEST_F(ManagerFixture, DeltaCheckpointingRidesOutTheSameWorkload) {
+  // Same link, same workload, default (incremental) checkpoints: kv_incr's
+  // dirty set is a single key, so the replica traffic stays far below the
+  // saturation latch and the manager never has to abandon PBR.
+  SystemOptions options = make_options();
+  options.replica_bandwidth_bps = 1'250'000.0;
+  options.thresholds.bandwidth_low_bps = 0.2e6;
+  options.thresholds.bandwidth_high_bps = 0.4e6;
+  ResilientSystem loaded(options);
+  ASSERT_TRUE(loaded.deploy_and_wait(FtmConfig::pbr()).ok);
+
+  int ok = 0;
+  for (int i = 0; i < 600; ++i) {
+    loaded.client().send(kv_incr("k"), [&ok](const Value& r) {
+      if (!r.has("error")) ++ok;
+    });
+    loaded.sim().run_for(8300);  // ~8.3 ms
+  }
+  loaded.sim().run_for(10 * sim::kSecond);
+
+  EXPECT_EQ(loaded.engine().current().name, "PBR")
+      << "delta checkpoints must not trip the saturation trigger";
+  for (const auto& trigger : loaded.monitoring().trigger_log()) {
+    EXPECT_NE(trigger.kind, TriggerKind::kLinkSaturated);
+  }
+  EXPECT_EQ(ok, 600);
 }
 
 TEST_F(ManagerFixture, DeferredMandatoryTransitionIsRetried) {

@@ -169,13 +169,29 @@ TEST_F(Fixture, RestartedBackupRejoinsAndProtectsAgainstNextCrash) {
   EXPECT_EQ(reply.at("result").at("value").as_int(), 4);
 }
 
-TEST_F(Fixture, PbrMovesCheckpointTraffic) {
-  deploy(FtmConfig::pbr());
+TEST_F(Fixture, PbrFullCheckpointsMoveBulkTraffic) {
+  // Non-incremental mode: every request ships the whole application state.
+  FtmConfig full = FtmConfig::pbr();
+  full.delta_checkpoint = false;
+  deploy(full);
   for (int i = 0; i < 5; ++i) (void)roundtrip(kv_incr("ctr"));
   EXPECT_EQ(rt0.kernel().counters().checkpoints_sent, 5u);
+  EXPECT_EQ(rt0.kernel().counters().full_checkpoints_sent, 5u);
   EXPECT_EQ(rt1.kernel().counters().checkpoints_applied, 5u);
   // Checkpoints (state_size ~4KB each) dominate LFR-style notification bytes.
   EXPECT_GT(sim.network().traffic(h0.id()).bytes_sent, 5u * 4000u);
+}
+
+TEST_F(Fixture, DeltaCheckpointsSlashCheckpointTraffic) {
+  // Default mode: only the dirty key set travels, so the same workload that
+  // moves >20 KB of full checkpoints stays below one full state in total.
+  deploy(FtmConfig::pbr());
+  for (int i = 0; i < 5; ++i) (void)roundtrip(kv_incr("ctr"));
+  EXPECT_EQ(rt0.kernel().counters().checkpoints_sent, 5u);
+  EXPECT_EQ(rt0.kernel().counters().deltas_sent, 5u);
+  EXPECT_EQ(rt1.kernel().counters().checkpoints_applied, 5u);
+  EXPECT_EQ(rt1.kernel().counters().resyncs, 0u);
+  EXPECT_LT(sim.network().traffic(h0.id()).bytes_sent, 4000u);
 }
 
 TEST_F(Fixture, LfrKeepsBandwidthLowButBothReplicasCompute) {

@@ -242,6 +242,71 @@ TEST_F(Fixture, ASensorToleratesNondeterminismViaSemanticAssertion) {
   EXPECT_LE(reading, 100.0);
 }
 
+TEST_F(Fixture, DeltaFailoverServesLastAckedRequestExactlyOnce) {
+  // A run of incremental checkpoints carries both the dirty state and the
+  // reply-log tail to the backup. Killing the primary mid-stream must leave
+  // the promoted backup able to serve the last acknowledged request from its
+  // imported log — exactly once, never by re-execution.
+  deploy(FtmConfig::pbr());
+  for (int i = 0; i < 5; ++i) (void)roundtrip(kv_incr("ctr"));
+  EXPECT_EQ(rt0.kernel().counters().deltas_sent, 5u);
+  EXPECT_EQ(rt1.kernel().counters().checkpoints_applied, 5u);
+
+  inject.crash_at(h0.id(), sim.now() + 5 * sim::kMillisecond);
+  sim.run_for(400 * sim::kMillisecond);
+  ASSERT_EQ(rt1.kernel().role(), Role::kAlone);
+
+  // Retransmit the last acknowledged request id straight to the survivor.
+  Value payload = Value::map();
+  payload.set("client", static_cast<std::int64_t>(hc.id().value()))
+      .set("id", 5)
+      .set("request", kv_incr("ctr"));
+  hc.send(h1.id(), msg::kRequest, payload);
+  sim.run_for(sim::kSecond);
+  EXPECT_GE(rt1.kernel().counters().duplicates_served, 1u);
+
+  const Value got = roundtrip(kv_get("ctr"), 5 * sim::kSecond);
+  EXPECT_EQ(got.at("result").at("value").as_int(), 5) << "no double increment";
+  EXPECT_EQ(rt1.kernel().counters().resyncs, 0u) << "stream had no gap";
+}
+
+TEST_F(Fixture, BackupMissingDeltasResyncsViaJoinPath) {
+  deploy(FtmConfig::pbr());
+  for (int i = 0; i < 3; ++i) (void)roundtrip(kv_incr("ctr"));
+  EXPECT_EQ(rt1.kernel().counters().checkpoints_applied, 3u);
+
+  // Silently restart the backup — fast enough that the failure detector
+  // never suspects it. Its replica state and delta-stream position are gone,
+  // but the primary keeps streaming deltas as if nothing happened.
+  inject.crash_at(h1.id(), sim.now() + 2 * sim::kMillisecond);
+  sim.run_for(10 * sim::kMillisecond);
+  ASSERT_FALSE(h1.alive());
+  h1.restart();
+  DeployParams backup;
+  backup.config = FtmConfig::pbr();
+  backup.role = Role::kBackup;
+  backup.peers = {h0.id().value()};
+  backup.master = h0.id().value();
+  backup.app = app::spec_for(app::kKvStore);
+  rt1.deploy(backup);
+  ASSERT_EQ(rt0.kernel().role(), Role::kPrimary);
+
+  // The next delta arrives with a base the genesis replica never applied:
+  // the backup must detect the gap, pull a full join snapshot, and only then
+  // acknowledge — the client request rides out the resync.
+  const Value reply = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  ASSERT_FALSE(reply.has("error")) << reply.to_string();
+  EXPECT_EQ(reply.at("result").at("value").as_int(), 4);
+  EXPECT_GE(rt1.kernel().counters().resyncs, 1u) << "gap went undetected";
+
+  // The resynced backup is a fully valid failover target.
+  inject.crash_at(h0.id(), sim.now() + 5 * sim::kMillisecond);
+  sim.run_for(400 * sim::kMillisecond);
+  const Value after = roundtrip(kv_incr("ctr"), 10 * sim::kSecond);
+  ASSERT_FALSE(after.has("error")) << after.to_string();
+  EXPECT_EQ(after.at("result").at("value").as_int(), 5);
+}
+
 TEST_F(Fixture, FaultListenerFiresForMonitoring) {
   deploy(FtmConfig::pbr_tr());
   std::vector<std::string> events;
