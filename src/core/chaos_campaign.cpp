@@ -1,0 +1,245 @@
+#include "rcs/core/chaos_campaign.hpp"
+
+#include <optional>
+
+#include "rcs/app/app_base.hpp"
+#include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/ftm/config.hpp"
+
+namespace rcs::core {
+
+namespace {
+
+/// Whether this FTM's fault model covers value faults by masking them
+/// (re-execution or a diversified alternate). Only such FTMs get transient
+/// value faults injected: for the others a corruption is out of model and
+/// any verdict would be meaningless (Table 1 scoping).
+bool masks_value_faults(const ftm::FtmConfig& config) {
+  return config.proceed == ftm::brick::kProceedTr ||
+         config.proceed == ftm::brick::kProceedRb;
+}
+
+Value kv_request(const std::string& op, const std::string& key) {
+  return Value::map().set("op", op).set("key", key);
+}
+
+/// Issue one request and step the loop until its reply or `budget` elapses.
+std::optional<Value> drive(ResilientSystem& system, Value request,
+                           sim::Duration budget) {
+  std::optional<Value> reply;
+  system.client().send(std::move(request),
+                       [&reply](const Value& r) { reply = r; });
+  const sim::Time deadline = system.sim().now() + budget;
+  while (!reply && system.sim().now() < deadline) {
+    if (system.sim().loop().empty()) break;
+    system.sim().loop().step();
+  }
+  return reply;
+}
+
+ChaosCampaignResult execute(const ChaosCampaignOptions& options,
+                            const sim::ChaosSchedule* forced) {
+  SystemOptions sys;
+  sys.seed = options.seed;
+  sys.start_monitoring = false;  // campaigns adapt only on explicit request
+  ResilientSystem system(sys);
+
+  auto config = ftm::FtmConfig::by_name(options.ftm);
+  config.delta_checkpoint = options.delta_checkpoint;
+  const bool has_transition = !options.transition_to.empty();
+  ftm::FtmConfig target;
+  if (has_transition) {
+    target = ftm::FtmConfig::by_name(options.transition_to);
+    target.delta_checkpoint = options.delta_checkpoint;
+  }
+
+  system.deploy_and_wait(config);
+  auto& sim = system.sim();
+
+  // --- Chaos scope: fault classes the deployed FTM(s) are specified for.
+  sim::ChaosScheduleOptions chaos;
+  chaos.replicas = config.duplex ? system.replica_count() : 1;
+  chaos.start = sim.now() + 500 * sim::kMillisecond;
+  chaos.heal_deadline = chaos.start + options.chaos_horizon;
+  chaos.events = options.chaos_events;
+  chaos.allow_crashes =
+      config.duplex && (!has_transition || target.duplex);
+  chaos.allow_transients =
+      masks_value_faults(config) &&
+      (!has_transition || masks_value_faults(target));
+  sim::Time transition_at = 0;
+  if (has_transition) {
+    // Reconfigure mid-campaign, inside a reserved fault-free zone: the
+    // campaign tests the service under chaos around a transition, not the
+    // adaptation protocol under fire (that has its own suites).
+    transition_at = chaos.start + (options.chaos_horizon * 2) / 5;
+    chaos.quiet.emplace_back(transition_at - 500 * sim::kMillisecond,
+                             transition_at + 4 * sim::kSecond);
+  }
+
+  const sim::ChaosSchedule schedule =
+      forced ? *forced : sim::ChaosSchedule::generate(options.seed, chaos);
+
+  std::vector<HostId> endpoints;
+  for (std::size_t i = 0; i < chaos.replicas; ++i) {
+    endpoints.push_back(system.replica(i).id());
+  }
+  endpoints.push_back(system.client_host().id());
+  schedule.apply(system.faults(), endpoints);
+
+  ftm::HistoryRecorder recorder(system.client(), sim);
+
+  // --- Workload: its own RNG stream, so the schedule draw count never
+  // shifts the request mix.
+  Rng workload(options.seed ^ 0xC3A5C85C97CB3127ULL);
+  const sim::Time first_request = sim.now() + 300 * sim::kMillisecond;
+  for (int i = 0; i < options.requests; ++i) {
+    const double pick = workload.uniform();
+    Value request;
+    if (pick < 0.70) {
+      request = kv_request("incr", "ctr");
+    } else if (pick < 0.90) {
+      request = kv_request("get", "ctr");
+    } else {
+      request = kv_request("put", strf("aux", i % 3))
+                    .set("value", static_cast<std::int64_t>(i));
+    }
+    sim.schedule_at(
+        first_request + static_cast<sim::Duration>(i) * options.request_gap,
+        [&system, request]() mutable {
+          system.client().send(std::move(request));
+        },
+        "campaign.request");
+  }
+
+  bool transition_done = !has_transition;
+  bool transition_ok = true;
+  if (has_transition) {
+    sim.schedule_at(
+        transition_at,
+        [&system, target, &transition_done, &transition_ok] {
+          system.engine().transition(
+              target, [&transition_done, &transition_ok](
+                          const TransitionReport& r) {
+                transition_done = true;
+                transition_ok = r.ok;
+              });
+        },
+        "campaign.transition");
+  }
+
+  // --- Run the chaos window, then drain retransmits after the last heal.
+  sim.run_until(chaos.heal_deadline);
+  const sim::Time drain_deadline = chaos.heal_deadline + options.drain;
+  while ((system.client().outstanding() > 0 || !transition_done) &&
+         sim.now() < drain_deadline) {
+    if (sim.loop().empty()) break;
+    sim.loop().step();
+  }
+
+  // --- Post-quiescence probes: the healed system must answer promptly.
+  const auto probe = drive(system, kv_request("incr", "ctr"),
+                           15 * sim::kSecond);
+  std::int64_t final_counter = 0;
+  bool final_counter_valid = false;
+  const auto read = drive(system, kv_request("get", "ctr"),
+                          15 * sim::kSecond);
+  if (read && read->is_map() && !read->has("error") && read->has("result")) {
+    const Value& result = read->at("result");
+    if (result.at("found").as_bool()) {
+      final_counter = result.at("value").as_int();
+    }
+    final_counter_valid = true;
+  }
+  (void)probe;  // recorded in the history; liveness judges it there
+
+  // --- Verdict.
+  bool crashed = false;
+  for (const auto& e : schedule.episodes()) {
+    crashed |= e.kind == sim::ChaosEpisodeKind::kCrashRestart;
+  }
+  ftm::HistoryChecker::Inputs inputs;
+  inputs.counter_key = "ctr";
+  inputs.final_counter = final_counter;
+  inputs.final_counter_valid = final_counter_valid;
+  inputs.outstanding = system.client().outstanding();
+  inputs.result_valid = [](const Value& result) {
+    return app::AppServerBase::checksum_ok(result);
+  };
+  inputs.kernel_counters_valid = !crashed;
+  for (std::size_t i = 0; i < system.replica_count(); ++i) {
+    auto& runtime = system.agent(i).runtime();
+    if (!runtime.deployed()) continue;
+    const auto& counters = runtime.kernel().counters();
+    inputs.kernel_requests += counters.requests;
+    inputs.kernel_replies += counters.replies + counters.duplicates_served;
+  }
+
+  ChaosCampaignResult result;
+  result.seed = options.seed;
+  result.schedule = schedule;
+  result.client_stats = system.client().stats();
+  result.final_counter = final_counter;
+  result.label = strf(options.ftm, "/",
+                      options.delta_checkpoint ? "delta" : "full",
+                      has_transition ? "->" + options.transition_to : "");
+  result.report =
+      ftm::HistoryChecker::check(recorder.records(), inputs);
+  if (!final_counter_valid) {
+    result.report.violations.push_back(
+        "final counter read failed after quiescence");
+  }
+  if (!transition_done) {
+    result.report.violations.push_back("transition never completed");
+  } else if (!transition_ok) {
+    result.report.violations.push_back("transition reported failure");
+  }
+  if (options.forbid_retries && result.client_stats.retries > 0) {
+    result.report.violations.push_back(
+        strf("retries forbidden by the oracle but the client retried ",
+             result.client_stats.retries, " time(s)"));
+  }
+  result.passed = result.report.ok();
+  result.trace = strf(
+      "campaign seed=", options.seed, " label=", result.label,
+      " requests=", options.requests, "\n", schedule.to_string(),
+      recorder.trace(), "final_counter=", final_counter,
+      " valid=", final_counter_valid ? 1 : 0, " transition=",
+      has_transition ? (transition_done ? (transition_ok ? "ok" : "failed")
+                                        : "incomplete")
+                     : "none",
+      " retries=", result.client_stats.retries, "\n",
+      "verdict: ", result.report.to_string(), "\n");
+  return result;
+}
+
+}  // namespace
+
+ChaosCampaignResult run_campaign(const ChaosCampaignOptions& options) {
+  return execute(options, nullptr);
+}
+
+ChaosCampaignResult replay_campaign(const ChaosCampaignOptions& options,
+                                    const sim::ChaosSchedule& schedule) {
+  return execute(options, &schedule);
+}
+
+sim::ChaosSchedule shrink_schedule(const ChaosCampaignOptions& options,
+                                   sim::ChaosSchedule schedule) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < schedule.episode_count(); ++i) {
+      const auto candidate = schedule.without_episode(i);
+      if (!replay_campaign(options, candidate).passed) {
+        schedule = candidate;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace rcs::core

@@ -69,6 +69,7 @@ class NodeAgent {
   void handle_intra(const Value& request, HostId engine);
   void handle_query_config(HostId requester);
   void on_restart();
+  void query_peers_for_config(const ftm::DeployParams& persisted, int attempt);
   void attach_kernel_listeners();
   void report_stats();
   void ack(HostId engine, const Value& txn, bool ok, const std::string& error,

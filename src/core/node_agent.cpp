@@ -63,18 +63,27 @@ void NodeAgent::register_handlers() {
     recovering_ = false;
     if (!m.payload.at("found").as_bool()) return;
     auto params = ftm::DeployParams::from_value(m.payload.at("params"));
+    // The answer carries the responder's CURRENT role: the master we rejoin
+    // under is the responder itself when it leads, otherwise whoever the
+    // responder follows. Assuming "responder == master" deadlocks when a
+    // backup answers first.
+    const bool responder_leads = params.role != ftm::Role::kBackup;
+    const auto self = static_cast<std::int64_t>(host_.id().value());
+    const auto responder = static_cast<std::int64_t>(m.from.value());
+    const auto master =
+        (responder_leads || params.master == self || params.master < 0)
+            ? responder
+            : params.master;
     params.role = ftm::Role::kBackup;
     // Our peer group: the responder's group with the responder swapped in
     // for ourselves.
-    const auto self = static_cast<std::int64_t>(host_.id().value());
     std::vector<std::int64_t> peers = params.peers;
     std::erase(peers, self);
-    const auto responder = static_cast<std::int64_t>(m.from.value());
     if (std::find(peers.begin(), peers.end(), responder) == peers.end()) {
       peers.push_back(responder);
     }
     params.peers = std::move(peers);
-    params.master = responder;
+    params.master = master;
     deploy_local(params);
     runtime_.request_rejoin();
     log().info("agent", host_.name(), ": recovered as backup of h",
@@ -381,7 +390,29 @@ void NodeAgent::handle_intra(const Value& request, HostId engine) {
 void NodeAgent::handle_query_config(HostId requester) {
   Value response = Value::map();
   if (runtime_.deployed()) {
-    response.set("found", true).set("params", runtime_.params().to_value());
+    // A query from our own master means it crashed, lost its deployment and
+    // is asking its way back in. A fast restart can beat the failure
+    // detector (a sub-timeout blip), in which case no promotion ever fired
+    // and both sides would settle as backups — a leaderless group. Treat
+    // the query itself as the suspicion: run the standard election before
+    // answering, so the requester rejoins under a live master.
+    const auto requester_id = static_cast<std::int64_t>(requester.value());
+    const Value info =
+        runtime_.composite().invoke("protocol", "control", "info", {});
+    if (info.at("role").as_string() == "backup" &&
+        info.at("master").as_int() == requester_id) {
+      runtime_.composite().invoke(
+          "protocol", "control", "peer_suspected",
+          Value::map().set("host", requester_id));
+    }
+    // Answer with the kernel's CURRENT role and master — the deploy-time
+    // snapshot goes stale across promotions.
+    const Value current =
+        runtime_.composite().invoke("protocol", "control", "info", {});
+    auto params = runtime_.params();
+    params.role = ftm::role_from_string(current.at("role").as_string());
+    params.master = current.at("master").as_int();
+    response.set("found", true).set("params", params.to_value());
   } else {
     response.set("found", false);
   }
@@ -395,29 +426,44 @@ void NodeAgent::on_restart() {
   if (!persisted->peers.empty()) {
     // Ask the surviving peers which configuration they completed (§5.3: the
     // restarted replica must come back in its counterparts' configuration,
-    // not necessarily the one it crashed in). First responder wins.
+    // not necessarily the one it crashed in). First responder wins. The
+    // query is retransmitted while recovery is pending: a single datagram
+    // lost to a chaotic link must not demote a healthy pair to split-brain.
     recovering_ = true;
-    for (const auto peer : persisted->peers) {
-      if (peer < 0) continue;
-      host_.send(HostId{static_cast<std::uint32_t>(peer)},
-                 "adapt.query_config", Value::map());
-    }
-    // If the peer is also gone, fall back to our own logged configuration.
-    host_.schedule_after(
-        500 * sim::kMillisecond,
-        [this, params = *persisted]() mutable {
-          if (!recovering_) return;
-          recovering_ = false;
-          params.role = ftm::Role::kAlone;
-          deploy_local(params);
-          log().info("agent", host_.name(),
-                     ": peer silent, recovered alone in ", params.config.name);
-        },
-        "agent.recover_fallback");
+    query_peers_for_config(*persisted, 1);
   } else {
     auto params = *persisted;
     deploy_local(params);
   }
+}
+
+void NodeAgent::query_peers_for_config(const ftm::DeployParams& persisted,
+                                       int attempt) {
+  constexpr int kMaxAttempts = 8;
+  constexpr auto kRetryGap = 150 * sim::kMillisecond;
+  if (!recovering_) return;  // a peer already answered
+  if (attempt > kMaxAttempts) {
+    // Peers stayed silent across every retry: assume they are gone and fall
+    // back to our own logged configuration.
+    recovering_ = false;
+    auto params = persisted;
+    params.role = ftm::Role::kAlone;
+    deploy_local(params);
+    log().info("agent", host_.name(), ": peer silent, recovered alone in ",
+               params.config.name);
+    return;
+  }
+  for (const auto peer : persisted.peers) {
+    if (peer < 0) continue;
+    host_.send(HostId{static_cast<std::uint32_t>(peer)}, "adapt.query_config",
+               Value::map());
+  }
+  host_.schedule_after(
+      kRetryGap,
+      [this, persisted, attempt] {
+        query_peers_for_config(persisted, attempt + 1);
+      },
+      "agent.recover_retry");
 }
 
 }  // namespace rcs::core

@@ -1,5 +1,6 @@
 #include "rcs/ftm/client.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "rcs/common/error.hpp"
@@ -31,22 +32,44 @@ void Client::send(Value request, ReplyCallback callback) {
   pending.callback = std::move(callback);
   pending.first_sent = host_.sim().now();
   pending.target = preferred_target_;
+  if (observer_.on_send) observer_.on_send(id, pending.request);
   pending_.emplace(id, std::move(pending));
   ++stats_.sent;
   transmit(id);
 }
 
+sim::Duration Client::backoff_delay(int attempt) const {
+  double delay = static_cast<double>(options_.timeout);
+  for (int k = 1; k < attempt; ++k) {
+    delay *= options_.backoff_factor;
+    if (delay >= static_cast<double>(options_.backoff_max)) {
+      return options_.backoff_max;
+    }
+  }
+  return std::min<sim::Duration>(options_.backoff_max,
+                                 static_cast<sim::Duration>(delay));
+}
+
 void Client::transmit(std::uint64_t id) {
   auto& pending = pending_.at(id);
   ++pending.attempts;
+  const HostId target = replicas_[pending.target % replicas_.size()];
+  if (observer_.on_transmit) {
+    observer_.on_transmit(id, pending.attempts, target);
+  }
   Value payload = Value::map();
   payload.set("client", static_cast<std::int64_t>(host_.id().value()))
       .set("id", static_cast<std::int64_t>(id))
       .set("request", pending.request);
-  host_.send(replicas_[pending.target % replicas_.size()], msg::kRequest,
-             std::move(payload));
+  host_.send(target, msg::kRequest, std::move(payload));
+  sim::Duration wait = backoff_delay(pending.attempts);
+  if (options_.backoff_jitter > 0.0) {
+    const double factor =
+        1.0 + options_.backoff_jitter * host_.sim().rng().uniform(-1.0, 1.0);
+    wait = static_cast<sim::Duration>(static_cast<double>(wait) * factor);
+  }
   pending.timer = host_.schedule_after(
-      options_.timeout, [this, id] { on_timeout(id); }, "client.timeout");
+      wait, [this, id] { on_timeout(id); }, "client.timeout");
 }
 
 void Client::on_timeout(std::uint64_t id) {
@@ -59,7 +82,9 @@ void Client::on_timeout(std::uint64_t id) {
                pending.attempts, " attempts");
     auto callback = std::move(pending.callback);
     pending_.erase(it);
-    if (callback) callback(Value::map().set("error", "timeout"));
+    const Value reply = Value::map().set("error", "timeout");
+    if (observer_.on_complete) observer_.on_complete(id, reply);
+    if (callback) callback(reply);
     return;
   }
   // Failover: rotate to the next replica and retransmit the same id.
@@ -83,6 +108,7 @@ void Client::on_reply(const Value& payload) {
   }
   auto callback = std::move(pending.callback);
   pending_.erase(it);
+  if (observer_.on_complete) observer_.on_complete(id, payload);
   if (callback) callback(payload);
 }
 

@@ -18,10 +18,18 @@
 
 namespace rcs::ftm {
 
-/// Client retransmission policy.
+/// Client retransmission policy: capped exponential backoff with
+/// deterministic jitter. Attempt k waits
+///   min(backoff_max, timeout * backoff_factor^(k-1)) * (1 ± backoff_jitter)
+/// before retransmitting; backoff_factor = 1 recovers the legacy fixed
+/// timeout. The jitter draws from the simulation Rng, so runs stay
+/// bit-reproducible while concurrent clients desynchronize their retries.
 struct ClientOptions {
   sim::Duration timeout{400 * sim::kMillisecond};
   int max_attempts{12};
+  double backoff_factor{2.0};
+  sim::Duration backoff_max{2 * sim::kSecond};
+  double backoff_jitter{0.1};
 };
 
 class Client {
@@ -43,13 +51,32 @@ class Client {
   /// or {"error": "timeout"} after giving up.
   using ReplyCallback = std::function<void(const Value& reply)>;
 
+  /// Observability hooks for history checkers / chaos campaigns. Every field
+  /// is optional; hooks fire at the client's virtual-time instants.
+  struct Observer {
+    /// A fresh request enters the pipeline (before the first transmission).
+    std::function<void(std::uint64_t id, const Value& request)> on_send;
+    /// A (re)transmission leaves for `target` (attempt counts from 1).
+    std::function<void(std::uint64_t id, int attempt, HostId target)>
+        on_transmit;
+    /// The request completed: reply is {"id","result"}, {"id","error"} or
+    /// {"error":"timeout"} after giving up.
+    std::function<void(std::uint64_t id, const Value& reply)> on_complete;
+  };
+
   Client(sim::Host& host, std::vector<HostId> replicas, Options options = {});
 
   /// Send one request; the callback (optional) fires exactly once.
   void send(Value request, ReplyCallback callback = {});
 
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Retransmission delay before attempt `attempt` (1-based), pre-jitter.
+  [[nodiscard]] sim::Duration backoff_delay(int attempt) const;
 
  private:
   struct Pending {
@@ -68,6 +95,7 @@ class Client {
   sim::Host& host_;
   std::vector<HostId> replicas_;
   Options options_;
+  Observer observer_;
   std::uint64_t next_id_{1};
   std::size_t preferred_target_{0};
   std::map<std::uint64_t, Pending> pending_;

@@ -1,0 +1,351 @@
+#include "rcs/sim/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/rng.hpp"
+#include "rcs/sim/fault_injector.hpp"
+
+namespace rcs::sim {
+
+const char* to_string(ChaosEpisodeKind kind) {
+  switch (kind) {
+    case ChaosEpisodeKind::kCrashRestart: return "crash";
+    case ChaosEpisodeKind::kPartition: return "partition";
+    case ChaosEpisodeKind::kDegrade: return "degrade";
+    case ChaosEpisodeKind::kTransient: return "transient";
+  }
+  return "?";
+}
+
+namespace {
+
+struct KindChoice {
+  ChaosEpisodeKind kind;
+  double weight;
+};
+
+/// Weighted pick over the enabled fault classes.
+ChaosEpisodeKind pick_kind(Rng& rng, const std::vector<KindChoice>& choices) {
+  double total = 0.0;
+  for (const auto& c : choices) total += c.weight;
+  double x = rng.uniform(0.0, total);
+  for (const auto& c : choices) {
+    if (x < c.weight) return c.kind;
+    x -= c.weight;
+  }
+  return choices.back().kind;
+}
+
+Duration draw_duration(Rng& rng, Duration lo, Duration hi) {
+  if (hi <= lo) return lo;
+  return static_cast<Duration>(rng.uniform_int(lo, hi));
+}
+
+/// [begin, end) intervals during which some replica is down or rejoining.
+using CrashWindows = std::vector<std::pair<Time, Time>>;
+
+bool overlaps(const CrashWindows& windows, Time begin, Time end) {
+  for (const auto& [b, e] : windows) {
+    if (begin < e && b < end) return true;
+  }
+  return false;
+}
+
+void format_double(std::string& out, const char* name, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " %s=%.4f", name, v);
+  out += buf;
+}
+
+}  // namespace
+
+ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
+                                      const ChaosScheduleOptions& options) {
+  ensure(options.replicas >= 1, "ChaosSchedule: needs at least one replica");
+  ensure(options.heal_deadline > options.start + options.max_outage,
+         "ChaosSchedule: horizon too short for the outage range");
+
+  ChaosSchedule schedule;
+  schedule.seed_ = seed;
+  schedule.options_ = options;
+
+  Rng rng(seed);
+  const std::size_t client = options.replicas;
+
+  std::vector<KindChoice> choices;
+  if (options.allow_crashes && options.weights.crash_restart > 0.0 &&
+      options.replicas >= 2) {
+    choices.push_back({ChaosEpisodeKind::kCrashRestart,
+                       options.weights.crash_restart});
+  }
+  if (options.weights.partition > 0.0) {
+    choices.push_back({ChaosEpisodeKind::kPartition, options.weights.partition});
+  }
+  if (options.weights.degrade > 0.0) {
+    choices.push_back({ChaosEpisodeKind::kDegrade, options.weights.degrade});
+  }
+  if (options.allow_transients && options.weights.transient > 0.0) {
+    choices.push_back({ChaosEpisodeKind::kTransient, options.weights.transient});
+  }
+  ensure(!choices.empty(), "ChaosSchedule: every fault class is disabled");
+
+  // Quiet zones block everything; crashes additionally exclude each other,
+  // and network fault windows on the SAME link must stay disjoint — the
+  // degrade/restore mechanism captures the parameters in effect at the
+  // window start, so nesting would restore a degraded state and leave the
+  // link broken past the heal deadline.
+  CrashWindows crash_windows(options.quiet.begin(), options.quiet.end());
+  std::map<std::pair<std::size_t, std::size_t>, CrashWindows> link_busy;
+  // Transients on one host must be spaced out far enough that workload
+  // traffic consumes each armed fault before the next arrives — even if a
+  // concurrent outage stalls requests for max_outage. Two pending faults
+  // hit one request twice, which no Table 1 FTM claims to mask.
+  std::map<std::size_t, CrashWindows> transient_busy;
+  const Duration transient_spacing = options.max_outage + 1 * kSecond;
+  const auto draw_start =
+      [&](Duration duration,
+          const CrashWindows* busy = nullptr) -> std::optional<Time> {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const Time at = static_cast<Time>(
+          rng.uniform_int(options.start, options.heal_deadline - duration));
+      if (overlaps(options.quiet, at, at + duration + 1)) continue;
+      if (busy && overlaps(*busy, at, at + duration + 1)) continue;
+      return at;
+    }
+    return std::nullopt;
+  };
+
+  for (int i = 0; i < options.events; ++i) {
+    ChaosEpisode episode;
+    episode.kind = pick_kind(rng, choices);
+    switch (episode.kind) {
+      case ChaosEpisodeKind::kCrashRestart: {
+        episode.duration =
+            draw_duration(rng, options.min_outage, options.max_outage);
+        episode.a = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(options.replicas) - 1));
+        // At most one replica down (or freshly rejoining) at a time: search
+        // for a start that keeps crash windows + grace disjoint. Bounded
+        // deterministic retries; on failure degrade the client link instead.
+        bool placed = false;
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          const Time latest = options.heal_deadline - episode.duration;
+          const Time at = static_cast<Time>(
+              rng.uniform_int(options.start, latest));
+          const Time guard_begin =
+              at > options.crash_grace ? at - options.crash_grace : Time{0};
+          const Time guard_end =
+              at + episode.duration + options.crash_grace;
+          if (!overlaps(crash_windows, guard_begin, guard_end)) {
+            episode.at = at;
+            crash_windows.emplace_back(guard_begin, guard_end);
+            placed = true;
+          }
+        }
+        if (!placed) {
+          episode.kind = ChaosEpisodeKind::kDegrade;
+          episode.b = client;
+          episode.duration = std::min<Duration>(episode.duration,
+                                                options.max_outage);
+          auto& busy = link_busy[{episode.a, episode.b}];
+          const auto at = draw_start(episode.duration, &busy);
+          if (!at) continue;
+          episode.at = *at;
+          busy.emplace_back(*at, *at + episode.duration);
+          LinkParams p;
+          p.latency = static_cast<Duration>(
+              rng.uniform_int(2 * kMillisecond, 60 * kMillisecond));
+          p.drop_rate = rng.uniform(0.1, 0.4);
+          p.jitter = rng.uniform(0.02, 0.3);
+          episode.degraded = p;
+        }
+        break;
+      }
+      case ChaosEpisodeKind::kPartition: {
+        const bool replica_pair =
+            options.replicas >= 2 && rng.bernoulli(0.25);
+        if (replica_pair) {
+          episode.a = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(options.replicas) - 1));
+          do {
+            episode.b = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(options.replicas) - 1));
+          } while (episode.b == episode.a);
+          if (episode.b < episode.a) std::swap(episode.a, episode.b);
+          // Below the failure-detector timeout: a blip, not a split brain.
+          episode.duration = draw_duration(
+              rng, options.min_outage,
+              std::min(options.max_outage, options.replica_partition_cap));
+        } else {
+          episode.a = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(options.replicas) - 1));
+          episode.b = client;
+          episode.duration =
+              draw_duration(rng, options.min_outage, options.max_outage);
+        }
+        {
+          auto& busy = link_busy[{episode.a, episode.b}];
+          const auto at = draw_start(episode.duration, &busy);
+          if (!at) continue;
+          episode.at = *at;
+          busy.emplace_back(*at, *at + episode.duration);
+        }
+        break;
+      }
+      case ChaosEpisodeKind::kDegrade: {
+        const bool replica_pair =
+            options.replicas >= 2 && rng.bernoulli(0.25);
+        LinkParams p;
+        if (replica_pair) {
+          episode.a = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(options.replicas) - 1));
+          do {
+            episode.b = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(options.replicas) - 1));
+          } while (episode.b == episode.a);
+          if (episode.b < episode.a) std::swap(episode.a, episode.b);
+          p.latency = static_cast<Duration>(rng.uniform_int(
+              1 * kMillisecond, options.replica_latency_cap));
+          p.drop_rate = rng.uniform(0.0, options.replica_drop_cap);
+          p.reorder_window = static_cast<Duration>(
+              rng.uniform_int(2 * kMillisecond, 10 * kMillisecond));
+        } else {
+          episode.a = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(options.replicas) - 1));
+          episode.b = client;
+          p.latency = static_cast<Duration>(
+              rng.uniform_int(2 * kMillisecond, 60 * kMillisecond));
+          p.drop_rate = rng.uniform(0.1, 0.4);
+          p.reorder_window = static_cast<Duration>(
+              rng.uniform_int(5 * kMillisecond, 40 * kMillisecond));
+        }
+        p.jitter = rng.uniform(0.02, 0.3);
+        p.duplicate_rate = rng.uniform(0.0, 0.3);
+        p.reorder_rate = rng.uniform(0.0, 0.5);
+        episode.degraded = p;
+        episode.duration =
+            draw_duration(rng, options.min_outage, options.max_outage);
+        {
+          auto& busy = link_busy[{episode.a, episode.b}];
+          const auto at = draw_start(episode.duration, &busy);
+          if (!at) continue;
+          episode.at = *at;
+          busy.emplace_back(*at, *at + episode.duration);
+        }
+        break;
+      }
+      case ChaosEpisodeKind::kTransient: {
+        episode.a = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(options.replicas) - 1));
+        // One fault per episode: masking FTMs are specified for rare
+        // transients — two corruptions hitting one request (e.g. two of
+        // TR's three executions) exceed every Table 1 fault model.
+        episode.count = 1;
+        episode.duration = 0;
+        // Leave room for traffic after the fault so detection can trigger.
+        auto& busy = transient_busy[episode.a];
+        const auto at = draw_start(options.max_outage, &busy);
+        if (!at) continue;
+        episode.at = *at;
+        // Symmetric exclusion: later draws may land before this one.
+        busy.emplace_back(*at > transient_spacing ? *at - transient_spacing
+                                                  : Time{0},
+                          *at + transient_spacing);
+        break;
+      }
+    }
+    schedule.episodes_.push_back(episode);
+  }
+
+  std::sort(schedule.episodes_.begin(), schedule.episodes_.end(),
+            [](const ChaosEpisode& x, const ChaosEpisode& y) {
+              if (x.at != y.at) return x.at < y.at;
+              if (x.kind != y.kind) return static_cast<int>(x.kind) <
+                                           static_cast<int>(y.kind);
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+
+  for (const auto& e : schedule.episodes_) {
+    ensure(e.at + e.duration <= options.heal_deadline,
+           "ChaosSchedule: episode violates the heal deadline");
+  }
+  return schedule;
+}
+
+void ChaosSchedule::apply(FaultInjector& injector,
+                          const std::vector<HostId>& endpoints) const {
+  ensure(endpoints.size() >= options_.replicas + 1,
+         "ChaosSchedule::apply: endpoint vector too small");
+  for (const auto& e : episodes_) {
+    switch (e.kind) {
+      case ChaosEpisodeKind::kCrashRestart:
+        injector.crash_at(endpoints[e.a], e.at);
+        injector.restart_at(endpoints[e.a], e.at + e.duration);
+        break;
+      case ChaosEpisodeKind::kPartition:
+        injector.partition_at(endpoints[e.a], endpoints[e.b], e.at,
+                              e.at + e.duration);
+        break;
+      case ChaosEpisodeKind::kDegrade:
+        injector.degrade_link_at(endpoints[e.a], endpoints[e.b], e.at,
+                                 e.at + e.duration, e.degraded);
+        break;
+      case ChaosEpisodeKind::kTransient:
+        injector.transient_at(endpoints[e.a], e.at, e.count);
+        break;
+    }
+  }
+}
+
+std::string ChaosSchedule::to_string() const {
+  std::string out = "chaos seed=" + std::to_string(seed_) +
+                    " episodes=" + std::to_string(episodes_.size()) +
+                    (shrunk_ ? " (shrunk)" : "") + "\n";
+  for (std::size_t i = 0; i < episodes_.size(); ++i) {
+    const auto& e = episodes_[i];
+    out += "  [" + std::to_string(i) + "] t=" + std::to_string(e.at) + " " +
+           sim::to_string(e.kind);
+    switch (e.kind) {
+      case ChaosEpisodeKind::kCrashRestart:
+        out += " host=" + std::to_string(e.a) +
+               " outage=" + std::to_string(e.duration);
+        break;
+      case ChaosEpisodeKind::kPartition:
+        out += " link=" + std::to_string(e.a) + "<->" + std::to_string(e.b) +
+               " window=" + std::to_string(e.duration);
+        break;
+      case ChaosEpisodeKind::kDegrade:
+        out += " link=" + std::to_string(e.a) + "<->" + std::to_string(e.b) +
+               " window=" + std::to_string(e.duration) +
+               " latency=" + std::to_string(e.degraded.latency);
+        format_double(out, "drop", e.degraded.drop_rate);
+        format_double(out, "jitter", e.degraded.jitter);
+        format_double(out, "dup", e.degraded.duplicate_rate);
+        format_double(out, "reorder", e.degraded.reorder_rate);
+        out += " reorder_window=" + std::to_string(e.degraded.reorder_window);
+        break;
+      case ChaosEpisodeKind::kTransient:
+        out += " host=" + std::to_string(e.a) +
+               " count=" + std::to_string(e.count);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ChaosSchedule ChaosSchedule::without_episode(std::size_t index) const {
+  ensure(index < episodes_.size(), "ChaosSchedule: episode index out of range");
+  ChaosSchedule copy = *this;
+  copy.episodes_.erase(copy.episodes_.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+  copy.shrunk_ = true;
+  return copy;
+}
+
+}  // namespace rcs::sim

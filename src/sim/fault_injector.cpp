@@ -54,6 +54,50 @@ void FaultInjector::transient_campaign(HostId host, Time from, Time to,
   }
 }
 
+void FaultInjector::partition_at(HostId a, HostId b, Time from, Time to) {
+  sim_.schedule_at(
+      from,
+      [this, a, b] {
+        sim_.network().set_partitioned(a, b, true);
+        log().info("fault", "link ", a, "<->", b, ": partitioned");
+      },
+      "fault.partition");
+  sim_.schedule_at(
+      to,
+      [this, a, b] {
+        sim_.network().set_partitioned(a, b, false);
+        log().info("fault", "link ", a, "<->", b, ": healed");
+      },
+      "fault.heal");
+}
+
+void FaultInjector::degrade_link_at(HostId a, HostId b, Time from, Time to,
+                                    LinkParams degraded) {
+  sim_.schedule_at(
+      from,
+      [this, a, b, to, degraded] {
+        LinkParams& link = sim_.network().link(a, b);
+        const LinkParams before = link;
+        link = degraded;
+        // Degradation never heals a concurrent partition window.
+        link.partitioned = before.partitioned;
+        log().info("fault", "link ", a, "<->", b, ": degraded (drop ",
+                   degraded.drop_rate, ", dup ", degraded.duplicate_rate,
+                   ", reorder ", degraded.reorder_rate, ")");
+        sim_.schedule_at(
+            to,
+            [this, a, b, before] {
+              LinkParams& healed = sim_.network().link(a, b);
+              const bool partitioned = healed.partitioned;
+              healed = before;
+              healed.partitioned = partitioned;
+              log().info("fault", "link ", a, "<->", b, ": restored");
+            },
+            "fault.restore");
+      },
+      "fault.degrade");
+}
+
 namespace {
 Value corrupt_leaf(const Value& value, Rng& rng) {
   switch (value.type()) {

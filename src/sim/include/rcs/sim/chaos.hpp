@@ -1,0 +1,135 @@
+// Deterministic chaos schedules.
+//
+// A ChaosSchedule is a randomized but fully reproducible fault timeline:
+// from one RNG seed it draws a weighted mix of crash/restart pairs,
+// partition windows, link-quality bursts (drop, latency, jitter,
+// duplication, reordering) and transient value faults, then replays them
+// through the FaultInjector. Two properties make the schedules useful as a
+// test oracle substrate:
+//
+//  - heal-before-deadline: every fault window closes before
+//    `heal_deadline`, so liveness after the last heal is checkable;
+//  - split-brain avoidance: replica<->replica network faults are capped
+//    (window length, drop rate, latency) below the failure-detector margins,
+//    so a campaign never manufactures the one failure mode the duplex
+//    protocol documentedly cannot reconcile. Client-side links are fair
+//    game — the client retry layer is expected to absorb anything.
+//
+// Schedules print to a canonical text form (used for byte-identical replay
+// comparison) and support greedy shrinking via without_episode().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rcs/common/ids.hpp"
+#include "rcs/sim/network.hpp"
+#include "rcs/sim/time.hpp"
+
+namespace rcs::sim {
+
+class FaultInjector;
+
+enum class ChaosEpisodeKind {
+  kCrashRestart,  // host a: crash at `at`, restart at `at + duration`
+  kPartition,     // link a<->b cut during [at, at + duration)
+  kDegrade,       // link a<->b runs `degraded` during [at, at + duration)
+  kTransient,     // host a: `count` transient value faults armed at `at`
+};
+
+[[nodiscard]] const char* to_string(ChaosEpisodeKind kind);
+
+/// One fault episode. Endpoints are abstract indices into the endpoint
+/// vector passed to apply(): 0..replicas-1 are replica hosts, `replicas`
+/// is the client. This keeps schedules independent of concrete HostIds, so
+/// the same schedule replays against a freshly built simulation.
+struct ChaosEpisode {
+  ChaosEpisodeKind kind{ChaosEpisodeKind::kCrashRestart};
+  Time at{0};
+  Duration duration{0};
+  std::size_t a{0};
+  std::size_t b{0};
+  int count{1};            // kTransient only
+  LinkParams degraded{};   // kDegrade only
+};
+
+/// Relative likelihood of each fault class; zero disables a class.
+struct ChaosWeights {
+  double crash_restart{1.0};
+  double partition{1.0};
+  double degrade{1.5};
+  double transient{1.0};
+};
+
+struct ChaosScheduleOptions {
+  /// Number of replica endpoints; the client is endpoint index `replicas`.
+  std::size_t replicas{2};
+  /// No episode starts before this (lets the stack deploy undisturbed).
+  Time start{1 * kSecond};
+  /// Every fault window is closed (healed / restarted) by this time.
+  Time heal_deadline{20 * kSecond};
+  /// Number of episodes to draw.
+  int events{12};
+  Duration min_outage{50 * kMillisecond};
+  Duration max_outage{1500 * kMillisecond};
+  ChaosWeights weights{};
+  /// Crash faults only make sense for duplex FTMs (a solo replica that
+  /// crashes just loses the run); the campaign driver scopes this per FTM.
+  bool allow_crashes{true};
+  /// Transient value faults only for FTMs whose fault model covers them.
+  bool allow_transients{true};
+  /// Safety caps on replica<->replica link faults (split-brain avoidance):
+  /// the window must stay below the failure-detector timeout and the drop
+  /// rate low enough that heartbeats keep flowing.
+  Duration replica_partition_cap{120 * kMillisecond};
+  double replica_drop_cap{0.05};
+  Duration replica_latency_cap{20 * kMillisecond};
+  /// Minimum quiet time around a crash window: no other crash may overlap
+  /// [at - grace, at + duration + grace], so at most one replica is down
+  /// (or rejoining) at a time and the duplex pair can always resync.
+  Duration crash_grace{1 * kSecond};
+  /// Fault-free zones: no episode window intersects these intervals. The
+  /// campaign driver reserves one around a mid-run FTM transition so the
+  /// reconfiguration protocol itself is not under fire.
+  std::vector<std::pair<Time, Time>> quiet;
+};
+
+class ChaosSchedule {
+ public:
+  /// Draw a schedule from `seed`. Uses a private Rng: the simulation's own
+  /// stream is untouched, so schedule generation never perturbs the run.
+  [[nodiscard]] static ChaosSchedule generate(std::uint64_t seed,
+                                              const ChaosScheduleOptions& options);
+
+  /// Schedule every episode onto the injector. `endpoints[i]` is the HostId
+  /// of abstract endpoint i (replicas first, client last).
+  void apply(FaultInjector& injector,
+             const std::vector<HostId>& endpoints) const;
+
+  /// Canonical one-line-per-episode text form; byte-identical across runs
+  /// with the same seed and options.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Copy with episode `index` removed — the greedy shrinking primitive.
+  [[nodiscard]] ChaosSchedule without_episode(std::size_t index) const;
+
+  [[nodiscard]] std::size_t episode_count() const { return episodes_.size(); }
+  [[nodiscard]] const std::vector<ChaosEpisode>& episodes() const {
+    return episodes_;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const ChaosScheduleOptions& options() const { return options_; }
+  /// True once episodes were removed: the schedule is no longer derivable
+  /// from its seed alone.
+  [[nodiscard]] bool shrunk() const { return shrunk_; }
+
+ private:
+  std::uint64_t seed_{0};
+  bool shrunk_{false};
+  ChaosScheduleOptions options_{};
+  std::vector<ChaosEpisode> episodes_;
+};
+
+}  // namespace rcs::sim

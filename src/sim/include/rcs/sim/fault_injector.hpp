@@ -18,6 +18,7 @@
 #include "rcs/common/ids.hpp"
 #include "rcs/common/rng.hpp"
 #include "rcs/common/value.hpp"
+#include "rcs/sim/network.hpp"
 #include "rcs/sim/time.hpp"
 
 namespace rcs::sim {
@@ -41,6 +42,17 @@ class FaultInjector {
   /// Poisson campaign: transient faults arrive on `host` at `rate_per_second`
   /// during [from, to).
   void transient_campaign(HostId host, Time from, Time to, double rate_per_second);
+
+  // --- Network fault windows ----------------------------------------------
+  // Partitions and link-quality bursts go through the injector too, so every
+  // FT-dimension event shares one scheduling API and one trace log.
+
+  /// Partition the (symmetric) link between `a` and `b` during [from, to).
+  void partition_at(HostId a, HostId b, Time from, Time to);
+  /// Replace the a<->b link parameters with `degraded` during [from, to);
+  /// the parameters in effect at `from` are restored at `to`.
+  void degrade_link_at(HostId a, HostId b, Time from, Time to,
+                       LinkParams degraded);
 
   /// Corrupt a computed Value (single pseudo-random bit/element flip).
   [[nodiscard]] static Value corrupt(const Value& value, Rng& rng);

@@ -40,12 +40,23 @@ struct LinkParams {
   bool partitioned{false};
   /// Multiplicative jitter fraction applied to the transfer delay.
   double jitter{0.02};
+  /// Probability that a delivered message arrives twice (the copy takes an
+  /// independent extra delay drawn from [0, reorder_window)). Exercises the
+  /// at-most-once reply log and the kernel's duplicate absorption.
+  double duplicate_rate{0.0};
+  /// Probability that a message is held back by an extra uniform delay in
+  /// [0, reorder_window), letting later sends overtake it on the wire.
+  double reorder_rate{0.0};
+  /// Maximum extra delay applied by reordering and duplication.
+  Duration reorder_window{10 * kMillisecond};
 };
 
 struct LinkStats {
   std::uint64_t messages{0};
   std::uint64_t bytes{0};
   std::uint64_t dropped{0};
+  std::uint64_t duplicated{0};
+  std::uint64_t reordered{0};
   /// Cumulative time messages spent queued behind earlier transmissions.
   Duration queueing{0};
 };
@@ -84,6 +95,8 @@ class Network {
  private:
   using LinkKey = std::pair<std::uint32_t, std::uint32_t>;
   static LinkKey key(HostId a, HostId b);
+  /// Receiver-side accounting + dispatch of one delivered copy.
+  void deliver_copy(const Message& message);
 
   Simulation& sim_;
   LinkParams default_link_{};

@@ -69,6 +69,7 @@ void Network::send(Message message) {
   }
 
   Duration delay = 0;
+  Duration duplicate_delay = -1;  // extra delay of the duplicate copy, if any
   if (message.from != message.to) {
     const double transfer_us =
         static_cast<double>(message.size_bytes) / params.bandwidth_bps * kSecond;
@@ -87,20 +88,46 @@ void Network::send(Message message) {
     tx_free = start + transfer;
     stats.queueing += queueing;
     delay = queueing + transfer + params.latency;
+
+    // Reordering: hold this message back so later sends can overtake it.
+    if (params.reorder_rate > 0.0 && params.reorder_window > 0 &&
+        sim_.rng().bernoulli(params.reorder_rate)) {
+      delay += static_cast<Duration>(sim_.rng().uniform(
+          0.0, static_cast<double>(params.reorder_window)));
+      stats.reordered += 1;
+      log().trace("net", "reorder ", message.type, " ", message.from, "->",
+                  message.to);
+    }
+    // Duplication: a second copy of the frame arrives with its own delay.
+    if (params.duplicate_rate > 0.0 &&
+        sim_.rng().bernoulli(params.duplicate_rate)) {
+      duplicate_delay = delay + static_cast<Duration>(sim_.rng().uniform(
+                                    0.0, static_cast<double>(std::max<Duration>(
+                                             params.reorder_window, 1))));
+      stats.duplicated += 1;
+      log().trace("net", "duplicate ", message.type, " ", message.from, "->",
+                  message.to);
+    }
   }
 
+  if (duplicate_delay >= 0) {
+    sim_.schedule_after(
+        duplicate_delay, [this, message] { deliver_copy(message); },
+        "net.deliver.dup");
+  }
   sim_.schedule_after(
-      delay,
-      [this, message = std::move(message)]() {
-        Host& receiver = sim_.host(message.to);
-        if (!receiver.alive()) return;
-        auto& recv_traffic = traffic_[message.to.value()];
-        recv_traffic.bytes_received += message.size_bytes;
-        recv_traffic.messages_received += 1;
-        receiver.meter().charge_received(message.size_bytes);
-        receiver.deliver(message);
-      },
+      delay, [this, message = std::move(message)] { deliver_copy(message); },
       "net.deliver");
+}
+
+void Network::deliver_copy(const Message& message) {
+  Host& receiver = sim_.host(message.to);
+  if (!receiver.alive()) return;
+  auto& recv_traffic = traffic_[message.to.value()];
+  recv_traffic.bytes_received += message.size_bytes;
+  recv_traffic.messages_received += 1;
+  receiver.meter().charge_received(message.size_bytes);
+  receiver.deliver(message);
 }
 
 }  // namespace rcs::sim

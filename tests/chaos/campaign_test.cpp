@@ -1,0 +1,90 @@
+// End-to-end chaos campaign properties: determinism of whole runs, seed
+// replay, differential transitions under fire, and shrink on a broken
+// oracle. Campaigns run real ResilientSystem stacks, so each test keeps
+// its campaign count small.
+#include <gtest/gtest.h>
+
+#include "rcs/core/chaos_campaign.hpp"
+
+namespace rcs::core::testing {
+namespace {
+
+ChaosCampaignOptions quick(std::uint64_t seed, const std::string& ftm,
+                           bool delta) {
+  ChaosCampaignOptions options;
+  options.seed = seed;
+  options.ftm = ftm;
+  options.delta_checkpoint = delta;
+  options.requests = 18;
+  options.chaos_horizon = 8 * sim::kSecond;
+  options.chaos_events = 7;
+  return options;
+}
+
+TEST(ChaosCampaign, SameSeedByteIdenticalTraceAndVerdict) {
+  const auto options = quick(4, "PBR", true);
+  const auto first = run_campaign(options);
+  const auto second = run_campaign(options);
+  EXPECT_EQ(first.passed, second.passed);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.final_counter, second.final_counter);
+  EXPECT_TRUE(first.passed) << first.report.to_string();
+}
+
+TEST(ChaosCampaign, ReplayWithGeneratedScheduleIsIdentical) {
+  const auto options = quick(6, "LFR", false);
+  const auto direct = run_campaign(options);
+  const auto replayed = replay_campaign(options, direct.schedule);
+  EXPECT_EQ(direct.trace, replayed.trace);
+  EXPECT_EQ(direct.passed, replayed.passed);
+}
+
+TEST(ChaosCampaign, SweepAcrossFtmsHoldsInvariants) {
+  for (const char* ftm : {"PBR", "LFR", "TR"}) {
+    for (const bool delta : {true, false}) {
+      const auto result = run_campaign(quick(2, ftm, delta));
+      EXPECT_TRUE(result.passed)
+          << result.label << ":\n"
+          << result.report.to_string();
+      EXPECT_GT(result.final_counter, 0);
+    }
+  }
+}
+
+TEST(ChaosCampaign, DifferentialTransitionUnderChaosPasses) {
+  auto options = quick(3, "PBR", true);
+  options.transition_to = "LFR";
+  const auto result = run_campaign(options);
+  EXPECT_TRUE(result.passed) << result.report.to_string();
+  EXPECT_EQ(result.label, "PBR/delta->LFR");
+  EXPECT_NE(result.trace.find("transition=ok"), std::string::npos);
+}
+
+TEST(ChaosCampaign, LabelsEncodeConfiguration) {
+  const auto result = run_campaign(quick(2, "TR", false));
+  EXPECT_EQ(result.label, "TR/full");
+  EXPECT_EQ(result.seed, 2u);
+  EXPECT_NE(result.trace.find("campaign seed=2"), std::string::npos);
+}
+
+TEST(ChaosCampaign, BrokenOracleFailsAndShrinksToMinimalTimeline) {
+  // forbid_retries is an intentionally broken oracle: chaos makes client
+  // retransmission inevitable, so the campaign must fail, and greedy
+  // shrinking must find a strictly smaller timeline that still fails.
+  auto options = quick(1, "PBR", true);
+  options.forbid_retries = true;
+  const auto result = run_campaign(options);
+  ASSERT_FALSE(result.passed);
+  ASSERT_GT(result.schedule.episode_count(), 1u);
+
+  const auto shrunk = shrink_schedule(options, result.schedule);
+  EXPECT_LT(shrunk.episode_count(), result.schedule.episode_count());
+  EXPECT_TRUE(shrunk.shrunk());
+
+  // The shrunk timeline still reproduces the failure on replay.
+  const auto replayed = replay_campaign(options, shrunk);
+  EXPECT_FALSE(replayed.passed);
+}
+
+}  // namespace
+}  // namespace rcs::core::testing

@@ -1,0 +1,199 @@
+// ChaosSchedule generator properties: determinism, heal-before-deadline,
+// fault-class scoping, split-brain safety caps, quiet zones, shrinking.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "rcs/sim/chaos.hpp"
+#include "rcs/sim/fault_injector.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::sim::testing {
+namespace {
+
+ChaosScheduleOptions base_options() {
+  ChaosScheduleOptions options;
+  options.replicas = 2;
+  options.start = 1 * kSecond;
+  options.heal_deadline = 15 * kSecond;
+  options.events = 12;
+  return options;
+}
+
+TEST(ChaosSchedule, SameSeedSameSchedule) {
+  const auto a = ChaosSchedule::generate(42, base_options());
+  const auto b = ChaosSchedule::generate(42, base_options());
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_GT(a.episode_count(), 0u);
+}
+
+TEST(ChaosSchedule, DifferentSeedsDiffer) {
+  const auto a = ChaosSchedule::generate(1, base_options());
+  const auto b = ChaosSchedule::generate(2, base_options());
+  EXPECT_NE(a.to_string(), b.to_string());
+}
+
+TEST(ChaosSchedule, EveryWindowClosesBeforeTheHealDeadline) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto schedule = ChaosSchedule::generate(seed, base_options());
+    for (const auto& e : schedule.episodes()) {
+      EXPECT_GE(e.at, base_options().start) << "seed " << seed;
+      EXPECT_LE(e.at + e.duration, base_options().heal_deadline)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosSchedule, EpisodesAreSortedByTime) {
+  const auto schedule = ChaosSchedule::generate(7, base_options());
+  for (std::size_t i = 1; i < schedule.episode_count(); ++i) {
+    EXPECT_LE(schedule.episodes()[i - 1].at, schedule.episodes()[i].at);
+  }
+}
+
+TEST(ChaosSchedule, ScopingDisablesFaultClasses) {
+  auto options = base_options();
+  options.allow_crashes = false;
+  options.allow_transients = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto schedule = ChaosSchedule::generate(seed, options);
+    for (const auto& e : schedule.episodes()) {
+      EXPECT_NE(e.kind, ChaosEpisodeKind::kCrashRestart) << "seed " << seed;
+      EXPECT_NE(e.kind, ChaosEpisodeKind::kTransient) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosSchedule, ReplicaPairFaultsRespectSafetyCaps) {
+  auto options = base_options();
+  options.events = 40;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto schedule = ChaosSchedule::generate(seed, options);
+    for (const auto& e : schedule.episodes()) {
+      const bool replica_pair =
+          e.a < options.replicas && e.b < options.replicas;
+      if (!replica_pair) continue;
+      if (e.kind == ChaosEpisodeKind::kPartition) {
+        EXPECT_LE(e.duration, options.replica_partition_cap)
+            << "seed " << seed << ": replica partition above the failure-"
+            << "detector margin risks split-brain";
+      }
+      if (e.kind == ChaosEpisodeKind::kDegrade) {
+        EXPECT_LE(e.degraded.drop_rate, options.replica_drop_cap);
+        EXPECT_LE(e.degraded.latency, options.replica_latency_cap);
+      }
+    }
+  }
+}
+
+TEST(ChaosSchedule, CrashWindowsNeverOverlapAndKeepGrace) {
+  auto options = base_options();
+  options.events = 30;
+  options.heal_deadline = 40 * kSecond;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto schedule = ChaosSchedule::generate(seed, options);
+    std::vector<std::pair<Time, Time>> crashes;
+    for (const auto& e : schedule.episodes()) {
+      if (e.kind == ChaosEpisodeKind::kCrashRestart) {
+        crashes.emplace_back(e.at, e.at + e.duration);
+      }
+    }
+    for (std::size_t i = 0; i < crashes.size(); ++i) {
+      for (std::size_t j = i + 1; j < crashes.size(); ++j) {
+        const auto& [b1, e1] = crashes[i];
+        const auto& [b2, e2] = crashes[j];
+        const bool disjoint_with_grace =
+            e1 + options.crash_grace <= b2 || e2 + options.crash_grace <= b1;
+        EXPECT_TRUE(disjoint_with_grace)
+            << "seed " << seed << ": two replicas down (or rejoining) at once";
+      }
+    }
+  }
+}
+
+TEST(ChaosSchedule, QuietZonesAreRespected) {
+  auto options = base_options();
+  options.events = 30;
+  options.quiet.emplace_back(6 * kSecond, 9 * kSecond);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto schedule = ChaosSchedule::generate(seed, options);
+    for (const auto& e : schedule.episodes()) {
+      const Time begin = e.at;
+      const Time end = e.at + e.duration + 1;
+      const bool overlaps = begin < 9 * kSecond && 6 * kSecond < end;
+      EXPECT_FALSE(overlaps) << "seed " << seed << ": episode at t=" << e.at
+                             << " inside the quiet zone";
+    }
+  }
+}
+
+TEST(ChaosSchedule, SameLinkWindowsStayDisjoint) {
+  auto options = base_options();
+  options.events = 40;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto schedule = ChaosSchedule::generate(seed, options);
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::vector<std::pair<Time, Time>>>
+        windows;
+    for (const auto& e : schedule.episodes()) {
+      if (e.kind != ChaosEpisodeKind::kPartition &&
+          e.kind != ChaosEpisodeKind::kDegrade) {
+        continue;
+      }
+      auto& list = windows[{e.a, e.b}];
+      for (const auto& [b, t] : list) {
+        EXPECT_FALSE(e.at < t && b < e.at + e.duration)
+            << "seed " << seed
+            << ": overlapping windows on one link corrupt restore order";
+      }
+      list.emplace_back(e.at, e.at + e.duration);
+    }
+  }
+}
+
+TEST(ChaosSchedule, WithoutEpisodeRemovesExactlyOne) {
+  const auto schedule = ChaosSchedule::generate(11, base_options());
+  ASSERT_GE(schedule.episode_count(), 2u);
+  const auto shrunk = schedule.without_episode(1);
+  EXPECT_EQ(shrunk.episode_count(), schedule.episode_count() - 1);
+  EXPECT_TRUE(shrunk.shrunk());
+  EXPECT_FALSE(schedule.shrunk());
+  EXPECT_EQ(shrunk.episodes()[0].at, schedule.episodes()[0].at);
+  EXPECT_EQ(shrunk.episodes()[1].at, schedule.episodes()[2].at);
+}
+
+TEST(ChaosSchedule, ApplySchedulesEveryEpisodeDeterministically) {
+  // Applying the same schedule to two fresh simulations produces the same
+  // fault event sequence (observed via the injector's virtual-time events).
+  const auto run = [] {
+    Simulation sim(5);
+    Host& r0 = sim.add_host("r0");
+    Host& r1 = sim.add_host("r1");
+    Host& cl = sim.add_host("cl");
+    FaultInjector injector(sim);
+    auto options = base_options();
+    const auto schedule = ChaosSchedule::generate(33, options);
+    schedule.apply(injector, {r0.id(), r1.id(), cl.id()});
+    sim.run_for(30 * kSecond);
+    return std::tuple{sim.now(), r0.alive(), r1.alive(),
+                      sim.network().link(r0.id(), cl.id()).drop_rate,
+                      sim.network().link(r0.id(), r1.id()).partitioned};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ChaosSchedule, CanonicalTextRoundTripsKeyFields) {
+  const auto schedule = ChaosSchedule::generate(9, base_options());
+  const auto text = schedule.to_string();
+  EXPECT_NE(text.find("chaos seed=9"), std::string::npos);
+  EXPECT_NE(text.find("episodes="), std::string::npos);
+  std::set<std::string> kinds;
+  for (const auto& e : schedule.episodes()) kinds.insert(to_string(e.kind));
+  for (const auto& kind : kinds) {
+    EXPECT_NE(text.find(kind), std::string::npos) << kind;
+  }
+}
+
+}  // namespace
+}  // namespace rcs::sim::testing

@@ -122,5 +122,90 @@ TEST_F(FaultFixture, ApplyWithoutFaultsIsIdentity) {
   EXPECT_EQ(h.faults().corruptions_applied, 0u);
 }
 
+TEST_F(FaultFixture, PartitionWindowDropsAndHeals) {
+  Host& peer = sim.add_host("peer");
+  int delivered = 0;
+  peer.register_handler("m", [&](const Message&) { ++delivered; });
+  sim.network().default_link().drop_rate = 0.0;
+
+  inject.partition_at(h.id(), peer.id(), 100 * kMillisecond,
+                      300 * kMillisecond);
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(i * 100 * kMillisecond + 50 * kMillisecond, [&] {
+      sim.network().send({h.id(), peer.id(), "m", Value(1)});
+    });
+  }
+  sim.run();
+  // Sends at 150ms and 250ms fall inside the window; the rest deliver.
+  EXPECT_EQ(delivered, 3);
+  EXPECT_FALSE(sim.network().link(h.id(), peer.id()).partitioned);
+  EXPECT_EQ(sim.network().link_stats(h.id(), peer.id()).dropped, 2u);
+}
+
+TEST_F(FaultFixture, DegradeWindowRestoresPreviousParams) {
+  Host& peer = sim.add_host("peer");
+  auto& link = sim.network().link(h.id(), peer.id());
+  link.latency = 3 * kMillisecond;
+  link.drop_rate = 0.0;
+
+  LinkParams burst;
+  burst.latency = 50 * kMillisecond;
+  burst.drop_rate = 1.0;
+  burst.duplicate_rate = 0.5;
+  inject.degrade_link_at(h.id(), peer.id(), 100 * kMillisecond,
+                         200 * kMillisecond, burst);
+
+  sim.run_until(150 * kMillisecond);
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).drop_rate, 1.0);
+  sim.run_until(250 * kMillisecond);
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).drop_rate, 0.0);
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).latency, 3 * kMillisecond);
+}
+
+TEST_F(FaultFixture, DegradeWindowPreservesOverlappingPartition) {
+  Host& peer = sim.add_host("peer");
+  inject.partition_at(h.id(), peer.id(), 0, 400 * kMillisecond);
+  inject.degrade_link_at(h.id(), peer.id(), 100 * kMillisecond,
+                         200 * kMillisecond, LinkParams{});
+  sim.run_until(150 * kMillisecond);
+  EXPECT_TRUE(sim.network().link(h.id(), peer.id()).partitioned)
+      << "degrade must not heal a concurrent partition";
+  sim.run_until(250 * kMillisecond);
+  EXPECT_TRUE(sim.network().link(h.id(), peer.id()).partitioned);
+  sim.run_until(450 * kMillisecond);
+  EXPECT_FALSE(sim.network().link(h.id(), peer.id()).partitioned);
+}
+
+TEST_F(FaultFixture, CorruptFuzzPreservesEncodability) {
+  // Whatever corrupt() does to a Value, the result must stay a well-formed
+  // Value: encodable, decodable, and round-trip stable — the checker and the
+  // wire layer both rely on corrupted payloads still being valid payloads.
+  Rng rng(0xC0FFEE);
+  std::vector<Value> seeds;
+  seeds.emplace_back();
+  seeds.emplace_back(true);
+  seeds.emplace_back(std::int64_t{42});
+  seeds.emplace_back(3.25);
+  seeds.emplace_back("the quick brown fox");
+  seeds.emplace_back(Bytes{0x00, 0xFF, 0x7E});
+  seeds.push_back(Value::list());
+  seeds.push_back(Value::map());
+  seeds.push_back(Value::map()
+                      .set("op", "incr")
+                      .set("key", "ctr")
+                      .set("nested", Value(ValueList{Value(1), Value("x")})));
+  for (const auto& seed : seeds) {
+    Value v = seed;
+    for (int round = 0; round < 200; ++round) {
+      v = FaultInjector::corrupt(v, rng);
+      const Bytes encoded = v.encode();
+      const Value decoded = Value::decode(encoded);
+      ASSERT_EQ(decoded, v) << "corrupted value must round-trip: "
+                            << v.to_string();
+      ASSERT_EQ(decoded.encode(), encoded);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rcs::sim

@@ -202,5 +202,52 @@ TEST_F(NetFixture, JitterVariesDelayWithinBounds) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST_F(NetFixture, DuplicateRateDeliversSomeMessagesTwice) {
+  auto& link = sim.network().link(a.id(), b.id());
+  link.duplicate_rate = 0.5;
+  for (int i = 0; i < 200; ++i) send(Value(i));
+  sim.run();
+  const auto& stats = sim.network().link_stats(a.id(), b.id());
+  EXPECT_GT(stats.duplicated, 60u);
+  EXPECT_LT(stats.duplicated, 140u);
+  EXPECT_EQ(received.size(), 200u + stats.duplicated);
+  // Duplicates are byte-identical copies, not re-sends: sender-side message
+  // accounting counts the original only.
+  EXPECT_EQ(stats.messages, 200u);
+}
+
+TEST_F(NetFixture, ReorderRateLetsLaterSendsOvertake) {
+  auto& link = sim.network().link(a.id(), b.id());
+  link.latency = 1 * kMillisecond;
+  link.reorder_rate = 0.3;
+  link.reorder_window = 20 * kMillisecond;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(i * 2 * kMillisecond,
+                    [this, i] { send(Value(i)); });
+  }
+  sim.run();
+  ASSERT_EQ(received.size(), 100u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    if (received[i].payload.as_int() < received[i - 1].payload.as_int()) {
+      out_of_order = true;
+    }
+  }
+  EXPECT_TRUE(out_of_order) << "reordering must let later sends overtake";
+  EXPECT_GT(sim.network().link_stats(a.id(), b.id()).reordered, 10u);
+}
+
+TEST_F(NetFixture, DuplicationAndReorderingAreOffByDefault) {
+  for (int i = 0; i < 50; ++i) send(Value(i));
+  sim.run();
+  ASSERT_EQ(received.size(), 50u);
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    EXPECT_EQ(received[i].payload.as_int(), static_cast<std::int64_t>(i));
+  }
+  const auto& stats = sim.network().link_stats(a.id(), b.id());
+  EXPECT_EQ(stats.duplicated, 0u);
+  EXPECT_EQ(stats.reordered, 0u);
+}
+
 }  // namespace
 }  // namespace rcs::sim

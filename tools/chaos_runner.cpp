@@ -1,0 +1,283 @@
+// chaos_runner: seeded chaos campaign sweeps with replay and shrinking.
+//
+// Default run sweeps N seeds across {PBR, LFR, TR} x {delta checkpointing
+// on, off}, plus a set of mid-campaign differential transition seeds, and
+// checks every history invariant on every run. On the first failure it
+// prints the seed, the configuration, the greedily shrunk minimal fault
+// timeline, and the exact command line that replays it — then exits
+// non-zero.
+//
+//   chaos_runner                          # full default sweep (50+20 seeds)
+//   chaos_runner --seeds 5                # bounded smoke sweep
+//   chaos_runner --replay 17 --ftm LFR --delta off
+//   chaos_runner --replay 3 --ftm PBR --delta on --transition-to LFR
+//   chaos_runner --demo-shrink            # broken oracle -> shrunk timeline
+//
+// Every campaign is bit-deterministic in its seed: replaying a reported
+// failure reproduces the identical trace, and the shrunk schedule is
+// re-validated by replay before it is printed.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rcs/common/logging.hpp"
+#include "rcs/core/chaos_campaign.hpp"
+
+namespace {
+
+using rcs::core::ChaosCampaignOptions;
+using rcs::core::ChaosCampaignResult;
+
+struct SweepSpec {
+  std::string ftm;
+  bool delta;
+  std::string transition_to;  // empty: plain campaign
+};
+
+struct Args {
+  int seeds{50};
+  int transition_seeds{20};
+  std::uint64_t base_seed{1};
+  std::vector<std::string> ftms{"PBR", "LFR", "TR"};
+  std::string delta{"both"};  // on | off | both
+  bool has_replay{false};
+  std::uint64_t replay_seed{0};
+  std::string replay_ftm{"PBR"};
+  std::string transition_to;
+  bool demo_shrink{false};
+  bool verbose{false};
+};
+
+void usage() {
+  std::puts(
+      "usage: chaos_runner [--seeds N] [--transitions N] [--base-seed S]\n"
+      "                    [--ftm A,B,..] [--delta on|off|both] [--verbose]\n"
+      "       chaos_runner --replay SEED --ftm NAME --delta on|off\n"
+      "                    [--transition-to NAME]\n"
+      "       chaos_runner --demo-shrink");
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(start));
+      break;
+    }
+    out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return false;
+      args.seeds = std::atoi(v);
+    } else if (arg == "--transitions") {
+      const char* v = next();
+      if (!v) return false;
+      args.transition_seeds = std::atoi(v);
+    } else if (arg == "--base-seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.base_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--ftm") {
+      const char* v = next();
+      if (!v) return false;
+      args.ftms = split_csv(v);
+      args.replay_ftm = args.ftms.empty() ? "PBR" : args.ftms.front();
+    } else if (arg == "--delta") {
+      const char* v = next();
+      if (!v) return false;
+      args.delta = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return false;
+      args.has_replay = true;
+      args.replay_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--transition-to") {
+      const char* v = next();
+      if (!v) return false;
+      args.transition_to = v;
+    } else if (arg == "--demo-shrink") {
+      args.demo_shrink = true;
+    } else if (arg == "--verbose") {
+      args.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string replay_command(const ChaosCampaignOptions& options) {
+  std::string cmd = "chaos_runner --replay " + std::to_string(options.seed) +
+                    " --ftm " + options.ftm + " --delta " +
+                    (options.delta_checkpoint ? "on" : "off");
+  if (!options.transition_to.empty()) {
+    cmd += " --transition-to " + options.transition_to;
+  }
+  return cmd;
+}
+
+/// Report a failed campaign: verdict, shrunk timeline, replay command.
+void report_failure(const ChaosCampaignOptions& options,
+                    const ChaosCampaignResult& result) {
+  std::printf("\nFAILURE seed=%llu label=%s\n",
+              static_cast<unsigned long long>(result.seed),
+              result.label.c_str());
+  std::printf("%s", result.report.to_string().c_str());
+  std::printf("\nshrinking the fault timeline (%zu episode(s))...\n",
+              result.schedule.episode_count());
+  const auto shrunk = rcs::core::shrink_schedule(options, result.schedule);
+  std::printf("minimal failing timeline (%zu episode(s)):\n%s",
+              shrunk.episode_count(), shrunk.to_string().c_str());
+  std::printf("replay: %s\n", replay_command(options).c_str());
+}
+
+int run_one(const ChaosCampaignOptions& options, bool verbose,
+            int& campaigns, int& failures) {
+  const auto result = rcs::core::run_campaign(options);
+  ++campaigns;
+  if (verbose || !result.passed) {
+    std::printf("  seed=%-4llu %-18s %s (ctr=%lld retries=%llu)\n",
+                static_cast<unsigned long long>(options.seed),
+                result.label.c_str(), result.passed ? "PASS" : "FAIL",
+                static_cast<long long>(result.final_counter),
+                static_cast<unsigned long long>(result.client_stats.retries));
+  }
+  if (!result.passed) {
+    ++failures;
+    report_failure(options, result);
+    return 1;
+  }
+  return 0;
+}
+
+int run_sweep(const Args& args) {
+  std::vector<bool> delta_modes;
+  if (args.delta == "on" || args.delta == "both") delta_modes.push_back(true);
+  if (args.delta == "off" || args.delta == "both") delta_modes.push_back(false);
+  if (delta_modes.empty()) {
+    std::fprintf(stderr, "bad --delta value: %s\n", args.delta.c_str());
+    return 2;
+  }
+
+  int campaigns = 0;
+  int failures = 0;
+
+  std::printf("chaos sweep: %d seed(s) x {", args.seeds);
+  for (std::size_t i = 0; i < args.ftms.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", args.ftms[i].c_str());
+  }
+  std::printf("} x {%s}\n", args.delta.c_str());
+  for (int s = 0; s < args.seeds; ++s) {
+    for (const auto& ftm : args.ftms) {
+      for (const bool delta : delta_modes) {
+        ChaosCampaignOptions options;
+        options.seed = args.base_seed + static_cast<std::uint64_t>(s);
+        options.ftm = ftm;
+        options.delta_checkpoint = delta;
+        if (run_one(options, args.verbose, campaigns, failures)) {
+          std::printf("\n%d campaign(s), %d failure(s)\n", campaigns,
+                      failures);
+          return 1;
+        }
+      }
+    }
+  }
+
+  // Mid-campaign differential transitions, coverage-intersected chaos.
+  static const SweepSpec kTransitions[] = {
+      {"PBR", true, "LFR"},
+      {"LFR", true, "PBR"},
+      {"PBR", false, "PBR_TR"},
+  };
+  if (args.transition_seeds > 0) {
+    std::printf("transition sweep: %d seed(s) x %zu transition(s)\n",
+                args.transition_seeds, std::size(kTransitions));
+  }
+  for (int s = 0; s < args.transition_seeds; ++s) {
+    const auto& spec = kTransitions[static_cast<std::size_t>(s) %
+                                    std::size(kTransitions)];
+    ChaosCampaignOptions options;
+    options.seed = args.base_seed + 1000 + static_cast<std::uint64_t>(s);
+    options.ftm = spec.ftm;
+    options.delta_checkpoint = spec.delta;
+    options.transition_to = spec.transition_to;
+    if (run_one(options, args.verbose, campaigns, failures)) {
+      std::printf("\n%d campaign(s), %d failure(s)\n", campaigns, failures);
+      return 1;
+    }
+  }
+
+  std::printf("\n%d campaign(s), %d failure(s) — all invariants held\n",
+              campaigns, failures);
+  return 0;
+}
+
+int run_replay(const Args& args) {
+  ChaosCampaignOptions options;
+  options.seed = args.replay_seed;
+  options.ftm = args.replay_ftm;
+  options.delta_checkpoint = args.delta != "off";
+  options.transition_to = args.transition_to;
+  const auto result = rcs::core::run_campaign(options);
+  std::printf("%s", result.trace.c_str());
+  if (!result.passed) {
+    report_failure(options, result);
+    return 1;
+  }
+  return 0;
+}
+
+int run_demo_shrink(const Args& args) {
+  // Intentionally broken oracle: any retransmission counts as a violation.
+  // Chaos makes retries inevitable, so the campaign fails and the shrinker
+  // demonstrably reduces the timeline to (usually) a single episode.
+  ChaosCampaignOptions options;
+  options.seed = args.base_seed;
+  options.ftm = args.ftms.empty() ? "PBR" : args.ftms.front();
+  options.forbid_retries = true;
+  std::printf("demo: oracle forbids retries; chaos must violate it\n");
+  const auto result = rcs::core::run_campaign(options);
+  if (result.passed) {
+    std::printf("unexpected PASS — no retries under seed %llu; "
+                "try another --base-seed\n",
+                static_cast<unsigned long long>(options.seed));
+    return 1;
+  }
+  report_failure(options, result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  rcs::log().set_level(args.verbose ? rcs::LogLevel::kInfo
+                                    : rcs::LogLevel::kWarn);
+  if (args.verbose) rcs::log().set_stderr_level(rcs::LogLevel::kInfo);
+  if (args.demo_shrink) return run_demo_shrink(args);
+  if (args.has_replay) return run_replay(args);
+  return run_sweep(args);
+}
