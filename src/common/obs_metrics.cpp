@@ -1,0 +1,174 @@
+#include "rcs/obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace rcs::obs {
+
+std::size_t HistogramCells::bucket_of(std::int64_t v) {
+  if (v <= 0) return 0;
+  return static_cast<std::size_t>(std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+std::int64_t HistogramCells::bucket_bound(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 63) return INT64_MAX;
+  return static_cast<std::int64_t>((std::uint64_t{1} << i) - 1);
+}
+
+void HistogramCells::record(std::int64_t v) {
+  ++buckets[bucket_of(v)];
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+}
+
+namespace {
+
+template <typename Cells, typename Index>
+std::size_t intern(Index& index, Cells& cells, std::string_view name) {
+  const auto it = index.find(name);
+  if (it != index.end()) return it->second;
+  const std::size_t slot = cells.size();
+  cells.emplace_back();
+  index.emplace(std::string(name), slot);
+  return slot;
+}
+
+}  // namespace
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(counter_cell(name));
+}
+
+std::uint64_t* MetricsRegistry::counter_cell(std::string_view name) {
+  return &counters_[intern(counter_index_, counters_, name)];
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(&gauges_[intern(gauge_index_, gauges_, name)]);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  return Histogram(&histograms_[intern(histogram_index_, histograms_, name)]);
+}
+
+Value MetricsRegistry::snapshot() const {
+  Value counters = Value::map();
+  for (const auto& [name, slot] : counter_index_) {
+    counters.set(name, static_cast<std::int64_t>(counters_[slot]));
+  }
+  Value gauges = Value::map();
+  for (const auto& [name, slot] : gauge_index_) {
+    gauges.set(name, gauges_[slot]);
+  }
+  Value histograms = Value::map();
+  for (const auto& [name, slot] : histogram_index_) {
+    const HistogramCells& cells = histograms_[slot];
+    Value buckets = Value::list();
+    for (std::size_t i = 0; i < HistogramCells::kBuckets; ++i) {
+      if (cells.buckets[i] == 0) continue;
+      buckets.push_back(Value::list()
+                            .push_back(HistogramCells::bucket_bound(i))
+                            .push_back(static_cast<std::int64_t>(
+                                cells.buckets[i])));
+    }
+    histograms.set(name, Value::map()
+                             .set("count", cells.count)
+                             .set("sum", cells.sum)
+                             .set("min", cells.min)
+                             .set("max", cells.max)
+                             .set("buckets", std::move(buckets)));
+  }
+  return Value::map()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(histograms));
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json_lines(std::string_view scope) const {
+  std::string out;
+  const auto open = [&](const char* type, const std::string& name) {
+    out += "{\"type\":\"";
+    out += type;
+    out += "\",\"scope\":";
+    append_json_string(out, scope);
+    out += ",\"name\":";
+    append_json_string(out, name);
+  };
+  for (const auto& [name, slot] : counter_index_) {
+    open("counter", name);
+    out += ",\"value\":";
+    append_int(out, static_cast<std::int64_t>(counters_[slot]));
+    out += "}\n";
+  }
+  for (const auto& [name, slot] : gauge_index_) {
+    open("gauge", name);
+    out += ",\"value\":";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", gauges_[slot]);
+    out += buf;
+    out += "}\n";
+  }
+  for (const auto& [name, slot] : histogram_index_) {
+    const HistogramCells& cells = histograms_[slot];
+    open("histogram", name);
+    out += ",\"count\":";
+    append_int(out, static_cast<std::int64_t>(cells.count));
+    out += ",\"sum\":";
+    append_int(out, cells.sum);
+    out += ",\"min\":";
+    append_int(out, cells.min);
+    out += ",\"max\":";
+    append_int(out, cells.max);
+    out += ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < HistogramCells::kBuckets; ++i) {
+      if (cells.buckets[i] == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += '[';
+      append_int(out, HistogramCells::bucket_bound(i));
+      out += ',';
+      append_int(out, static_cast<std::int64_t>(cells.buckets[i]));
+      out += ']';
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+}  // namespace rcs::obs

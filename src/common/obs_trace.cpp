@@ -1,0 +1,155 @@
+#include "rcs/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rcs::obs {
+
+NameId Tracer::intern(std::string_view name) {
+  const auto it = name_index_.find(name);
+  if (it != name_index_.end()) return it->second;
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_index_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& Tracer::name_of(NameId id) const {
+  static const std::string kUnknown = "?";
+  if (id >= names_.size()) return kUnknown;
+  return names_[id];
+}
+
+void Tracer::set_host_name(std::uint32_t host, std::string name) {
+  host_names_[host] = std::move(name);
+}
+
+void Tracer::record(std::uint32_t host, const SpanRecord& span) {
+  auto it = rings_.find(host);
+  if (it == rings_.end()) {
+    it = rings_.emplace(host, SpanRing(ring_capacity_)).first;
+  }
+  it->second.push(span);
+  ++recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& [host, ring] : rings_) total += ring.dropped();
+  return total;
+}
+
+std::size_t Tracer::stored() const {
+  std::size_t total = 0;
+  for (const auto& [host, ring] : rings_) total += ring.size();
+  return total;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_int(std::string& out, long long v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  out += buf;
+}
+
+void append_uint(std::string& out, unsigned long long v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::export_chrome_json() const {
+  // Merge the per-host rings into one event stream. Within a host the ring is
+  // already in record order (monotone virtual time); hosts are visited in id
+  // order, then the merged stream is stably sorted by timestamp so the export
+  // depends only on run content, never on container iteration quirks.
+  struct Row {
+    std::uint32_t host;
+    SpanRecord span;
+  };
+  std::vector<Row> rows;
+  rows.reserve(stored());
+  for (const auto& [host, ring] : rings_) {
+    ring.for_each([&](const SpanRecord& span) { rows.push_back({host, span}); });
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.span.start < b.span.start;
+  });
+
+  std::string out;
+  out.reserve(128 + rows.size() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& [host, name] : host_names_) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    append_uint(out, host);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    append_json_string(out, name);
+    out += "}}";
+  }
+  for (const Row& row : rows) {
+    comma();
+    const SpanRecord& s = row.span;
+    out += "{\"ph\":\"";
+    out += s.is_instant() ? 'i' : 'X';
+    out += "\",\"name\":";
+    append_json_string(out, name_of(s.name));
+    out += ",\"pid\":";
+    append_uint(out, row.host);
+    out += ",\"tid\":";
+    append_uint(out, static_cast<unsigned long long>(s.trace & 0xFFFFFFFFull));
+    out += ",\"ts\":";
+    append_int(out, s.start);
+    if (s.is_instant()) {
+      out += ",\"s\":\"t\"";
+    } else {
+      out += ",\"dur\":";
+      append_int(out, s.dur);
+    }
+    if (s.trace != 0 || s.arg != 0) {
+      out += ",\"args\":{";
+      bool inner = true;
+      if (s.trace != 0) {
+        out += "\"trace\":";
+        append_uint(out, s.trace);
+        inner = false;
+      }
+      if (s.arg != 0) {
+        if (!inner) out += ',';
+        out += "\"arg\":";
+        append_int(out, s.arg);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace rcs::obs

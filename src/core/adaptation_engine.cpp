@@ -295,6 +295,14 @@ void AdaptationEngine::finish(std::uint64_t txn) {
   manager_.cancel(pending.timeout);
 
   pending.report.engine_total = manager_.sim().now() - pending.started;
+  // Whole-transition span on the manager host; the per-step spans the node
+  // agents record nest under it (same trace id = txn).
+  obs::Tracer& tracer = manager_.sim().tracer();
+  if (tracer.enabled()) {
+    tracer.span(manager_.id().value(),
+                tracer.intern(strf("adapt.", pending.report.kind)), txn,
+                pending.started, manager_.sim().now());
+  }
   pending.report.ok = true;
   for (const auto& outcome : pending.report.replicas) {
     if (!outcome.responded || !outcome.ok) pending.report.ok = false;

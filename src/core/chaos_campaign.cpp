@@ -44,6 +44,10 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
   sys.seed = options.seed;
   sys.start_monitoring = false;  // campaigns adapt only on explicit request
   ResilientSystem system(sys);
+  // Tracing must switch on before deployment so the deploy spans and every
+  // request span land in the rings; the run itself stays bit-identical
+  // (recording never schedules events or draws randomness).
+  if (options.record_trace) system.sim().tracer().set_enabled(true);
 
   auto config = ftm::FtmConfig::by_name(options.ftm);
   config.delta_checkpoint = options.delta_checkpoint;
@@ -184,6 +188,10 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
   result.label = strf(options.ftm, "/",
                       options.delta_checkpoint ? "delta" : "full",
                       has_transition ? "->" + options.transition_to : "");
+  if (options.record_trace) {
+    result.trace_json = system.sim().tracer().export_chrome_json();
+    result.metrics_json = system.sim().metrics().to_json_lines(result.label);
+  }
   result.report =
       ftm::HistoryChecker::check(recorder.records(), inputs);
   if (!final_counter_valid) {

@@ -41,6 +41,9 @@ struct ChaosCampaignOptions {
   /// as a violation (chaos makes retries inevitable, so shrinking converges
   /// on a single-episode schedule).
   bool forbid_retries{false};
+  /// Record structured spans (rcs::obs) for the whole run and export them in
+  /// the result. Deterministic: same seed + options => byte-identical JSON.
+  bool record_trace{false};
 };
 
 struct ChaosCampaignResult {
@@ -55,6 +58,10 @@ struct ChaosCampaignResult {
   std::string trace;
   std::int64_t final_counter{0};
   ftm::Client::Stats client_stats;
+  /// Chrome trace_event JSON of the run (empty unless options.record_trace).
+  std::string trace_json;
+  /// Metrics registry export, one JSON object per line (same gating).
+  std::string metrics_json;
 };
 
 /// Generate the schedule from `options.seed` and run it.

@@ -85,12 +85,25 @@ class MonitoringEngine {
   /// Latest measured service throughput (replies/s across the group).
   [[nodiscard]] double request_rate() const { return request_rate_; }
   [[nodiscard]] std::uint64_t events_observed(const std::string& kind) const;
+  /// Current backlog of one kind's sliding window (diagnostics/tests): how
+  /// many timestamps are held right now, before any pruning.
+  [[nodiscard]] std::size_t window_backlog(const std::string& kind) const;
 
  private:
   void sample();
   void on_event(const Value& payload);
   void fire(TriggerKind kind, double measured, std::string detail);
   [[nodiscard]] std::size_t window_count(const std::string& kind);
+  /// Drop stale entries from EVERY kind's sliding window (window_count only
+  /// prunes the queried kind, so rarely-queried kinds would otherwise grow
+  /// without bound over a long campaign).
+  void prune_event_windows();
+  /// Re-arm the transient/permanent/divergence latches whose evidence has
+  /// drained below threshold, so a later fault episode fires a fresh
+  /// trigger — same hysteresis discipline as the bandwidth/CPU probes.
+  void rearm_fault_latches();
+  [[nodiscard]] std::size_t transient_evidence();
+  [[nodiscard]] std::size_t permanent_evidence();
 
   sim::Host& manager_;
   std::vector<HostId> replicas_;

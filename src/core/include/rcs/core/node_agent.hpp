@@ -63,6 +63,11 @@ class NodeAgent {
   void deploy_local(const ftm::DeployParams& params);
 
  private:
+  /// Record an "adapt.<step>" trace span of length `cost` ending now, tagged
+  /// with the transition id so all replicas' steps line up on one trace.
+  /// No-op unless the simulation tracer is enabled.
+  void trace_step(const char* step, const Value& txn, sim::Duration cost);
+
   void handle_deploy(const Value& request, HostId engine);
   void handle_apply(const Value& request, HostId engine);
   void handle_monolithic(const Value& request, HostId engine);

@@ -48,10 +48,23 @@ std::uint64_t MonitoringEngine::events_observed(const std::string& kind) const {
   return it == event_totals_.end() ? 0 : it->second;
 }
 
+std::size_t MonitoringEngine::window_backlog(const std::string& kind) const {
+  const auto it = event_times_.find(kind);
+  return it == event_times_.end() ? 0 : it->second.size();
+}
+
 void MonitoringEngine::fire(TriggerKind kind, double measured,
                             std::string detail) {
   Trigger trigger{kind, measured, manager_.sim().now(), std::move(detail)};
   log().info("monitor", "trigger: ", to_string(kind), " (", trigger.detail, ")");
+  sim::Simulation& sim = manager_.sim();
+  sim.metrics().counter(strf("monitor.", to_string(kind))).add(1);
+  obs::Tracer& tracer = sim.tracer();
+  if (tracer.enabled()) {
+    tracer.instant(manager_.id().value(),
+                   tracer.intern(strf("monitor.", to_string(kind))), 0,
+                   trigger.at, static_cast<std::int64_t>(measured));
+  }
   triggers_.push_back(trigger);
   if (listener_) listener_(trigger);
 }
@@ -87,8 +100,15 @@ void MonitoringEngine::sample() {
     if (last_sample_ > 0 && now > last_sample_) {
       const double window_s =
           static_cast<double>(now - last_sample_) / sim::kSecond;
+      // Guard against counter regression: a LinkStats reset (host restart or
+      // explicit Network::reset_stats mid-campaign) makes link_bytes fall
+      // below the remembered value; the unsigned difference would explode
+      // into a huge rate and fire a spurious saturation trigger. Treat a
+      // regressed counter as an empty window and re-baseline.
       const double byte_rate =
-          static_cast<double>(link_bytes - last_link_bytes_) / window_s;
+          link_bytes >= last_link_bytes_
+              ? static_cast<double>(link_bytes - last_link_bytes_) / window_s
+              : 0.0;
       std::int64_t total_replies = 0;
       for (const auto& [host, replies] : replies_by_host_) {
         total_replies += replies;
@@ -141,6 +161,12 @@ void MonitoringEngine::sample() {
     }
   }
 
+  // Fault-evidence maintenance: expire every kind's window (not only the
+  // kinds the trigger logic happens to query) and re-arm drained latches so
+  // the next fault episode is detected.
+  prune_event_windows();
+  rearm_fault_latches();
+
   manager_.schedule_after(interval_, [this] { sample(); }, "monitor.sample");
 }
 
@@ -151,36 +177,77 @@ std::size_t MonitoringEngine::window_count(const std::string& kind) {
   return times.size();
 }
 
+void MonitoringEngine::prune_event_windows() {
+  const sim::Time horizon = manager_.sim().now() - thresholds_.event_window;
+  for (auto& [kind, times] : event_times_) {
+    while (!times.empty() && times.front() < horizon) times.pop_front();
+  }
+}
+
+std::size_t MonitoringEngine::transient_evidence() {
+  return window_count("tr_mismatch") + window_count("assertion_failed") +
+         window_count("acceptance_failed");
+}
+
+std::size_t MonitoringEngine::permanent_evidence() {
+  return window_count("assertion_failed") +
+         window_count("both_replicas_faulty") +
+         window_count("tr_no_majority") +
+         window_count("both_variants_rejected");
+}
+
+void MonitoringEngine::rearm_fault_latches() {
+  if (transient_latched_ &&
+      transient_evidence() <
+          static_cast<std::size_t>(thresholds_.transient_events)) {
+    transient_latched_ = false;
+  }
+  if (permanent_latched_ &&
+      permanent_evidence() <
+          static_cast<std::size_t>(thresholds_.permanent_events)) {
+    permanent_latched_ = false;
+  }
+  if (divergence_latched_ &&
+      window_count("divergence") <
+          static_cast<std::size_t>(thresholds_.divergence_events)) {
+    divergence_latched_ = false;
+  }
+}
+
 void MonitoringEngine::on_event(const Value& payload) {
   const auto& kind = payload.at("kind").as_string();
-  event_times_[kind].push_back(manager_.sim().now());
+  auto& times = event_times_[kind];
+  times.push_back(manager_.sim().now());
+  // Hard bound per kind: the sliding window can never need more history than
+  // this, and a kind that is never queried must not grow for the whole
+  // campaign (sample() prunes by age; this caps rate bursts between samples).
+  constexpr std::size_t kMaxEventsPerKind = 4096;
+  while (times.size() > kMaxEventsPerKind) times.pop_front();
   ++event_totals_[kind];
+
+  // A latch whose evidence drained since the last look re-arms before the
+  // new evidence is judged, so two separated fault episodes fire two
+  // triggers (the second episode is new information, not an echo).
+  rearm_fault_latches();
 
   // FT evidence: TR mismatches, assertion failures and recovery-block
   // acceptance rejections all witness value faults striking computations.
-  const auto transient_evidence = window_count("tr_mismatch") +
-                                  window_count("assertion_failed") +
-                                  window_count("acceptance_failed");
+  const auto transient = transient_evidence();
   if (!transient_latched_ &&
-      transient_evidence >= static_cast<std::size_t>(thresholds_.transient_events)) {
+      transient >= static_cast<std::size_t>(thresholds_.transient_events)) {
     transient_latched_ = true;
-    fire(TriggerKind::kTransientFaults,
-         static_cast<double>(transient_evidence),
-         strf(transient_evidence, " value-fault events in window"));
+    fire(TriggerKind::kTransientFaults, static_cast<double>(transient),
+         strf(transient, " value-fault events in window"));
   }
 
   // Sustained assertion failures and TR votes that never converge point at
   // hardware aging (permanent value faults).
-  const auto permanent_evidence = window_count("assertion_failed") +
-                                  window_count("both_replicas_faulty") +
-                                  window_count("tr_no_majority") +
-                                  window_count("both_variants_rejected");
+  const auto permanent = permanent_evidence();
   if (!permanent_latched_ &&
-      permanent_evidence >= static_cast<std::size_t>(thresholds_.permanent_events)) {
+      permanent >= static_cast<std::size_t>(thresholds_.permanent_events)) {
     permanent_latched_ = true;
-    fire(TriggerKind::kPermanentFaultSuspected,
-         static_cast<double>(permanent_evidence),
-         strf(permanent_evidence, " assertion failures in window"));
+    fire(TriggerKind::kPermanentFaultSuspected, static_cast<double>(permanent),
+         strf(permanent, " assertion failures in window"));
   }
 
   // A evidence: replica divergence under an active strategy.

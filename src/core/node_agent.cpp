@@ -136,6 +136,17 @@ void NodeAgent::deploy_local(const ftm::DeployParams& params) {
   attach_kernel_listeners();
 }
 
+void NodeAgent::trace_step(const char* step, const Value& txn,
+                           sim::Duration cost) {
+  obs::Tracer& tracer = host_.sim().tracer();
+  if (!tracer.enabled() || cost <= 0) return;
+  const sim::Time now = host_.sim().now();
+  const std::uint64_t trace =
+      txn.is_int() ? static_cast<std::uint64_t>(txn.as_int()) : 0;
+  tracer.span(host_.id().value(), tracer.intern(strf("adapt.", step)), trace,
+              now - cost, now);
+}
+
 void NodeAgent::ack(HostId engine, const Value& txn, bool ok,
                     const std::string& error, const StepTimings& timings) {
   Value payload = Value::map();
@@ -168,6 +179,7 @@ void NodeAgent::handle_deploy(const Value& request, HostId engine) {
                                              bootstrap, install] {
     StepTimings timings;
     timings.deploy = bootstrap + install;
+    trace_step("deploy", txn, timings.deploy);
     const Status installed = library_.install(package.components);
     if (!installed.is_ok()) {
       ack(engine, txn, false, installed.message(), timings);
@@ -183,6 +195,7 @@ void NodeAgent::handle_deploy(const Value& request, HostId engine) {
       host_.schedule_after(script_cost,
                            [this, txn, engine, timings, script_cost]() mutable {
                              timings.script = script_cost;
+                             trace_step("script", txn, script_cost);
                              ack(engine, txn, true, "", timings);
                            });
     } catch (const Error& e) {
@@ -211,6 +224,7 @@ void NodeAgent::handle_apply(const Value& request, HostId engine) {
                     quiesce_start] {
     StepTimings timings;
     timings.quiesce = host_.sim().now() - quiesce_start;
+    trace_step("quiesce", txn, timings.quiesce);
     Rng& rng = host_.sim().rng();
 
     // Step 1 (Fig. 9): deploy the transition package.
@@ -222,6 +236,7 @@ void NodeAgent::handle_apply(const Value& request, HostId engine) {
     host_.schedule_after(deploy_cost, [this, txn, package, target, engine,
                                        sabotage, timings, deploy_cost]() mutable {
       timings.deploy = deploy_cost;
+      trace_step("deploy", txn, deploy_cost);
       const Status installed = library_.install(package.components);
 
       // Step 2: execute the reconfiguration script (transactional).
@@ -258,6 +273,7 @@ void NodeAgent::handle_apply(const Value& request, HostId engine) {
       host_.schedule_after(script_cost, [this, txn, engine, package, timings,
                                          script_cost]() mutable {
         timings.script = script_cost;
+        trace_step("script", txn, script_cost);
 
         // Step 3: remove residual components of the old configuration.
         const auto n_replaced =
@@ -268,6 +284,7 @@ void NodeAgent::handle_apply(const Value& request, HostId engine) {
         host_.schedule_after(removal_cost, [this, txn, engine, timings,
                                             removal_cost]() mutable {
           timings.removal = removal_cost;
+          trace_step("removal", txn, removal_cost);
           runtime_.resume();
           ack(engine, txn, true, "", timings);
         });
@@ -294,6 +311,7 @@ void NodeAgent::handle_monolithic(const Value& request, HostId engine) {
   runtime_.quiesce([this, txn, package, params, engine, quiesce_start] {
     StepTimings timings;
     timings.quiesce = host_.sim().now() - quiesce_start;
+    trace_step("quiesce", txn, timings.quiesce);
     Rng& rng = host_.sim().rng();
 
     // Monolithic replacement must transfer the application state out of the
@@ -323,6 +341,25 @@ void NodeAgent::handle_monolithic(const Value& request, HostId engine) {
           timings.state_transfer = state_cost;
           timings.removal = teardown_cost;
           timings.deploy = install_cost;
+          // The three sequential steps were charged as one delay; partition
+          // it so the trace shows where the monolithic replacement's time
+          // actually goes (state out -> teardown -> install).
+          obs::Tracer& tracer = host_.sim().tracer();
+          if (tracer.enabled()) {
+            const std::uint64_t trace =
+                txn.is_int() ? static_cast<std::uint64_t>(txn.as_int()) : 0;
+            const auto pid = host_.id().value();
+            const sim::Time end = host_.sim().now();
+            const sim::Time install_from = end - install_cost;
+            const sim::Time teardown_from = install_from - teardown_cost;
+            const sim::Time state_from = teardown_from - state_cost;
+            tracer.span(pid, tracer.intern("adapt.state_transfer"), trace,
+                        state_from, teardown_from);
+            tracer.span(pid, tracer.intern("adapt.removal"), trace,
+                        teardown_from, install_from);
+            tracer.span(pid, tracer.intern("adapt.deploy"), trace,
+                        install_from, end);
+          }
           const Status installed = library_.install(package.components);
           if (!installed.is_ok()) {
             ack(engine, txn, false, installed.message(), timings);
@@ -341,6 +378,7 @@ void NodeAgent::handle_monolithic(const Value& request, HostId engine) {
             host_.schedule_after(
                 script_cost, [this, txn, engine, timings, script_cost]() mutable {
                   timings.script = script_cost;
+                  trace_step("script", txn, script_cost);
                   ack(engine, txn, true, "", timings);
                 });
           } catch (const Error& e) {
@@ -378,6 +416,7 @@ void NodeAgent::handle_intra(const Value& request, HostId engine) {
   host_.schedule_after(script_cost, [this, txn, engine, timings,
                                      script_cost]() mutable {
     timings.script = script_cost;
+    trace_step("script", txn, script_cost);
     runtime_.persist(runtime_.params());
     ack(engine, txn, true, "", timings);
   });

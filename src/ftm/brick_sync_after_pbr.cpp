@@ -52,6 +52,10 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
     data.set("pending_reply", Value::map()
                                   .set("id", ctx.at("id"))
                                   .set("result", ctx.at("result")));
+    if (tracing()) {
+      trace_instant("ckpt.send", trace_of(ctx),
+                    static_cast<std::int64_t>(data.encoded_size()));
+    }
     send_peer("after", "checkpoint", std::move(data));
     count_event("checkpoint_sent");
     // Wait for every live backup to acknowledge before answering the client
@@ -90,6 +94,7 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
       import_replies(data.at("replies"));
       record_pending_reply(data);
       count_event("checkpoint_applied");
+      trace_instant("ckpt.apply", 0, from);
       send_peer_to(from, "after", "checkpoint_ack",
                    Value::map().set("key", data.at("key")));
     }
@@ -133,11 +138,13 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
       // stream): ask for a full resync through the join path and withhold
       // the ack — the primary's retry loop re-sends once we caught up.
       count_event("resync_requested");
+      trace_instant("ckpt.resync", 0, from);
       call("control", "join", Value::map());
       return Value::map();
     }
     record_pending_reply(data);
     count_event("checkpoint_applied");
+    trace_instant("ckpt.apply", 0, from);
     send_peer_to(from, "after", "checkpoint_ack", std::move(ack));
     return Value::map();
   }

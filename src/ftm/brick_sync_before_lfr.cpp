@@ -29,6 +29,9 @@ class SyncBeforeLfr final : public FtmBrick {
             .set("client", ctx.at("client"))
             .set("id", ctx.at("id"))
             .set("request", ctx.at("request"));
+        // Thread the trace id into the forward so the follower's pipeline
+        // spans land on the same trace as the leader's.
+        if (ctx.has("trace")) data.set("trace", ctx.at("trace"));
         send_peer("before", "request", std::move(data));
       }
       return done();

@@ -5,6 +5,7 @@
 
 #include "rcs/common/error.hpp"
 #include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
 #include "rcs/ftm/interfaces.hpp"
 #include "rcs/sim/simulation.hpp"
 
@@ -23,6 +24,17 @@ Client::Client(sim::Host& host, std::vector<HostId> replicas, Options options)
   host_.register_handler(msg::kReply, [this](const sim::Message& message) {
     on_reply(message.payload);
   });
+  tracer_ = &host_.sim().tracer();
+  request_span_name_ = tracer_->intern("client.request");
+  retry_span_name_ = tracer_->intern("client.retry");
+  latency_us_ = host_.sim().metrics().histogram(
+      strf("client.latency_us@", host_.name()));
+}
+
+void Client::finish_span(std::uint64_t id, const Pending& pending) {
+  if (!tracer_->enabled()) return;
+  tracer_->span(host_.id().value(), request_span_name_, trace_id(id),
+                pending.first_sent, host_.sim().now(), pending.attempts);
 }
 
 void Client::send(Value request, ReplyCallback callback) {
@@ -61,6 +73,9 @@ void Client::transmit(std::uint64_t id) {
   payload.set("client", static_cast<std::int64_t>(host_.id().value()))
       .set("id", static_cast<std::int64_t>(id))
       .set("request", pending.request);
+  if (tracer_->enabled()) {
+    payload.set("trace", static_cast<std::int64_t>(trace_id(id)));
+  }
   host_.send(target, msg::kRequest, std::move(payload));
   sim::Duration wait = backoff_delay(pending.attempts);
   if (options_.backoff_jitter > 0.0) {
@@ -80,6 +95,7 @@ void Client::on_timeout(std::uint64_t id) {
     ++stats_.gave_up;
     log().warn("client", host_.name(), ": giving up on request ", id, " after ",
                pending.attempts, " attempts");
+    finish_span(id, pending);
     auto callback = std::move(pending.callback);
     pending_.erase(it);
     const Value reply = Value::map().set("error", "timeout");
@@ -89,6 +105,10 @@ void Client::on_timeout(std::uint64_t id) {
   }
   // Failover: rotate to the next replica and retransmit the same id.
   ++stats_.retries;
+  if (tracer_->enabled()) {
+    tracer_->instant(host_.id().value(), retry_span_name_, trace_id(id),
+                     host_.sim().now(), pending.attempts);
+  }
   pending.target = (pending.target + 1) % replicas_.size();
   preferred_target_ = pending.target;
   transmit(id);
@@ -100,11 +120,14 @@ void Client::on_reply(const Value& payload) {
   if (it == pending_.end()) return;  // late duplicate reply
   Pending& pending = it->second;
   host_.cancel(pending.timer);
+  finish_span(id, pending);
   if (payload.has("error")) {
     ++stats_.errors;
   } else {
     ++stats_.ok;
-    stats_.latencies.push_back(host_.sim().now() - pending.first_sent);
+    const sim::Duration latency = host_.sim().now() - pending.first_sent;
+    stats_.latencies.push_back(latency);
+    latency_us_.record(latency);
   }
   auto callback = std::move(pending.callback);
   pending_.erase(it);

@@ -22,6 +22,8 @@
 
 #include "rcs/component/component.hpp"
 #include "rcs/ftm/interfaces.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
 
 namespace rcs::ftm {
 
@@ -124,6 +126,30 @@ class FtmBrick : public comp::Component {
   /// Content digest for result comparison (LFR notification, TR votes).
   [[nodiscard]] static std::int64_t digest(const Value& value) {
     return static_cast<std::int64_t>(fnv1a(value.encode()));
+  }
+
+  // --- Observability --------------------------------------------------------
+  /// True when this brick runs on a host whose simulation records traces.
+  /// Callers gate any argument computation (payload sizes) behind this so
+  /// the untraced path stays free of extra work.
+  [[nodiscard]] bool tracing() const {
+    return host() != nullptr && host()->sim().tracer().enabled();
+  }
+
+  /// Trace id carried by a ctx view (0 when untraced or ctx is null).
+  [[nodiscard]] static std::uint64_t trace_of(const Value& ctx) {
+    if (!ctx.is_map() || !ctx.has("trace")) return 0;
+    return static_cast<std::uint64_t>(ctx.at("trace").as_int());
+  }
+
+  /// Record an instant event on this brick's host. No-op when tracing() is
+  /// false (or the brick runs hostless in a unit test).
+  void trace_instant(std::string_view name, std::uint64_t trace,
+                     std::int64_t arg = 0) {
+    if (!tracing()) return;
+    obs::Tracer& tracer = host()->sim().tracer();
+    tracer.instant(host()->id().value(), tracer.intern(name), trace,
+                   host()->sim().now(), arg);
   }
 };
 

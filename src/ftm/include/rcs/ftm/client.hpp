@@ -13,6 +13,8 @@
 
 #include "rcs/common/ids.hpp"
 #include "rcs/common/value.hpp"
+#include "rcs/obs/metrics.hpp"
+#include "rcs/obs/trace.hpp"
 #include "rcs/sim/host.hpp"
 #include "rcs/sim/time.hpp"
 
@@ -92,6 +94,13 @@ class Client {
   void on_reply(const Value& payload);
   void on_timeout(std::uint64_t id);
 
+  /// Trace id for request `id`: host-unique and nonzero, carried through the
+  /// protocol so server-side spans correlate with the client span.
+  [[nodiscard]] std::uint64_t trace_id(std::uint64_t id) const {
+    return ((static_cast<std::uint64_t>(host_.id().value()) + 1) << 32) | id;
+  }
+  void finish_span(std::uint64_t id, const Pending& pending);
+
   sim::Host& host_;
   std::vector<HostId> replicas_;
   Options options_;
@@ -100,6 +109,13 @@ class Client {
   std::size_t preferred_target_{0};
   std::map<std::uint64_t, Pending> pending_;
   Stats stats_;
+
+  // Observability: end-to-end request spans + latency histogram. The tracer
+  // check is one byte load when tracing is off.
+  obs::Tracer* tracer_{nullptr};
+  obs::NameId request_span_name_{0};
+  obs::NameId retry_span_name_{0};
+  obs::Histogram latency_us_;
 };
 
 }  // namespace rcs::ftm

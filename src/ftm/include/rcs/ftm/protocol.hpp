@@ -30,6 +30,8 @@
 #include "rcs/common/ids.hpp"
 #include "rcs/component/component.hpp"
 #include "rcs/ftm/interfaces.hpp"
+#include "rcs/obs/metrics.hpp"
+#include "rcs/obs/trace.hpp"
 #include "rcs/sim/time.hpp"
 
 namespace rcs::ftm {
@@ -40,26 +42,31 @@ class ProtocolKernel : public comp::Component {
 
   ~ProtocolKernel() override;
 
+  /// Kernel counter block. Each counter is an obs::Counter handle: it counts
+  /// locally until on_start binds it into the simulation's MetricsRegistry
+  /// (scoped "ftm.<name>@<host>"), after which the registry cell is the live
+  /// storage and one export covers every kernel in the deployment. Handles
+  /// read as plain integers.
   struct Counters {
-    std::uint64_t requests{0};
-    std::uint64_t replies{0};
-    std::uint64_t error_replies{0};
-    std::uint64_t duplicates_served{0};
-    std::uint64_t forwarded{0};
-    std::uint64_t checkpoints_sent{0};
-    std::uint64_t checkpoints_applied{0};
+    obs::Counter requests;
+    obs::Counter replies;
+    obs::Counter error_replies;
+    obs::Counter duplicates_served;
+    obs::Counter forwarded;
+    obs::Counter checkpoints_sent;
+    obs::Counter checkpoints_applied;
     // Checkpoint composition: every checkpoint_sent is also counted as
     // either a delta or a full-state transfer.
-    std::uint64_t deltas_sent{0};
-    std::uint64_t full_checkpoints_sent{0};
+    obs::Counter deltas_sent;
+    obs::Counter full_checkpoints_sent;
     // Backup-side gap detections that triggered a full resync (join path).
-    std::uint64_t resyncs{0};
-    std::uint64_t notifications{0};
-    std::uint64_t divergences{0};
-    std::uint64_t assertion_failures{0};
-    std::uint64_t tr_mismatches{0};
-    std::uint64_t promotions{0};
-    std::uint64_t buffered{0};
+    obs::Counter resyncs;
+    obs::Counter notifications;
+    obs::Counter divergences;
+    obs::Counter assertion_failures;
+    obs::Counter tr_mismatches;
+    obs::Counter promotions;
+    obs::Counter buffered;
   };
 
   // --- Native hooks for the runtime / adaptation engine -------------------
@@ -105,6 +112,10 @@ class ProtocolKernel : public comp::Component {
     Value request;
     Value result;
     int phase{0};  // 0=before 1=proceed 2=after 3=done
+    /// End-to-end trace id minted by the client and carried through protocol
+    /// messages (0 = untraced). Virtual time the current phase started.
+    std::uint64_t trace{0};
+    sim::Time phase_start{0};
     bool forwarded{false};
     bool waiting{false};
     std::string expect;  // peer-message kind that resumes this ctx
@@ -123,6 +134,9 @@ class ProtocolKernel : public comp::Component {
 
   // Pipeline machinery.
   void start_request(const Value& payload, bool forwarded);
+  /// Close the span of the phase `ctx` is in (when tracing) and step to the
+  /// next phase. Every phase transition funnels through here.
+  void advance_phase(Ctx& ctx);
   void advance(Ctx& ctx);
   void apply_brick_status(Ctx& ctx, const Value& status);
   void complete(Ctx& ctx);
@@ -183,6 +197,14 @@ class ProtocolKernel : public comp::Component {
   std::map<std::uint64_t, TimerId> resume_timers_;
   std::uint64_t next_resume_timer_{0};
   Counters counters_;
+
+  // Observability wiring (set up in on_start when the kernel runs on a host;
+  // unit tests without a host keep local counters and no tracer).
+  void bind_observability();
+  obs::Tracer* tracer_{nullptr};
+  obs::NameId phase_span_names_[3]{};
+  obs::NameId promote_span_name_{0};
+  obs::NameId rejoin_span_name_{0};
 
   std::function<void(const std::string&)> fault_listener_;
   std::function<void(Role)> role_listener_;

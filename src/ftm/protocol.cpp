@@ -85,7 +85,7 @@ void ProtocolKernel::on_peer_retry(const std::string& key) {
   const std::string& verdict = status.at("status").as_string();
   if (verdict == "done") {
     if (status.has("result")) ctx.result = status.at("result");
-    ++ctx.phase;
+    advance_phase(ctx);
     advance(ctx);
   } else {
     apply_brick_status(ctx, status);
@@ -111,7 +111,55 @@ Value ProtocolKernel::on_invoke(const std::string& service,
   return dispatch_control(op, args);
 }
 
-void ProtocolKernel::on_start() { rebuild_peer_group(); }
+void ProtocolKernel::on_start() {
+  bind_observability();
+  rebuild_peer_group();
+}
+
+void ProtocolKernel::bind_observability() {
+  if (host() == nullptr) return;
+  sim::Simulation& sim = host()->sim();
+  tracer_ = &sim.tracer();
+  phase_span_names_[0] = tracer_->intern("ftm.before");
+  phase_span_names_[1] = tracer_->intern("ftm.proceed");
+  phase_span_names_[2] = tracer_->intern("ftm.after");
+  promote_span_name_ = tracer_->intern("ftm.promote");
+  rejoin_span_name_ = tracer_->intern("ftm.rejoin");
+  // Rebind the counter block into the registry, scoped per host. A fresh
+  // kernel instance (redeploy, differential transition) re-seeds its cells
+  // from zero, so counters keep their per-instance semantics while living
+  // in one registry.
+  obs::MetricsRegistry& metrics = sim.metrics();
+  const auto bind = [&](obs::Counter& counter, const char* name) {
+    counter.bind(metrics.counter_cell(strf("ftm.", name, "@", host()->name())));
+  };
+  bind(counters_.requests, "requests");
+  bind(counters_.replies, "replies");
+  bind(counters_.error_replies, "error_replies");
+  bind(counters_.duplicates_served, "duplicates_served");
+  bind(counters_.forwarded, "forwarded");
+  bind(counters_.checkpoints_sent, "checkpoints_sent");
+  bind(counters_.checkpoints_applied, "checkpoints_applied");
+  bind(counters_.deltas_sent, "deltas_sent");
+  bind(counters_.full_checkpoints_sent, "full_checkpoints_sent");
+  bind(counters_.resyncs, "resyncs");
+  bind(counters_.notifications, "notifications");
+  bind(counters_.divergences, "divergences");
+  bind(counters_.assertion_failures, "assertion_failures");
+  bind(counters_.tr_mismatches, "tr_mismatches");
+  bind(counters_.promotions, "promotions");
+  bind(counters_.buffered, "buffered");
+}
+
+void ProtocolKernel::advance_phase(Ctx& ctx) {
+  if (tracer_ != nullptr && tracer_->enabled() && ctx.phase < 3) {
+    const sim::Time now = host()->sim().now();
+    tracer_->span(host()->id().value(), phase_span_names_[ctx.phase], ctx.trace,
+                  ctx.phase_start, now);
+    ctx.phase_start = now;
+  }
+  ++ctx.phase;
+}
 
 void ProtocolKernel::rebuild_peer_group() {
   peers_.clear();
@@ -209,6 +257,11 @@ void ProtocolKernel::start_request(const Value& payload, bool forwarded) {
   ctx.id = id;
   ctx.request = payload.at("request");
   ctx.forwarded = forwarded;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    ctx.trace =
+        static_cast<std::uint64_t>(payload.get_or("trace", Value(0)).as_int());
+    ctx.phase_start = host()->sim().now();
+  }
   auto [it, inserted] = pending_.emplace(key, std::move(ctx));
   ensure(inserted, "duplicate pending ctx");
   advance(it->second);
@@ -239,6 +292,9 @@ Value ProtocolKernel::ctx_view(const Ctx& ctx) const {
       .set("peer_alive", any_peer_alive())
       .set("expect", ctx.expect)
       .set("attempt", ctx.attempt);
+  // The trace id rides along only when one exists, so the untraced hot path
+  // builds the exact same view it always did.
+  if (ctx.trace != 0) view.set("trace", static_cast<std::int64_t>(ctx.trace));
   return view;
 }
 
@@ -250,7 +306,7 @@ void ProtocolKernel::advance(Ctx& ctx) {
     const std::string& verdict = status.at("status").as_string();
     if (verdict == "done") {
       if (status.has("result")) ctx.result = status.at("result");
-      ++ctx.phase;
+      advance_phase(ctx);
       continue;
     }
     apply_brick_status(ctx, status);
@@ -273,7 +329,7 @@ void ProtocolKernel::apply_brick_status(Ctx& ctx, const Value& status) {
     if (ctx.expect.empty()) return;
     if (ctx.expect_remaining <= 0) {  // nobody to wait for after all
       ctx.waiting = false;
-      ++ctx.phase;
+      advance_phase(ctx);
       advance(ctx);
       return;
     }
@@ -294,7 +350,7 @@ void ProtocolKernel::apply_brick_status(Ctx& ctx, const Value& status) {
       const std::string& v = next.at("status").as_string();
       if (v == "done") {
         if (next.has("result")) ctx.result = next.at("result");
-        ++ctx.phase;
+        advance_phase(ctx);
         advance(ctx);
       } else {
         apply_brick_status(ctx, next);
@@ -400,7 +456,7 @@ void ProtocolKernel::handle_peer_message(const Value& payload) {
     const std::string& verdict = status.at("status").as_string();
     if (verdict == "done") {
       if (status.has("result")) ctx.result = status.at("result");
-      ++ctx.phase;
+      advance_phase(ctx);
       advance(ctx);
     } else {
       apply_brick_status(ctx, status);
@@ -463,7 +519,7 @@ void ProtocolKernel::rerun_waiting_phase(Ctx& ctx) {
   const std::string& verdict = status.at("status").as_string();
   if (verdict == "done") {
     if (status.has("result")) ctx.result = status.at("result");
-    ++ctx.phase;
+    advance_phase(ctx);
     advance(ctx);
   } else {
     apply_brick_status(ctx, status);
@@ -494,6 +550,10 @@ void ProtocolKernel::on_peer_suspected(std::int64_t peer) {
     set_property("master", Value(new_master));
     if (new_master == self) {
       ++counters_.promotions;
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->instant(host()->id().value(), promote_span_name_, 0,
+                         host()->sim().now(), peer);
+      }
       set_role(any_peer_alive() ? Role::kPrimary : Role::kAlone);
     }
   }
@@ -547,6 +607,10 @@ void ProtocolKernel::handle_ctrl(const std::string& kind, const Value& data,
   }
   if (kind == "join_ack") {
     if (from >= 0) peer_alive_map_[from] = true;
+    if (tracer_ != nullptr && tracer_->enabled() && host() != nullptr) {
+      tracer_->instant(host()->id().value(), rejoin_span_name_, 0,
+                       host()->sim().now(), from);
+    }
     call("after", "apply_join_snapshot", data);
     set_property("master", Value(from));
     set_role(Role::kBackup);
@@ -588,7 +652,7 @@ Value ProtocolKernel::dispatch_control(const std::string& op, const Value& args)
     cancel_peer_retry(ctx);
     ctx.waiting = false;
     if (args.has("result")) ctx.result = args.at("result");
-    ++ctx.phase;
+    advance_phase(ctx);
     advance(ctx);
     return {};
   }
@@ -696,21 +760,21 @@ Value ProtocolKernel::dispatch_control(const std::string& op, const Value& args)
   }
   if (op == "stats") {
     Value stats = Value::map();
-    stats.set("requests", counters_.requests)
-        .set("replies", counters_.replies)
-        .set("error_replies", counters_.error_replies)
-        .set("duplicates_served", counters_.duplicates_served)
-        .set("forwarded", counters_.forwarded)
-        .set("checkpoints_sent", counters_.checkpoints_sent)
-        .set("checkpoints_applied", counters_.checkpoints_applied)
-        .set("deltas_sent", counters_.deltas_sent)
-        .set("full_checkpoints_sent", counters_.full_checkpoints_sent)
-        .set("resyncs", counters_.resyncs)
-        .set("notifications", counters_.notifications)
-        .set("divergences", counters_.divergences)
-        .set("assertion_failures", counters_.assertion_failures)
-        .set("tr_mismatches", counters_.tr_mismatches)
-        .set("promotions", counters_.promotions);
+    stats.set("requests", counters_.requests.value())
+        .set("replies", counters_.replies.value())
+        .set("error_replies", counters_.error_replies.value())
+        .set("duplicates_served", counters_.duplicates_served.value())
+        .set("forwarded", counters_.forwarded.value())
+        .set("checkpoints_sent", counters_.checkpoints_sent.value())
+        .set("checkpoints_applied", counters_.checkpoints_applied.value())
+        .set("deltas_sent", counters_.deltas_sent.value())
+        .set("full_checkpoints_sent", counters_.full_checkpoints_sent.value())
+        .set("resyncs", counters_.resyncs.value())
+        .set("notifications", counters_.notifications.value())
+        .set("divergences", counters_.divergences.value())
+        .set("assertion_failures", counters_.assertion_failures.value())
+        .set("tr_mismatches", counters_.tr_mismatches.value())
+        .set("promotions", counters_.promotions.value());
     return stats;
   }
   throw FtmError(strf("protocol.control: unknown op '", op, "'"));

@@ -75,6 +75,7 @@ bool EventLoop::pop_and_run() {
     Action action = std::move(slot->action);
     release(static_cast<std::uint32_t>(event.handle & 0xFFFFFFFFu));
     ++processed_;
+    if (hook_ != nullptr) hook_->on_event(now_, live_);
     action();
     return true;
   }

@@ -25,6 +25,17 @@ class EventLoop {
  public:
   using Action = std::function<void()>;
 
+  /// Observer invoked once per executed event, after the clock has advanced
+  /// and before the action runs. Installed by the owning Simulation to feed
+  /// the observability plane; a null hook costs one predictable branch.
+  class Hook {
+   public:
+    virtual ~Hook() = default;
+    virtual void on_event(Time now, std::size_t queue_depth) = 0;
+  };
+
+  void set_hook(Hook* hook) { hook_ = hook; }
+
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `action` at absolute virtual time `at` (>= now). The label is
@@ -82,6 +93,7 @@ class EventLoop {
   bool pop_and_run();
 
   Time now_{0};
+  Hook* hook_{nullptr};
   std::uint64_t next_seq_{0};
   std::uint64_t processed_{0};
   std::size_t live_{0};

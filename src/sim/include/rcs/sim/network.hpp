@@ -92,6 +92,11 @@ class Network {
   [[nodiscard]] const HostTraffic& traffic(HostId h) const;
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
 
+  /// Zero the cumulative per-link and per-host accounting (e.g. between
+  /// measurement phases). Byte counters observed by the monitoring engine
+  /// regress across this call; samplers must tolerate that.
+  void reset_stats();
+
  private:
   using LinkKey = std::pair<std::uint32_t, std::uint32_t>;
   static LinkKey key(HostId a, HostId b);

@@ -13,6 +13,8 @@
 
 #include "rcs/common/ids.hpp"
 #include "rcs/common/rng.hpp"
+#include "rcs/obs/metrics.hpp"
+#include "rcs/obs/trace.hpp"
 #include "rcs/sim/event_loop.hpp"
 #include "rcs/sim/host.hpp"
 #include "rcs/sim/network.hpp"
@@ -55,10 +57,38 @@ class Simulation {
 
   Rng& rng() { return rng_; }
 
+  // --- Observability ------------------------------------------------------
+  /// Per-simulation trace recorder. Disabled by default; enabling it makes
+  /// every instrumentation site in the stack start recording spans.
+  obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
+
+  /// Per-simulation metrics registry; kernels/agents bind their counter
+  /// blocks here so one export covers the whole deployment.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
+  // Feeds scheduler activity into the metrics registry (event count plus a
+  // queue-depth histogram); lives here so EventLoop stays obs-agnostic.
+  class LoopObserver final : public EventLoop::Hook {
+   public:
+    explicit LoopObserver(obs::MetricsRegistry& metrics);
+    void on_event(Time now, std::size_t queue_depth) override;
+
+   private:
+    obs::Counter events_;
+    obs::Histogram queue_depth_;
+  };
+
   EventLoop loop_;
   Network network_;
   Rng rng_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  LoopObserver loop_observer_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };
 

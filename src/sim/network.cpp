@@ -130,4 +130,10 @@ void Network::deliver_copy(const Message& message) {
   receiver.deliver(message);
 }
 
+void Network::reset_stats() {
+  stats_.clear();
+  traffic_.clear();
+  total_bytes_ = 0;
+}
+
 }  // namespace rcs::sim

@@ -1,0 +1,188 @@
+// MonitoringEngine unit tests: hysteresis latches, fault-latch re-arm across
+// separated episodes, byte-counter reset robustness, sliding-window bounds.
+//
+// These drive the engine directly over a bare simulation (no FTM deployed):
+// fault events arrive as "monitor.event" messages exactly as the node agents
+// send them, and the resource probes read the simulated network/hosts.
+#include <gtest/gtest.h>
+
+#include "rcs/core/monitoring.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::core {
+namespace {
+
+struct MonitoringFixture : ::testing::Test {
+  MonitoringFixture()
+      : manager(sim.add_host("manager")),
+        r0(sim.add_host("replica0")),
+        r1(sim.add_host("replica1")),
+        engine(manager, {r0.id(), r1.id()}, thresholds()) {}
+
+  static MonitoringThresholds thresholds() {
+    MonitoringThresholds t;
+    t.event_window = 20 * sim::kSecond;
+    t.transient_events = 2;
+    t.divergence_events = 2;
+    return t;
+  }
+
+  /// Inject one kernel fault event, as a node agent would report it.
+  void report(const std::string& kind) {
+    r0.send(manager.id(), "monitor.event", Value::map().set("kind", kind));
+    sim.run_for(10 * sim::kMillisecond);
+  }
+
+  [[nodiscard]] std::size_t fired(TriggerKind kind) const {
+    std::size_t n = 0;
+    for (const auto& trigger : engine.trigger_log()) {
+      if (trigger.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulation sim;
+  sim::Host& manager;
+  sim::Host& r0;
+  sim::Host& r1;
+  MonitoringEngine engine;
+};
+
+// Regression for the latched-forever bug: the transient latch never re-armed,
+// so only the FIRST fault episode of a campaign ever produced a trigger. Two
+// bursts separated by more than the event window are two distinct episodes
+// and must fire two kTransientFaults triggers.
+TEST_F(MonitoringFixture, SeparatedTransientEpisodesFireSeparateTriggers) {
+  report("tr_mismatch");
+  report("tr_mismatch");
+  EXPECT_EQ(fired(TriggerKind::kTransientFaults), 1u) << "first episode";
+
+  // Quiet period long enough for the first episode's evidence to expire.
+  sim.run_for(30 * sim::kSecond);
+
+  report("tr_mismatch");
+  EXPECT_EQ(fired(TriggerKind::kTransientFaults), 1u)
+      << "one fresh event is below threshold - must not fire";
+  report("tr_mismatch");
+  EXPECT_EQ(fired(TriggerKind::kTransientFaults), 2u)
+      << "second episode reached threshold but the latch never re-armed";
+}
+
+TEST_F(MonitoringFixture, ContinuousEvidenceFiresOnlyOnce) {
+  // A latch exists for a reason: evidence trickling in while the window is
+  // already over threshold is the same episode, not news.
+  for (int i = 0; i < 6; ++i) {
+    report("tr_mismatch");
+    sim.run_for(1 * sim::kSecond);
+  }
+  EXPECT_EQ(fired(TriggerKind::kTransientFaults), 1u);
+}
+
+TEST_F(MonitoringFixture, DivergenceLatchRearmsToo) {
+  report("divergence");
+  report("divergence");
+  sim.run_for(30 * sim::kSecond);
+  report("divergence");
+  report("divergence");
+  EXPECT_EQ(fired(TriggerKind::kDivergence), 2u);
+}
+
+TEST_F(MonitoringFixture, PeriodicSamplingRearmsWithoutNewEvents) {
+  // The latch must drain via sample() as well, not only lazily on the next
+  // event: with probing running, a quiet window alone re-arms the latch.
+  engine.start(500 * sim::kMillisecond);
+  report("tr_mismatch");
+  report("tr_mismatch");
+  ASSERT_EQ(fired(TriggerKind::kTransientFaults), 1u);
+  sim.run_for(30 * sim::kSecond);
+  report("tr_mismatch");
+  report("tr_mismatch");
+  EXPECT_EQ(fired(TriggerKind::kTransientFaults), 2u);
+  engine.stop();
+}
+
+TEST_F(MonitoringFixture, BandwidthHysteresisFiresOncePerCrossing) {
+  engine.start(500 * sim::kMillisecond);
+  auto& link = sim.network().link(r0.id(), r1.id());
+  sim.run_for(2 * sim::kSecond);
+  EXPECT_EQ(fired(TriggerKind::kBandwidthDrop), 0u);
+
+  link.bandwidth_bps = 1e6;  // below low watermark (3e6)
+  sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(fired(TriggerKind::kBandwidthDrop), 1u)
+      << "stays latched while low - no trigger flood";
+
+  link.bandwidth_bps = 5e6;  // inside the hysteresis band: no change
+  sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(fired(TriggerKind::kBandwidthRestored), 0u);
+
+  link.bandwidth_bps = 12.5e6;  // above high watermark (8e6)
+  sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(fired(TriggerKind::kBandwidthRestored), 1u);
+  engine.stop();
+}
+
+// Regression for the byte-counter underflow: Network::reset_stats() (or any
+// LinkStats regression, e.g. around a host restart) made
+// `link_bytes - last_link_bytes_` wrap to a huge unsigned value, which read
+// as an astronomic byte rate and fired a spurious kLinkSaturated trigger.
+TEST_F(MonitoringFixture, LinkStatsResetDoesNotFireSpuriousSaturation) {
+  engine.start(500 * sim::kMillisecond);
+  // Light replica chatter: enough to establish a nonzero byte baseline,
+  // far below the 35% saturation threshold on a 12.5 MB/s link.
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(i * 100 * sim::kMillisecond, [this] {
+      r0.send(r1.id(), "peer.noop", Value::map().set("pad", 64));
+    });
+  }
+  sim.run_for(3 * sim::kSecond);
+  ASSERT_GT(sim.network().link_stats(r0.id(), r1.id()).bytes, 0u);
+  EXPECT_EQ(fired(TriggerKind::kLinkSaturated), 0u);
+
+  sim.network().reset_stats();
+  sim.run_for(3 * sim::kSecond);
+  EXPECT_EQ(fired(TriggerKind::kLinkSaturated), 0u)
+      << "counter regression must read as an empty window, not saturation";
+  engine.stop();
+}
+
+TEST_F(MonitoringFixture, EventTotalsSurviveWindowExpiry) {
+  report("tr_mismatch");
+  report("tr_mismatch");
+  report("assertion_failed");
+  sim.run_for(60 * sim::kSecond);
+  EXPECT_EQ(engine.events_observed("tr_mismatch"), 2u);
+  EXPECT_EQ(engine.events_observed("assertion_failed"), 1u);
+  EXPECT_EQ(engine.events_observed("divergence"), 0u);
+}
+
+// Regression for the unbounded-window bug: window_count() pruned only the
+// queried kind, so a kind the trigger logic never asks about ("noise" here)
+// accumulated timestamps for the whole campaign.
+TEST_F(MonitoringFixture, UnqueriedKindWindowIsPrunedBySampling) {
+  engine.start(500 * sim::kMillisecond);
+  report("noise");
+  report("noise");
+  report("noise");
+  EXPECT_EQ(engine.window_backlog("noise"), 3u);
+  sim.run_for(30 * sim::kSecond);  // well past the 20 s event window
+  EXPECT_EQ(engine.window_backlog("noise"), 0u)
+      << "stale timestamps of never-queried kinds must be dropped";
+  EXPECT_EQ(engine.events_observed("noise"), 3u) << "totals keep counting";
+  engine.stop();
+}
+
+TEST_F(MonitoringFixture, EventBurstIsCappedPerKind) {
+  // No sampling running at all: the hard per-kind cap alone must bound a
+  // burst arriving between samples.
+  for (int i = 0; i < 5000; ++i) {
+    r0.send(manager.id(), "monitor.event",
+            Value::map().set("kind", "noise"));
+  }
+  sim.run_for(1 * sim::kSecond);
+  EXPECT_EQ(engine.events_observed("noise"), 5000u);
+  EXPECT_LE(engine.window_backlog("noise"), 4096u);
+}
+
+}  // namespace
+}  // namespace rcs::core

@@ -1,0 +1,142 @@
+// MetricsRegistry semantics: handle/cell binding, log-scale histogram
+// bucketing, and deterministic export.
+#include <gtest/gtest.h>
+
+#include "rcs/obs/metrics.hpp"
+
+namespace rcs::obs {
+namespace {
+
+TEST(Counter, DefaultHandleCountsLocally) {
+  Counter c;
+  ++c;
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(static_cast<std::uint64_t>(c), 5u);
+}
+
+TEST(Counter, BindCarriesLocalCountIntoTheCell) {
+  Counter c;
+  c.add(3);
+  std::uint64_t cell = 99;  // stale content from a previous instance
+  c.bind(&cell);
+  EXPECT_EQ(cell, 3u) << "bind seeds the cell with the handle's count";
+  ++c;
+  EXPECT_EQ(cell, 4u);
+  EXPECT_EQ(c.value(), 4u);
+}
+
+TEST(Counter, RebindToSameCellIsIdempotent) {
+  std::uint64_t cell = 0;
+  Counter c;
+  c.bind(&cell);
+  c.add(7);
+  c.bind(&cell);  // e.g. on_start running twice
+  EXPECT_EQ(cell, 7u);
+}
+
+TEST(MetricsRegistry, SameNameSharesOneCell) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("requests");
+  Counter b = registry.counter("requests");
+  ++a;
+  b.add(2);
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(registry.instrument_count(), 1u);
+}
+
+// Regression: registry lookups must be pure views. An early implementation
+// routed counter() through bind(), whose seeding semantics zeroed the cell on
+// every lookup — so `metrics.counter("x").add(1)` never got past 1.
+TEST(MetricsRegistry, RepeatedLookupDoesNotResetTheCell) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 5; ++i) registry.counter("fired").add(1);
+  EXPECT_EQ(registry.counter("fired").value(), 5u);
+}
+
+TEST(MetricsRegistry, ComponentRebindRestartsItsSeries) {
+  // A redeployed component binds a FRESH handle block onto the same named
+  // cells: the series restarts from zero (fresh-instance semantics) instead
+  // of double-counting the previous deployment.
+  MetricsRegistry registry;
+  Counter first;
+  first.bind(registry.counter_cell("ftm.requests@replica0"));
+  first.add(10);
+  Counter second;  // new instance after redeploy
+  second.bind(registry.counter_cell("ftm.requests@replica0"));
+  EXPECT_EQ(registry.counter("ftm.requests@replica0").value(), 0u);
+  second.add(2);
+  EXPECT_EQ(registry.counter("ftm.requests@replica0").value(), 2u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge g = registry.gauge("cpu");
+  g.set(0.5);
+  g.set(0.25);
+  EXPECT_DOUBLE_EQ(registry.gauge("cpu").value(), 0.25);
+}
+
+TEST(Histogram, BucketOfIsLogScale) {
+  EXPECT_EQ(HistogramCells::bucket_of(-5), 0u);
+  EXPECT_EQ(HistogramCells::bucket_of(0), 0u);
+  EXPECT_EQ(HistogramCells::bucket_of(1), 1u);
+  EXPECT_EQ(HistogramCells::bucket_of(2), 2u);
+  EXPECT_EQ(HistogramCells::bucket_of(3), 2u);
+  EXPECT_EQ(HistogramCells::bucket_of(4), 3u);
+  EXPECT_EQ(HistogramCells::bucket_of(1023), 10u);
+  EXPECT_EQ(HistogramCells::bucket_of(1024), 11u);
+  EXPECT_EQ(HistogramCells::bucket_of(std::int64_t{1} << 62), 63u);
+}
+
+TEST(Histogram, BucketBoundIsInclusiveUpperEdge) {
+  EXPECT_EQ(HistogramCells::bucket_bound(0), 0);
+  EXPECT_EQ(HistogramCells::bucket_bound(1), 1);
+  EXPECT_EQ(HistogramCells::bucket_bound(2), 3);
+  EXPECT_EQ(HistogramCells::bucket_bound(3), 7);
+  EXPECT_EQ(HistogramCells::bucket_bound(10), 1023);
+  // Every value must fall inside its bucket's bound.
+  for (std::int64_t v : {0, 1, 2, 7, 8, 100, 4095, 4096}) {
+    const auto bucket = HistogramCells::bucket_of(v);
+    EXPECT_LE(v, HistogramCells::bucket_bound(bucket)) << v;
+    if (bucket > 0) {
+      EXPECT_GT(v, HistogramCells::bucket_bound(bucket - 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("latency");
+  h.record(100);
+  h.record(1);
+  h.record(5);
+  ASSERT_NE(h.cells(), nullptr);
+  EXPECT_EQ(h.cells()->count, 3u);
+  EXPECT_EQ(h.cells()->sum, 106);
+  EXPECT_EQ(h.cells()->min, 1);
+  EXPECT_EQ(h.cells()->max, 100);
+  EXPECT_EQ(h.cells()->buckets[HistogramCells::bucket_of(100)], 1u);
+}
+
+TEST(MetricsRegistry, ExportIsDeterministicAndNameSorted) {
+  const auto build = [] {
+    MetricsRegistry registry;
+    registry.counter("zeta").add(3);
+    registry.counter("alpha").add(1);
+    registry.gauge("cpu").set(0.75);
+    registry.histogram("lat").record(42);
+    return registry.to_json_lines("PBR/delta");
+  };
+  const std::string a = build();
+  const std::string b = build();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"scope\":\"PBR/delta\""), std::string::npos) << a;
+  EXPECT_NE(a.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_LT(a.find("\"name\":\"alpha\""), a.find("\"name\":\"zeta\""))
+      << "counters must export name-sorted";
+}
+
+}  // namespace
+}  // namespace rcs::obs

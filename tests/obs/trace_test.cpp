@@ -1,0 +1,113 @@
+// Tracer semantics (ring bounds, interning, zero-cost-when-disabled) and
+// end-to-end trace export determinism over a full chaos campaign.
+#include <gtest/gtest.h>
+
+#include "rcs/core/chaos_campaign.hpp"
+#include "rcs/obs/trace.hpp"
+
+namespace rcs::obs {
+namespace {
+
+TEST(SpanRing, OverwritesOldestAndCountsDrops) {
+  SpanRing ring(4);
+  for (std::int64_t i = 1; i <= 6; ++i) {
+    ring.push(SpanRecord{.start = i});
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  std::vector<std::int64_t> starts;
+  ring.for_each([&](const SpanRecord& r) { starts.push_back(r.start); });
+  EXPECT_EQ(starts, (std::vector<std::int64_t>{3, 4, 5, 6}))
+      << "survivors are the newest, visited oldest-to-newest";
+}
+
+TEST(Tracer, InternIsStablePerName) {
+  Tracer tracer;
+  const NameId a = tracer.intern("ftm.before");
+  const NameId b = tracer.intern("ftm.proceed");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.intern("ftm.before"), a);
+  EXPECT_EQ(tracer.name_of(a), "ftm.before");
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  const NameId name = tracer.intern("x");
+  tracer.span(1, name, 0, 10, 20);
+  tracer.instant(1, name, 0, 15);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.stored(), 0u);
+}
+
+TEST(Tracer, RingCapacityBoundsStorage) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_ring_capacity(8);
+  const NameId name = tracer.intern("x");
+  for (int i = 0; i < 100; ++i) tracer.span(1, name, 0, i, i + 1);
+  EXPECT_EQ(tracer.recorded(), 100u);
+  EXPECT_EQ(tracer.stored(), 8u);
+  EXPECT_EQ(tracer.dropped(), 92u);
+}
+
+TEST(Tracer, ExportEmitsChromeEvents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_host_name(7, "replica0");
+  const NameId name = tracer.intern("ftm.before");
+  tracer.span(7, name, 42, 100, 250, 9);
+  tracer.instant(7, tracer.intern("ckpt.apply"), 0, 300);
+  const std::string json = tracer.export_chrome_json();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u) << json;
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"replica0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ftm.before\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":150"), std::string::npos);
+}
+
+core::ChaosCampaignOptions traced_options() {
+  core::ChaosCampaignOptions options;
+  options.seed = 3;
+  options.ftm = "PBR";
+  options.transition_to = "LFR";
+  options.record_trace = true;
+  return options;
+}
+
+TEST(TraceExport, CampaignTraceIsByteIdenticalAcrossRuns) {
+  const auto first = core::run_campaign(traced_options());
+  const auto second = core::run_campaign(traced_options());
+  ASSERT_FALSE(first.trace_json.empty());
+  EXPECT_EQ(first.trace_json, second.trace_json);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+}
+
+TEST(TraceExport, CampaignTraceCoversTheWholeStack) {
+  const auto result = core::run_campaign(traced_options());
+  const std::string& json = result.trace_json;
+  // Kernel phases, client requests, checkpointing, and the mid-campaign
+  // differential transition all leave spans.
+  for (const char* name :
+       {"ftm.before", "ftm.proceed", "ftm.after", "client.request",
+        "ckpt.send", "adapt.transition", "adapt.script"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << "missing span: " << name;
+  }
+  // Metrics lines cover kernel counters and the scheduler.
+  EXPECT_NE(result.metrics_json.find("ftm.requests@"), std::string::npos);
+  EXPECT_NE(result.metrics_json.find("sim.events"), std::string::npos);
+  EXPECT_NE(result.metrics_json.find("client.latency_us@"), std::string::npos);
+}
+
+TEST(TraceExport, UntracedCampaignStaysEmpty) {
+  auto options = traced_options();
+  options.record_trace = false;
+  const auto result = core::run_campaign(options);
+  EXPECT_TRUE(result.trace_json.empty());
+  EXPECT_TRUE(result.metrics_json.empty());
+}
+
+}  // namespace
+}  // namespace rcs::obs

@@ -48,6 +48,8 @@ struct Args {
   std::string transition_to;
   bool demo_shrink{false};
   bool verbose{false};
+  std::string trace_out;    // replay only: Chrome trace JSON destination
+  std::string metrics_out;  // replay only: metrics JSON-lines destination
 };
 
 void usage() {
@@ -55,7 +57,8 @@ void usage() {
       "usage: chaos_runner [--seeds N] [--transitions N] [--base-seed S]\n"
       "                    [--ftm A,B,..] [--delta on|off|both] [--verbose]\n"
       "       chaos_runner --replay SEED --ftm NAME --delta on|off\n"
-      "                    [--transition-to NAME]\n"
+      "                    [--transition-to NAME] [--trace-out FILE]\n"
+      "                    [--metrics-out FILE]\n"
       "       chaos_runner --demo-shrink");
 }
 
@@ -110,6 +113,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.transition_to = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.metrics_out = v;
     } else if (arg == "--demo-shrink") {
       args.demo_shrink = true;
     } else if (arg == "--verbose") {
@@ -231,14 +242,35 @@ int run_sweep(const Args& args) {
   return 0;
 }
 
+bool dump_to(const std::string& path, const std::string& data,
+             const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for %s\n", path.c_str(), what);
+    return false;
+  }
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  return ok;
+}
+
 int run_replay(const Args& args) {
   ChaosCampaignOptions options;
   options.seed = args.replay_seed;
   options.ftm = args.replay_ftm;
   options.delta_checkpoint = args.delta != "off";
   options.transition_to = args.transition_to;
+  options.record_trace = !args.trace_out.empty() || !args.metrics_out.empty();
   const auto result = rcs::core::run_campaign(options);
   std::printf("%s", result.trace.c_str());
+  if (!args.trace_out.empty() &&
+      !dump_to(args.trace_out, result.trace_json, "trace")) {
+    return 2;
+  }
+  if (!args.metrics_out.empty() &&
+      !dump_to(args.metrics_out, result.metrics_json, "metrics")) {
+    return 2;
+  }
   if (!result.passed) {
     report_failure(options, result);
     return 1;
