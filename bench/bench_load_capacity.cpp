@@ -1,0 +1,109 @@
+// Extension bench: capacity envelope per FTM (the throughput side of the
+// paper's resource viability argument, §3.1/§3.3).
+//
+// For each mechanism — PBR with delta checkpoints, PBR shipping full state,
+// LFR, TR — ramp the offered load with the rcs::load sweep harness on a
+// deliberately narrow replica link and report the saturation knee plus the
+// latency/traffic profile just below it. The ordering the capability model
+// PREDICTS from its per-request byte/cpu factors (PBR-full knees first on
+// bandwidth, TR knees first on CPU, delta-PBR and LFR ride to the CPU
+// ceiling) is here MEASURED from actual traffic.
+//
+// Usage: bench_load_capacity            (~1 s)
+//        RCS_LOAD_STEPS=10 bench_load_capacity   # finer ramp
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "rcs/load/sweep.hpp"
+
+using namespace rcs;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  const char* ftm;
+  bool delta;
+};
+
+int ramp_steps() {
+  if (const char* env = std::getenv("RCS_LOAD_STEPS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 7;
+}
+
+}  // namespace
+
+int main() {
+  const Variant variants[] = {
+      {"PBR (delta ckpt)", "PBR", true},
+      {"PBR (full state)", "PBR", false},
+      {"LFR", "LFR", true},
+      {"TR", "TR", true},
+  };
+
+  bench::title("Capacity knees on a 1 MB/s replica link (20 clients, open arrivals)");
+  std::printf("%-18s %10s %12s %12s %14s %10s\n", "mechanism", "knee rps",
+              "pre-knee ms", "p95 ms", "link KB/s", "max cpu");
+  bench::rule();
+
+  std::string json;
+  for (const auto& variant : variants) {
+    load::SweepOptions options;
+    options.seed = 7;
+    options.ftm = variant.ftm;
+    options.delta_checkpoint = variant.delta;
+    options.clients = 20;
+    options.rps_from = 40;
+    options.rps_to = 280;
+    options.steps = ramp_steps();
+    options.warmup = 2 * sim::kSecond;
+    options.window = 5 * sim::kSecond;
+    options.replica_bandwidth_bps = 1e6;
+
+    const auto result = load::run_sweep(options);
+    // Profile at the last pre-knee point (or the ramp top if none).
+    const int at = result.knee_index > 0
+                       ? result.knee_index - 1
+                       : static_cast<int>(result.points.size()) - 1;
+    const auto& p = result.points[static_cast<std::size_t>(at)];
+    if (result.knee_index >= 0) {
+      std::printf("%-18s %10.0f %12.2f %12.2f %14.1f %10.2f\n", variant.label,
+                  result.knee_offered_rps(), p.mean_ms, p.p95_ms,
+                  p.link_bytes_per_s / 1e3, p.cpu_utilization);
+    } else {
+      std::printf("%-18s %10s %12.2f %12.2f %14.1f %10.2f\n", variant.label,
+                  ">ramp", p.mean_ms, p.p95_ms, p.link_bytes_per_s / 1e3,
+                  p.cpu_utilization);
+    }
+
+    for (const auto& point : result.points) {
+      char line[96];
+      std::snprintf(line, sizeof line,
+                    "{\"mechanism\":\"%s\",\"delta\":%s,", variant.ftm,
+                    variant.delta ? "true" : "false");
+      json += line;
+      std::string point_json = load::SweepResult{{point}, -1}.to_json_lines();
+      // Merge: strip the per-point "{" and the knee summary line.
+      json += point_json.substr(1, point_json.find('\n') - 1);
+      json += "\n";
+    }
+  }
+  bench::rule();
+  std::printf("knee = first ramp step whose goodput falls >2 sigma below 90%% "
+              "of offered\n");
+
+  if (const char* out = std::getenv("RCS_LOAD_JSON")) {
+    if (std::FILE* f = std::fopen(out, "wb")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", out);
+    }
+  }
+  return 0;
+}

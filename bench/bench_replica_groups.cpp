@@ -36,16 +36,13 @@ GroupProfile measure(const ftm::FtmConfig& config, std::size_t n,
   (void)system.roundtrip(kv_incr(), 30 * sim::kSecond);  // warm-up
 
   const auto bytes_before = system.sim().network().total_bytes();
-  const auto latencies_before = system.client().stats().latencies.size();
+  const auto latency_before = system.client().stats().latency_total();
   for (int i = 0; i < requests; ++i) {
     (void)system.roundtrip(kv_incr(), 30 * sim::kSecond);
   }
   GroupProfile profile;
-  const auto& latencies = system.client().stats().latencies;
-  sim::Duration sum = 0;
-  for (std::size_t i = latencies_before; i < latencies.size(); ++i) {
-    sum += latencies[i];
-  }
+  const sim::Duration sum =
+      system.client().stats().latency_total() - latency_before;
   profile.latency_ms = sim::to_ms(sum) / requests;
   // Approximate group traffic: everything minus the client/manager legs is
   // dominated by replica-link traffic for this workload.

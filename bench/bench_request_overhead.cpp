@@ -38,6 +38,7 @@ Profile measure(ftm::FtmConfig config, int requests, std::uint64_t seed,
   const auto bytes_before = link_stats.bytes;
   const auto cpu0_before = system.replica(0).meter().cpu_used();
   const auto cpu1_before = system.replica(1).meter().cpu_used();
+  const auto latency_before = system.client().stats().latency_total();
 
   for (int i = 0; i < requests; ++i) {
     (void)system.roundtrip(
@@ -45,12 +46,8 @@ Profile measure(ftm::FtmConfig config, int requests, std::uint64_t seed,
   }
 
   Profile profile;
-  const auto& stats = system.client().stats();
-  sim::Duration latency_sum = 0;
-  for (std::size_t i = stats.latencies.size() - requests;
-       i < stats.latencies.size(); ++i) {
-    latency_sum += stats.latencies[i];
-  }
+  const sim::Duration latency_sum =
+      system.client().stats().latency_total() - latency_before;
   profile.latency_ms = sim::to_ms(latency_sum) / requests;
   profile.replica_bytes_per_request =
       static_cast<double>(link_stats.bytes - bytes_before) / requests;

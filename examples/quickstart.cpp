@@ -43,9 +43,9 @@ int main() {
     const Value reply = system.roundtrip(incr());
     std::printf("counter = %lld (%.1f ms round trip)\n",
                 static_cast<long long>(reply.at("result").at("value").as_int()),
-                system.client().stats().latencies.empty()
+                system.client().stats().latency_count() == 0
                     ? 0.0
-                    : sim::to_ms(system.client().stats().latencies.back()));
+                    : sim::to_ms(system.client().stats().last_latency));
   }
 
   // 4. Crash the primary mid-service.

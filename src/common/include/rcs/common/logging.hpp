@@ -4,10 +4,17 @@
 // virtual timestamps; tests can attach a capturing sink to assert on emitted
 // records. The default sink writes WARN and above to stderr, keeping test and
 // benchmark output clean while preserving diagnostics.
+//
+// Thread model: the time source is thread-local, so several Simulations may
+// run concurrently on different threads (chaos_runner --jobs) and each log
+// line carries its own thread's virtual clock. The sink list is shared and
+// mutex-guarded; sinks themselves must tolerate concurrent invocation if
+// sinks and worker threads coexist.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,9 +52,10 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
 
-  /// Replace the time source (the simulation installs its virtual clock).
+  /// Replace the calling thread's time source (the simulation installs its
+  /// virtual clock; another thread's simulation is unaffected).
   void set_time_source(TimeSource source);
-  /// Restore the default (real-time) source.
+  /// Restore the calling thread's default (real-time) source.
   void reset_time_source();
 
   /// Add a sink; returns an id usable with remove_sink.
@@ -84,7 +92,7 @@ class Logger {
 
   LogLevel level_{LogLevel::kInfo};
   LogLevel stderr_level_{LogLevel::kWarn};
-  TimeSource time_source_;
+  std::mutex sinks_mutex_;
   std::vector<std::pair<std::size_t, Sink>> sinks_;
   std::size_t next_sink_id_{1};
 };

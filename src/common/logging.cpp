@@ -22,9 +22,13 @@ std::int64_t real_time_us() {
   using namespace std::chrono;
   return duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
 }
+
+// Per-thread time source: each worker thread's Simulation installs its own
+// virtual clock without racing the others. Empty means real time.
+thread_local Logger::TimeSource tls_time_source;  // NOLINT(cert-err58-cpp)
 }  // namespace
 
-Logger::Logger() : time_source_(real_time_us) {}
+Logger::Logger() = default;
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -32,24 +36,31 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_time_source(TimeSource source) {
-  time_source_ = std::move(source);
+  tls_time_source = std::move(source);
 }
 
-void Logger::reset_time_source() { time_source_ = real_time_us; }
+void Logger::reset_time_source() { tls_time_source = nullptr; }
 
 std::size_t Logger::add_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(sinks_mutex_);
   const auto id = next_sink_id_++;
   sinks_.emplace_back(id, std::move(sink));
   return id;
 }
 
 void Logger::remove_sink(std::size_t id) {
+  const std::lock_guard<std::mutex> lock(sinks_mutex_);
   std::erase_if(sinks_, [id](const auto& entry) { return entry.first == id; });
 }
 
 void Logger::log(LogLevel level, std::string tag, std::string message) {
   if (level < level_) return;
-  const LogRecord record{level, time_source_(), std::move(tag), std::move(message)};
+  const std::int64_t now =
+      tls_time_source ? tls_time_source() : real_time_us();
+  const LogRecord record{level, now, std::move(tag), std::move(message)};
+  // One lock covers the stderr write and the sink fan-out: concurrent worker
+  // threads may log, and their lines must not interleave mid-record.
+  const std::lock_guard<std::mutex> lock(sinks_mutex_);
   if (level >= stderr_level_) {
     std::fprintf(stderr, "[%8lld us] %-5s %-16s %s\n",
                  static_cast<long long>(record.time_us), to_string(level),

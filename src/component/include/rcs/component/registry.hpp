@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,10 @@ class ComponentRegistry {
  public:
   /// Process-wide registry. Modules register their types explicitly via
   /// rcs::ftm::register_components() etc. (no static-initializer magic).
+  /// Mutex-guarded: concurrent simulations (chaos_runner --jobs) construct
+  /// ResilientSystems — and thus call register_components() — from several
+  /// threads. References returned by info() stay valid forever: map nodes
+  /// are stable and registration is first-wins, never an overwrite.
   static ComponentRegistry& instance();
 
   void register_type(ComponentTypeInfo info);
@@ -69,6 +74,13 @@ class ComponentRegistry {
   [[nodiscard]] std::unique_ptr<Component> create(const std::string& type_name) const;
 
  private:
+  [[nodiscard]] const ComponentTypeInfo& info_locked(
+      const std::string& type_name) const;
+
+  /// Behind a pointer so the registry stays movable (test fixtures build
+  /// scoped registries by value); only the process-wide instance is ever
+  /// contended.
+  std::unique_ptr<std::mutex> mutex_{std::make_unique<std::mutex>()};
   std::map<std::string, ComponentTypeInfo> types_;
 };
 

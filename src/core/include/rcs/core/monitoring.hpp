@@ -56,6 +56,14 @@ struct MonitoringThresholds {
   /// link capacity).
   double utilization_high{0.35};
   double utilization_low{0.15};
+  /// Consecutive over-threshold samples required before the saturation latch
+  /// fires. The trigger carries the measured request rate, and that estimate
+  /// spans a 2 s horizon — firing on the first over-threshold sample after a
+  /// load step would ship a rate computed over a mostly-idle window, and the
+  /// resilience manager would judge viability against a fiction. Five samples
+  /// at the default 500 ms interval hold the trigger until the horizon is
+  /// saturated with the new workload.
+  int utilization_confirm_samples{5};
   double cpu_low{0.6};
   double cpu_high{0.9};
   sim::Duration event_window{20 * sim::kSecond};
@@ -111,8 +119,9 @@ class MonitoringEngine {
   TriggerListener listener_;
   bool running_{false};
   sim::Duration interval_{500 * sim::kMillisecond};
-  std::uint64_t last_link_bytes_{0};
-  sim::Time last_sample_{0};
+  /// Replica-link byte rate over the sampling window; shares the audited
+  /// delta path (regression guard included) with the load harness.
+  sim::RateSampler link_rate_;
   /// Latest per-replica reply counters ("monitor.stats") and the previous
   /// group total, for request-rate estimation.
   std::map<std::uint32_t, std::int64_t> replies_by_host_;
@@ -125,6 +134,9 @@ class MonitoringEngine {
   // Hysteresis latches.
   bool bandwidth_low_{false};
   bool saturated_{false};
+  /// Consecutive samples the utilization has been above the high threshold
+  /// (saturation debounce, see MonitoringThresholds).
+  int utilization_over_{0};
   bool cpu_low_{false};
   bool transient_latched_{false};
   bool permanent_latched_{false};

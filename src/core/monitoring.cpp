@@ -97,18 +97,13 @@ void MonitoringEngine::sample() {
       }
     }
     const sim::Time now = manager_.sim().now();
-    if (last_sample_ > 0 && now > last_sample_) {
-      const double window_s =
-          static_cast<double>(now - last_sample_) / sim::kSecond;
-      // Guard against counter regression: a LinkStats reset (host restart or
-      // explicit Network::reset_stats mid-campaign) makes link_bytes fall
-      // below the remembered value; the unsigned difference would explode
-      // into a huge rate and fire a spurious saturation trigger. Treat a
-      // regressed counter as an empty window and re-baseline.
-      const double byte_rate =
-          link_bytes >= last_link_bytes_
-              ? static_cast<double>(link_bytes - last_link_bytes_) / window_s
-              : 0.0;
+    // RateSampler guards against counter regression: a LinkStats reset (host
+    // restart or explicit Network::reset_stats mid-campaign) makes
+    // link_bytes fall below the remembered baseline; the sampler reads that
+    // as an empty window and re-baselines instead of exploding into an
+    // astronomic rate and a spurious saturation trigger.
+    const double byte_rate = link_rate_.sample(now, link_bytes);
+    {
       std::int64_t total_replies = 0;
       for (const auto& [host, replies] : replies_by_host_) {
         total_replies += replies;
@@ -128,7 +123,16 @@ void MonitoringEngine::sample() {
       }
 
       const double utilization = bandwidth > 0 ? byte_rate / bandwidth : 0.0;
-      if (!saturated_ && utilization > thresholds_.utilization_high) {
+      // Debounce, not just hysteresis: the latch arms only after the
+      // condition held for `utilization_confirm_samples` consecutive
+      // samples, by which time the request-rate estimate behind the trigger
+      // spans a fully-loaded horizon instead of the idle period before the
+      // load step.
+      utilization_over_ = utilization > thresholds_.utilization_high
+                              ? utilization_over_ + 1
+                              : 0;
+      if (!saturated_ &&
+          utilization_over_ >= thresholds_.utilization_confirm_samples) {
         saturated_ = true;
         // The trigger carries the measured SERVICE rate: the workload
         // intensity the next FTM must sustain.
@@ -142,8 +146,6 @@ void MonitoringEngine::sample() {
              strf("replica links down to ", byte_rate / 1e3, " KB/s"));
       }
     }
-    last_link_bytes_ = link_bytes;
-    last_sample_ = now;
   }
 
   // --- R probe: replica CPU capacity --------------------------------------

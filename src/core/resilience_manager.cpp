@@ -168,7 +168,7 @@ Decision ResilienceManager::evaluate(const FtarState& state) const {
 void ResilienceManager::react(const std::string& cause) {
   const Decision decision = evaluate(state_);
   HistoryEntry entry;
-  entry.at = 0;
+  entry.at = scheduler_ != nullptr ? scheduler_->sim().now() : 0;
   entry.cause = cause;
   entry.decision = decision.kind;
   entry.from = engine_.current().name;

@@ -1,7 +1,6 @@
 #include "rcs/ftm/client.hpp"
 
 #include <algorithm>
-#include <numeric>
 
 #include "rcs/common/error.hpp"
 #include "rcs/common/logging.hpp"
@@ -12,14 +11,41 @@
 namespace rcs::ftm {
 
 double Client::Stats::mean_latency_ms() const {
-  if (latencies.empty()) return 0.0;
-  const auto total =
-      std::accumulate(latencies.begin(), latencies.end(), sim::Duration{0});
-  return sim::to_ms(total) / static_cast<double>(latencies.size());
+  if (latency.count == 0) return 0.0;
+  return sim::to_ms(latency.sum) / static_cast<double>(latency.count);
+}
+
+double Client::Stats::latency_quantile_ms(double q) const {
+  if (reservoir.empty()) return 0.0;
+  auto sorted = reservoir;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      clamped * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sim::to_ms(sorted[rank]);
+}
+
+void Client::Stats::record_latency(sim::Duration value, Rng& rng) {
+  latency.record(value);
+  last_latency = value;
+  if (reservoir.size() < kReservoirCap) {
+    reservoir.push_back(value);
+    return;
+  }
+  // Algorithm R: the n-th observation replaces a random slot with
+  // probability cap/n, keeping the reservoir a uniform sample of all n.
+  const auto slot = static_cast<std::uint64_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(latency.count) - 1));
+  if (slot < kReservoirCap) reservoir[static_cast<std::size_t>(slot)] = value;
 }
 
 Client::Client(sim::Host& host, std::vector<HostId> replicas, Options options)
-    : host_(host), replicas_(std::move(replicas)), options_(options) {
+    : host_(host),
+      replicas_(std::move(replicas)),
+      options_(options),
+      // Deterministic per-client stream, decoupled from the simulation rng.
+      reservoir_rng_(0xC2B2AE3D27D4EB4FULL ^
+                     (static_cast<std::uint64_t>(host.id().value()) + 1)) {
   ensure(!replicas_.empty(), "Client: needs at least one replica");
   host_.register_handler(msg::kReply, [this](const sim::Message& message) {
     on_reply(message.payload);
@@ -126,7 +152,7 @@ void Client::on_reply(const Value& payload) {
   } else {
     ++stats_.ok;
     const sim::Duration latency = host_.sim().now() - pending.first_sent;
-    stats_.latencies.push_back(latency);
+    stats_.record_latency(latency, reservoir_rng_);
     latency_us_.record(latency);
   }
   auto callback = std::move(pending.callback);

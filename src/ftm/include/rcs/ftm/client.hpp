@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rcs/common/ids.hpp"
+#include "rcs/common/rng.hpp"
 #include "rcs/common/value.hpp"
 #include "rcs/obs/metrics.hpp"
 #include "rcs/obs/trace.hpp"
@@ -39,14 +40,36 @@ class Client {
   using Options = ClientOptions;
 
   struct Stats {
+    /// Reservoir capacity: enough for stable tail quantiles, bounded no
+    /// matter how many requests a fleet campaign pushes through the client.
+    static constexpr std::size_t kReservoirCap = 512;
+
     std::uint64_t sent{0};
     std::uint64_t retries{0};
     std::uint64_t ok{0};
     std::uint64_t errors{0};    // explicit error replies
     std::uint64_t gave_up{0};   // exhausted attempts
-    std::vector<sim::Duration> latencies;  // first-send to reply, ok only
 
+    /// Latency summary (first-send to reply, ok only): log2 histogram with
+    /// exact count/sum/min/max — O(1) memory however long the run.
+    obs::HistogramCells latency;
+    /// Most recent ok latency.
+    sim::Duration last_latency{0};
+    /// Uniform sample of at most kReservoirCap latencies (Algorithm R) for
+    /// quantile estimation; exact while ok <= kReservoirCap.
+    std::vector<sim::Duration> reservoir;
+
+    [[nodiscard]] std::uint64_t latency_count() const { return latency.count; }
+    /// Exact sum of all ok latencies (windowed means: diff two snapshots).
+    [[nodiscard]] sim::Duration latency_total() const { return latency.sum; }
     [[nodiscard]] double mean_latency_ms() const;
+    /// Nearest-rank quantile (q in [0,1]) in ms, from the reservoir.
+    [[nodiscard]] double latency_quantile_ms(double q) const;
+
+    /// Fold `latency` into the summary; `rng` feeds the reservoir's
+    /// replacement draw (callers pass a stream private to the client so the
+    /// shared simulation stream is untouched).
+    void record_latency(sim::Duration latency, Rng& rng);
   };
 
   /// Reply callback: the full reply map {"id", "result"} or {"id", "error"},
@@ -109,6 +132,10 @@ class Client {
   std::size_t preferred_target_{0};
   std::map<std::uint64_t, Pending> pending_;
   Stats stats_;
+  /// Private stream for the reservoir's replacement draws: sampling latencies
+  /// must not perturb the shared simulation stream (backoff jitter, network
+  /// noise), or enabling stats collection would change the run.
+  Rng reservoir_rng_;
 
   // Observability: end-to-end request spans + latency histogram. The tracer
   // check is one byte load when tracing is off.

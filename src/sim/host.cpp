@@ -20,6 +20,7 @@ void Host::crash() {
   alive_ = false;
   ++epoch_;
   handlers_.clear();
+  cpu_free_ = 0;  // the CPU backlog dies with the host
 }
 
 void Host::restart() {
@@ -76,10 +77,15 @@ void Host::cancel(TimerId id) { sim_.loop().cancel(id); }
 
 Duration Host::charge_compute(Duration reference_cost) {
   ensure(reference_cost >= 0, "Host::charge_compute: negative cost");
-  const auto actual = static_cast<Duration>(
+  const auto execution = static_cast<Duration>(
       static_cast<double>(reference_cost) / capacity_.cpu_speed);
-  meter_.charge_cpu(actual);
-  return actual;
+  meter_.charge_cpu(execution);
+  // Serialize on the CPU: start when the processor frees up, like frames on
+  // a busy link. Queueing delays the computation but burns no CPU time.
+  const Time start = std::max(sim_.now(), cpu_free_);
+  const Duration queueing = start - sim_.now();
+  cpu_free_ = start + execution;
+  return queueing + execution;
 }
 
 }  // namespace rcs::sim

@@ -97,9 +97,17 @@ class Host {
   [[nodiscard]] const HostCapacity& capacity() const { return capacity_; }
   HardwareFaultState& faults() { return faults_; }
 
-  /// Charge CPU for a computation of `reference_cost` on the reference host,
-  /// returning the actual duration on this host (scaled by cpu_speed).
+  /// Charge CPU for a computation of `reference_cost` on the reference host.
+  /// The CPU is a serial resource: a computation issued while an earlier one
+  /// is still executing queues behind it, exactly like frames on a busy
+  /// network link. Returns the delay until the computation completes —
+  /// queueing plus the execution time scaled by cpu_speed — so sustained
+  /// overload shows up as growing processing latency and the capacity knee
+  /// of a host moves when cpu_speed is cut. Only the execution time is
+  /// metered as CPU used.
   Duration charge_compute(Duration reference_cost);
+  /// Virtual time at which the CPU finishes its current backlog.
+  [[nodiscard]] Time cpu_free_at() const { return cpu_free_; }
 
  private:
   Simulation& sim_;
@@ -114,6 +122,8 @@ class Host {
   ResourceMeter meter_;
   HostCapacity capacity_;
   HardwareFaultState faults_;
+  /// CPU serialization: when the processor frees up (cf. Network::tx_free_).
+  Time cpu_free_{0};
 };
 
 }  // namespace rcs::sim

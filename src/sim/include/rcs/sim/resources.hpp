@@ -7,6 +7,7 @@
 // resource row empirically.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "rcs/sim/time.hpp"
@@ -49,6 +50,76 @@ class ResourceMeter {
   Duration cpu_used_{0};
   std::uint64_t bytes_sent_{0};
   std::uint64_t bytes_received_{0};
+};
+
+/// Windowed rate over a monotonically increasing counter.
+///
+/// The one audited delta-and-divide path shared by the monitoring probes and
+/// the load harness: feed the counter's current value at each observation
+/// and get back the average per-second rate over the elapsed window. The
+/// first observation only primes the baseline (rate 0), an empty window
+/// reads as rate 0, and a counter regression (LinkStats reset, host restart
+/// wiping a meter) re-baselines instead of exploding into a huge unsigned
+/// difference.
+class RateSampler {
+ public:
+  /// Observe `value` at time `now`; returns the rate in counter units per
+  /// virtual second since the previous observation.
+  double sample(Time now, std::uint64_t value) {
+    if (!primed_ || value < last_value_ || now <= last_time_) {
+      const double rate = 0.0;
+      primed_ = true;
+      last_time_ = now;
+      last_value_ = value;
+      return rate;
+    }
+    const double window_s =
+        static_cast<double>(now - last_time_) / static_cast<double>(kSecond);
+    const double rate =
+        static_cast<double>(value - last_value_) / window_s;
+    last_time_ = now;
+    last_value_ = value;
+    return rate;
+  }
+
+  /// Forget the baseline; the next sample() primes afresh.
+  void reset() { *this = RateSampler{}; }
+
+ private:
+  bool primed_{false};
+  Time last_time_{0};
+  std::uint64_t last_value_{0};
+};
+
+/// Per-interval rates of one host's ResourceMeter: bytes on the wire and
+/// CPU utilization (cpu-seconds consumed per wall second, i.e. 1.0 = one
+/// fully busy core at reference speed).
+struct MeterRates {
+  double bytes_sent_per_s{0.0};
+  double bytes_received_per_s{0.0};
+  double cpu_utilization{0.0};
+};
+
+class MeterRateSampler {
+ public:
+  MeterRates sample(Time now, const ResourceMeter& meter) {
+    MeterRates rates;
+    rates.bytes_sent_per_s = sent_.sample(now, meter.bytes_sent());
+    rates.bytes_received_per_s =
+        received_.sample(now, meter.bytes_received());
+    rates.cpu_utilization =
+        cpu_.sample(now, static_cast<std::uint64_t>(
+                             std::max<Duration>(meter.cpu_used(), 0))) /
+        static_cast<double>(kSecond);
+    return rates;
+  }
+
+  void reset() { *this = MeterRateSampler{}; }
+
+ private:
+  RateSampler sent_;
+  RateSampler received_;
+  RateSampler cpu_;
 };
 
 }  // namespace rcs::sim

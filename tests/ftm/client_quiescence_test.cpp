@@ -15,7 +15,7 @@ TEST_F(Fixture, ClientCollectsLatencyStats) {
   EXPECT_EQ(client.stats().sent, 4u);
   EXPECT_EQ(client.stats().ok, 4u);
   EXPECT_EQ(client.stats().retries, 0u);
-  ASSERT_EQ(client.stats().latencies.size(), 4u);
+  ASSERT_EQ(client.stats().latency_count(), 4u);
   EXPECT_GT(client.stats().mean_latency_ms(), 0.0);
 }
 

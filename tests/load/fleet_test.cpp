@@ -1,0 +1,180 @@
+// ClientFleet: many concurrent ftm::Clients against a ResilientSystem.
+#include <gtest/gtest.h>
+
+#include "rcs/ftm/config.hpp"
+#include "rcs/load/fleet.hpp"
+
+namespace rcs::load::testing {
+namespace {
+
+core::SystemOptions quiet_options(std::uint64_t seed = 5) {
+  core::SystemOptions options;
+  options.seed = seed;
+  options.start_monitoring = false;
+  return options;
+}
+
+struct FleetRun {
+  ClientFleet::Totals totals;
+  std::vector<ftm::HistoryRecord> history;
+};
+
+FleetRun run_fleet(std::uint64_t seed, sim::Duration horizon) {
+  core::ResilientSystem system(quiet_options(seed));
+  (void)system.deploy_and_wait(ftm::FtmConfig::pbr());
+  FleetOptions options;
+  options.clients = 8;
+  options.seed = seed;
+  options.record_history = true;
+  ClientFleet fleet(system, options, make_process("open", 5.0));
+  fleet.start();
+  system.sim().run_for(horizon);
+  fleet.stop();
+  // Drain: outstanding requests finish, no new ones start.
+  const sim::Time deadline = system.sim().now() + 30 * sim::kSecond;
+  while (fleet.outstanding() > 0 && system.sim().now() < deadline) {
+    if (system.sim().loop().empty()) break;
+    system.sim().loop().step();
+  }
+  return {fleet.totals(), fleet.merged_history()};
+}
+
+TEST(ClientFleet, DrivesTrafficAndDrainsCleanly) {
+  const auto run = run_fleet(5, 5 * sim::kSecond);
+  // 8 clients x 5/s x 5s = ~200 offered.
+  EXPECT_GT(run.totals.sent, 120u);
+  EXPECT_EQ(run.totals.ok, run.totals.sent) << "healthy system: every request ok";
+  EXPECT_EQ(run.totals.gave_up, 0u);
+  EXPECT_EQ(run.totals.errors, 0u);
+  EXPECT_EQ(run.totals.latency_count, run.totals.ok);
+  EXPECT_EQ(run.history.size(), run.totals.sent)
+      << "one history record per request across the whole fleet";
+}
+
+TEST(ClientFleet, SameSeedIsBitReproducible) {
+  const auto a = run_fleet(21, 3 * sim::kSecond);
+  const auto b = run_fleet(21, 3 * sim::kSecond);
+  EXPECT_EQ(a.totals.sent, b.totals.sent);
+  EXPECT_EQ(a.totals.ok, b.totals.ok);
+  EXPECT_EQ(a.totals.retries, b.totals.retries);
+  EXPECT_EQ(a.totals.latency_total, b.totals.latency_total);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].id, b.history[i].id);
+    EXPECT_EQ(a.history[i].op, b.history[i].op);
+    EXPECT_EQ(a.history[i].sent, b.history[i].sent);
+    EXPECT_EQ(a.history[i].completed, b.history[i].completed);
+  }
+}
+
+TEST(ClientFleet, DifferentSeedsDiverge) {
+  const auto a = run_fleet(31, 3 * sim::kSecond);
+  const auto b = run_fleet(32, 3 * sim::kSecond);
+  EXPECT_NE(a.totals.latency_total, b.totals.latency_total);
+}
+
+TEST(ClientFleet, MergedHistoryIsSortedBySendTime) {
+  const auto run = run_fleet(5, 3 * sim::kSecond);
+  ASSERT_GT(run.history.size(), 10u);
+  for (std::size_t i = 1; i < run.history.size(); ++i) {
+    EXPECT_LE(run.history[i - 1].sent, run.history[i].sent);
+  }
+}
+
+TEST(ClientFleet, WindowsMeasureDeltasNotTotals) {
+  core::ResilientSystem system(quiet_options());
+  (void)system.deploy_and_wait(ftm::FtmConfig::pbr());
+  FleetOptions options;
+  options.clients = 4;
+  options.seed = 5;
+  ClientFleet fleet(system, options, make_process("open", 10.0));
+  fleet.start();
+  system.sim().run_for(2 * sim::kSecond);
+
+  fleet.begin_window();
+  system.sim().run_for(2 * sim::kSecond);
+  const auto window = fleet.window();
+  EXPECT_GT(window.delta.sent, 0u);
+  EXPECT_LT(window.delta.sent, fleet.totals().sent)
+      << "the window must exclude traffic before begin_window()";
+  EXPECT_EQ(window.seen, window.delta.latency_count);
+  EXPECT_GT(window.mean_ms(), 0.0);
+  EXPECT_GE(window.quantile_ms(0.99), window.quantile_ms(0.50));
+  fleet.stop();
+}
+
+TEST(ClientFleet, SetRateChangesTheOfferedLoad) {
+  core::ResilientSystem system(quiet_options());
+  (void)system.deploy_and_wait(ftm::FtmConfig::pbr());
+  FleetOptions options;
+  options.clients = 4;
+  options.seed = 5;
+  ClientFleet fleet(system, options, make_process("open", 2.0));
+  fleet.start();
+  fleet.begin_window();
+  system.sim().run_for(4 * sim::kSecond);
+  const auto slow = fleet.window();
+
+  fleet.set_rate(20.0);
+  fleet.begin_window();
+  system.sim().run_for(4 * sim::kSecond);
+  const auto fast = fleet.window();
+  fleet.stop();
+
+  EXPECT_GT(fast.delta.sent, 5 * slow.delta.sent)
+      << "a 10x rate retarget must show up in the offered load";
+}
+
+TEST(ClientFleet, ClosedLoopNeverExceedsOneOutstandingPerClient) {
+  core::ResilientSystem system(quiet_options());
+  (void)system.deploy_and_wait(ftm::FtmConfig::pbr());
+  FleetOptions options;
+  options.clients = 6;
+  options.seed = 5;
+  ClientFleet fleet(system, options, make_process("closed", 50.0));
+  fleet.start();
+  const sim::Time deadline = system.sim().now() + 3 * sim::kSecond;
+  while (system.sim().now() < deadline && !system.sim().loop().empty()) {
+    system.sim().loop().step();
+    EXPECT_LE(fleet.outstanding(), options.clients)
+        << "closed loop: at most one in-flight request per client";
+  }
+  fleet.stop();
+}
+
+TEST(ClientFleet, RequestBudgetStopsTheRun) {
+  core::ResilientSystem system(quiet_options());
+  (void)system.deploy_and_wait(ftm::FtmConfig::pbr());
+  FleetOptions options;
+  options.clients = 3;
+  options.seed = 5;
+  options.max_requests_per_client = 7;
+  ClientFleet fleet(system, options, make_process("open", 100.0));
+  fleet.start();
+  system.sim().run_for(10 * sim::kSecond);
+  EXPECT_EQ(fleet.totals().sent, 21u) << "3 clients x 7 requests each";
+}
+
+TEST(ClientFleet, PerClassLatencyLandsInTheMetricsRegistry) {
+  core::ResilientSystem system(quiet_options());
+  (void)system.deploy_and_wait(ftm::FtmConfig::pbr());
+  FleetOptions options;
+  options.clients = 4;
+  options.seed = 5;
+  ClientFleet fleet(system, options, make_process("open", 10.0));
+  fleet.start();
+  system.sim().run_for(5 * sim::kSecond);
+  fleet.stop();
+
+  auto& metrics = system.sim().metrics();
+  const auto incr = metrics.histogram("load.latency_us.incr").count();
+  const auto get = metrics.histogram("load.latency_us.get").count();
+  const auto put = metrics.histogram("load.latency_us.put").count();
+  EXPECT_GT(incr, get) << "the default mix is incr-heavy";
+  EXPECT_GT(get, 0u);
+  EXPECT_GT(put, 0u);
+  EXPECT_EQ(incr + get + put, fleet.totals().latency_count);
+}
+
+}  // namespace
+}  // namespace rcs::load::testing

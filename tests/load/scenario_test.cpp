@@ -1,0 +1,69 @@
+// End-to-end closed loop: fleet traffic alone must saturate the replica
+// link, fire the monitoring trigger, force a mandatory differential
+// transition off PBR mid-load, and leave a history that satisfies every
+// checker invariant. This is the repo's single strongest statement that the
+// adaptation machinery works against measured load, not injected triggers.
+#include <gtest/gtest.h>
+
+#include "rcs/load/scenario.hpp"
+
+namespace rcs::load::testing {
+namespace {
+
+TEST(AdaptScenario, FleetTrafficDrivesAMandatoryTransition) {
+  AdaptScenarioOptions options;
+  const auto result = run_adapt_scenario(options);
+
+  ASSERT_TRUE(result.triggered)
+      << "the offered load must trip kLinkSaturated on its own";
+  EXPECT_GT(result.trigger_at, 0);
+  ASSERT_TRUE(result.adapted) << "PBR must fail viability at the measured rate";
+  EXPECT_EQ(result.adapted_from, "PBR");
+  EXPECT_NE(result.adapted_to, "PBR");
+  EXPECT_GE(result.adapted_at, result.trigger_at);
+
+  // The trigger carried a *measured* rate in the right ballpark of the
+  // offered 150 rps — not a stale or primed-to-zero estimate.
+  ASSERT_FALSE(result.triggers.empty());
+  EXPECT_GT(result.triggers.front().measured, 100.0);
+
+  // Service stayed correct across the switch.
+  EXPECT_TRUE(result.report.ok()) << result.report.to_string();
+  EXPECT_EQ(result.totals.gave_up, 0u);
+  EXPECT_GT(result.totals.ok, 0u);
+  EXPECT_GT(result.final_counter, 0);
+  EXPECT_TRUE(result.passed);
+}
+
+TEST(AdaptScenario, SameSeedProducesTheSameTrace) {
+  AdaptScenarioOptions options;
+  options.clients = 20;
+  options.offered_rps = 140.0;
+  const auto a = run_adapt_scenario(options);
+  const auto b = run_adapt_scenario(options);
+  EXPECT_EQ(a.trace, b.trace) << "the scenario is a deterministic experiment";
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.final_counter, b.final_counter);
+}
+
+TEST(AdaptScenario, ComfortableBandwidthNeverTriggers) {
+  // Control experiment: with a fat replica link the same traffic must NOT
+  // fire the trigger — proving the positive case above measures saturation,
+  // not a hair-trigger threshold.
+  AdaptScenarioOptions options;
+  options.clients = 20;
+  options.offered_rps = 100.0;
+  options.replica_bandwidth_bps = 12.5e6;
+  options.horizon = 15 * sim::kSecond;
+  const auto result = run_adapt_scenario(options);
+  EXPECT_FALSE(result.triggered);
+  EXPECT_FALSE(result.adapted);
+  // The scenario folds its own expectations (trigger fired, transition ran)
+  // into the report, so here exactly those two lines fail — what matters is
+  // that no *history* invariant broke under the comfortable provisioning.
+  EXPECT_EQ(result.report.violations.size(), 2u) << result.report.to_string();
+  EXPECT_EQ(result.totals.gave_up, 0u);
+}
+
+}  // namespace
+}  // namespace rcs::load::testing

@@ -1,0 +1,101 @@
+// Throughput–latency sweep harness: the knee exists, moves with the
+// provisioned resources, and the emitted curve is bit-deterministic.
+#include <gtest/gtest.h>
+
+#include "rcs/load/sweep.hpp"
+
+namespace rcs::load::testing {
+namespace {
+
+SweepOptions base_options() {
+  SweepOptions options;
+  options.seed = 9;
+  options.clients = 10;
+  options.rps_from = 60;
+  options.rps_to = 300;
+  options.steps = 4;  // offered: 60, 140, 220, 300
+  options.warmup = sim::kSecond;
+  options.window = 3 * sim::kSecond;
+  return options;
+}
+
+TEST(Sweep, RampFindsTheCpuKnee) {
+  // app.kvstore costs 5 ms of reference CPU per request, so a serialized
+  // replica at speed 1.0 caps at 200 req/s: the ramp must stay clean below
+  // that and knee above it.
+  const auto result = run_sweep(base_options());
+  ASSERT_EQ(result.points.size(), 4u);
+  ASSERT_GE(result.knee_index, 2) << "60 and 140 rps are below capacity";
+  EXPECT_NEAR(result.points[0].achieved_rps, 60.0, 12.0);
+  const auto& knee_point =
+      result.points[static_cast<std::size_t>(result.knee_index)];
+  EXPECT_LT(knee_point.achieved_rps, 215.0) << "goodput capped by the CPU";
+  EXPECT_GT(knee_point.mean_ms, result.points[0].mean_ms)
+      << "past the knee the latency must have inflated";
+}
+
+TEST(Sweep, KneeShiftsDownWhenCpuIsCut) {
+  auto options = base_options();
+  const auto reference = run_sweep(options);
+  options.cpu_speed = 0.5;  // capacity halves: 100 req/s
+  const auto degraded = run_sweep(options);
+  ASSERT_GE(reference.knee_index, 0);
+  ASSERT_GE(degraded.knee_index, 0);
+  EXPECT_LT(degraded.knee_index, reference.knee_index)
+      << "half the CPU must knee at a lower offered rate";
+  EXPECT_LT(degraded.points.back().achieved_rps,
+            reference.points.back().achieved_rps);
+}
+
+TEST(Sweep, NarrowLinkSaturatesTheReplicaChannel) {
+  // Full-state PBR moves ~6.7 KB per request between replicas, so 200 req/s
+  // offers ~1.3 MB/s of checkpoint traffic. The 12.5 MB/s default link
+  // absorbs that; a 1 MB/s link cannot, and unacked checkpoints retransmit,
+  // so the sender-side byte meter races far past the physical capacity.
+  // That runaway is precisely the signal MonitoringEngine's saturation
+  // trigger keys on — the sweep must expose it as a measurement.
+  auto options = base_options();
+  options.delta_checkpoint = false;
+  options.steps = 1;
+  options.rps_from = options.rps_to = 200;
+  const auto fat = run_sweep(options);
+  options.replica_bandwidth_bps = 1e6;
+  const auto thin = run_sweep(options);
+  ASSERT_EQ(fat.points.size(), 1u);
+  ASSERT_EQ(thin.points.size(), 1u);
+  EXPECT_LT(fat.points[0].link_bytes_per_s, 0.2 * 12.5e6)
+      << "the fat link carries the checkpoint stream with room to spare";
+  EXPECT_GT(thin.points[0].link_bytes_per_s, 2.0 * 1e6)
+      << "offered bytes (sender-side meter) must overshoot the narrow pipe";
+}
+
+TEST(Sweep, SameSeedEmitsByteIdenticalJson) {
+  auto options = base_options();
+  options.steps = 2;
+  options.rps_to = 140;  // stay under the knee: cheap and still meaningful
+  const auto a = run_sweep(options);
+  const auto b = run_sweep(options);
+  EXPECT_EQ(a.to_json_lines(), b.to_json_lines());
+  EXPECT_FALSE(a.to_json_lines().empty());
+
+  options.seed = 10;
+  const auto c = run_sweep(options);
+  EXPECT_NE(a.to_json_lines(), c.to_json_lines());
+}
+
+TEST(Sweep, DeltaCheckpointingSlashesReplicaTraffic) {
+  auto options = base_options();
+  options.steps = 1;
+  options.rps_from = options.rps_to = 100;
+  const auto delta = run_sweep(options);
+  options.delta_checkpoint = false;
+  const auto full = run_sweep(options);
+  ASSERT_EQ(delta.points.size(), 1u);
+  ASSERT_EQ(full.points.size(), 1u);
+  EXPECT_LT(delta.points[0].link_bytes_per_s,
+            0.25 * full.points[0].link_bytes_per_s)
+      << "per-request deltas vs full state: at least 4x traffic reduction";
+}
+
+}  // namespace
+}  // namespace rcs::load::testing

@@ -1,0 +1,87 @@
+// RateSampler / MeterRateSampler: the one audited delta-and-divide path
+// shared by the monitoring probes and the load harness. The edge cases here
+// (priming, empty window, counter regression) are exactly the ones that
+// previously produced an astronomic unsigned wrap and a spurious saturation
+// trigger.
+#include <gtest/gtest.h>
+
+#include "rcs/sim/resources.hpp"
+
+namespace rcs::sim::testing {
+namespace {
+
+TEST(RateSampler, FirstObservationPrimesAtRateZero) {
+  RateSampler sampler;
+  EXPECT_DOUBLE_EQ(sampler.sample(5 * kSecond, 1'000'000), 0.0)
+      << "no window exists before the baseline";
+}
+
+TEST(RateSampler, SteadyCounterYieldsPerSecondRate) {
+  RateSampler sampler;
+  (void)sampler.sample(0, 0);
+  EXPECT_DOUBLE_EQ(sampler.sample(2 * kSecond, 500), 250.0);
+  EXPECT_DOUBLE_EQ(sampler.sample(3 * kSecond, 1500), 1000.0)
+      << "each window is measured against the previous observation only";
+}
+
+TEST(RateSampler, SubSecondWindowScalesUp) {
+  RateSampler sampler;
+  (void)sampler.sample(0, 0);
+  EXPECT_DOUBLE_EQ(sampler.sample(500 * kMillisecond, 100), 200.0);
+}
+
+TEST(RateSampler, EmptyWindowReadsZero) {
+  RateSampler sampler;
+  (void)sampler.sample(kSecond, 100);
+  EXPECT_DOUBLE_EQ(sampler.sample(kSecond, 900), 0.0)
+      << "now <= last observation: no time elapsed, no rate";
+  EXPECT_DOUBLE_EQ(sampler.sample(2 * kSecond, 1900), 1000.0)
+      << "and the zero-width observation re-baselined the counter";
+}
+
+TEST(RateSampler, CounterRegressionRebaselinesInsteadOfWrapping) {
+  RateSampler sampler;
+  (void)sampler.sample(0, 0);
+  (void)sampler.sample(kSecond, 10'000);
+  // Counter reset (Network::reset_stats, host restart wiping a meter).
+  EXPECT_DOUBLE_EQ(sampler.sample(2 * kSecond, 50), 0.0)
+      << "a regression must read as an empty window, not a wrap";
+  EXPECT_DOUBLE_EQ(sampler.sample(3 * kSecond, 1050), 1000.0)
+      << "the regressed value became the new baseline";
+}
+
+TEST(RateSampler, ResetForgetsTheBaseline) {
+  RateSampler sampler;
+  (void)sampler.sample(0, 0);
+  sampler.reset();
+  EXPECT_DOUBLE_EQ(sampler.sample(kSecond, 700), 0.0) << "primes afresh";
+  EXPECT_DOUBLE_EQ(sampler.sample(2 * kSecond, 1400), 700.0);
+}
+
+TEST(MeterRateSampler, DerivesBytesAndCpuUtilization) {
+  ResourceMeter meter;
+  MeterRateSampler sampler;
+  (void)sampler.sample(0, meter);
+
+  meter.charge_sent(4'000);
+  meter.charge_received(1'000);
+  meter.charge_cpu(500 * kMillisecond);  // half a cpu-second...
+  const MeterRates rates = sampler.sample(kSecond, meter);  // ...in one second
+  EXPECT_DOUBLE_EQ(rates.bytes_sent_per_s, 4'000.0);
+  EXPECT_DOUBLE_EQ(rates.bytes_received_per_s, 1'000.0);
+  EXPECT_DOUBLE_EQ(rates.cpu_utilization, 0.5);
+}
+
+TEST(MeterRateSampler, SaturatedCpuReadsAsOne) {
+  ResourceMeter meter;
+  MeterRateSampler sampler;
+  (void)sampler.sample(0, meter);
+  // A serialized CPU can execute at most one cpu-second per second; the
+  // meter records execution time post speed-division, so utilization 1.0 is
+  // the ceiling at ANY cpu_speed.
+  meter.charge_cpu(2 * kSecond);
+  EXPECT_DOUBLE_EQ(sampler.sample(2 * kSecond, meter).cpu_utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace rcs::sim::testing

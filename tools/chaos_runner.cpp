@@ -16,10 +16,13 @@
 // Every campaign is bit-deterministic in its seed: replaying a reported
 // failure reproduces the identical trace, and the shrunk schedule is
 // re-validated by replay before it is printed.
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rcs/common/logging.hpp"
@@ -39,6 +42,7 @@ struct SweepSpec {
 struct Args {
   int seeds{50};
   int transition_seeds{20};
+  int jobs{1};
   std::uint64_t base_seed{1};
   std::vector<std::string> ftms{"PBR", "LFR", "TR"};
   std::string delta{"both"};  // on | off | both
@@ -55,7 +59,8 @@ struct Args {
 void usage() {
   std::puts(
       "usage: chaos_runner [--seeds N] [--transitions N] [--base-seed S]\n"
-      "                    [--ftm A,B,..] [--delta on|off|both] [--verbose]\n"
+      "                    [--ftm A,B,..] [--delta on|off|both] [--jobs N]\n"
+      "                    [--verbose]\n"
       "       chaos_runner --replay SEED --ftm NAME --delta on|off\n"
       "                    [--transition-to NAME] [--trace-out FILE]\n"
       "                    [--metrics-out FILE]\n"
@@ -91,6 +96,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.transition_seeds = std::atoi(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      args.jobs = std::atoi(v);
+      if (args.jobs < 1) {
+        std::fprintf(stderr, "bad --jobs value: %s\n", v);
+        return false;
+      }
     } else if (arg == "--base-seed") {
       const char* v = next();
       if (!v) return false;
@@ -161,9 +174,11 @@ void report_failure(const ChaosCampaignOptions& options,
   std::printf("replay: %s\n", replay_command(options).c_str());
 }
 
-int run_one(const ChaosCampaignOptions& options, bool verbose,
-            int& campaigns, int& failures) {
-  const auto result = rcs::core::run_campaign(options);
+/// Account and print one finished campaign; shared by the serial path and
+/// the --jobs merge so both emit byte-identical reports.
+int report_one(const ChaosCampaignOptions& options,
+               const ChaosCampaignResult& result, bool verbose,
+               int& campaigns, int& failures) {
   ++campaigns;
   if (verbose || !result.passed) {
     std::printf("  seed=%-4llu %-18s %s (ctr=%lld retries=%llu)\n",
@@ -180,6 +195,12 @@ int run_one(const ChaosCampaignOptions& options, bool verbose,
   return 0;
 }
 
+int run_one(const ChaosCampaignOptions& options, bool verbose,
+            int& campaigns, int& failures) {
+  const auto result = rcs::core::run_campaign(options);
+  return report_one(options, result, verbose, campaigns, failures);
+}
+
 int run_sweep(const Args& args) {
   std::vector<bool> delta_modes;
   if (args.delta == "on" || args.delta == "both") delta_modes.push_back(true);
@@ -189,14 +210,10 @@ int run_sweep(const Args& args) {
     return 2;
   }
 
-  int campaigns = 0;
-  int failures = 0;
-
-  std::printf("chaos sweep: %d seed(s) x {", args.seeds);
-  for (std::size_t i = 0; i < args.ftms.size(); ++i) {
-    std::printf("%s%s", i ? "," : "", args.ftms[i].c_str());
-  }
-  std::printf("} x {%s}\n", args.delta.c_str());
+  // The full campaign plan, in canonical (seed) order. --jobs executes it
+  // out of order but always reports it in this order, so the output is
+  // byte-identical to a serial run.
+  std::vector<ChaosCampaignOptions> plan;
   for (int s = 0; s < args.seeds; ++s) {
     for (const auto& ftm : args.ftms) {
       for (const bool delta : delta_modes) {
@@ -204,11 +221,7 @@ int run_sweep(const Args& args) {
         options.seed = args.base_seed + static_cast<std::uint64_t>(s);
         options.ftm = ftm;
         options.delta_checkpoint = delta;
-        if (run_one(options, args.verbose, campaigns, failures)) {
-          std::printf("\n%d campaign(s), %d failure(s)\n", campaigns,
-                      failures);
-          return 1;
-        }
+        plan.push_back(options);
       }
     }
   }
@@ -219,10 +232,7 @@ int run_sweep(const Args& args) {
       {"LFR", true, "PBR"},
       {"PBR", false, "PBR_TR"},
   };
-  if (args.transition_seeds > 0) {
-    std::printf("transition sweep: %d seed(s) x %zu transition(s)\n",
-                args.transition_seeds, std::size(kTransitions));
-  }
+  const std::size_t transition_start = plan.size();
   for (int s = 0; s < args.transition_seeds; ++s) {
     const auto& spec = kTransitions[static_cast<std::size_t>(s) %
                                     std::size(kTransitions)];
@@ -231,12 +241,80 @@ int run_sweep(const Args& args) {
     options.ftm = spec.ftm;
     options.delta_checkpoint = spec.delta;
     options.transition_to = spec.transition_to;
-    if (run_one(options, args.verbose, campaigns, failures)) {
+    plan.push_back(options);
+  }
+
+  int campaigns = 0;
+  int failures = 0;
+  const auto print_transition_header = [&] {
+    if (args.transition_seeds > 0) {
+      std::printf("transition sweep: %d seed(s) x %zu transition(s)\n",
+                  args.transition_seeds, std::size(kTransitions));
+    }
+  };
+
+  std::printf("chaos sweep: %d seed(s) x {", args.seeds);
+  for (std::size_t i = 0; i < args.ftms.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", args.ftms[i].c_str());
+  }
+  std::printf("} x {%s}\n", args.delta.c_str());
+
+  if (args.jobs <= 1) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (i == transition_start) print_transition_header();
+      if (run_one(plan[i], args.verbose, campaigns, failures)) {
+        std::printf("\n%d campaign(s), %d failure(s)\n", campaigns,
+                    failures);
+        return 1;
+      }
+    }
+    if (plan.size() == transition_start) print_transition_header();
+    std::printf("\n%d campaign(s), %d failure(s) — all invariants held\n",
+                campaigns, failures);
+    return 0;
+  }
+
+  // Parallel execution: one Simulation per worker thread (campaigns are
+  // independent and each owns its whole world), results merged in plan
+  // order. A failing serial sweep stops at the first failure; here the
+  // later campaigns have already run, but the report still cuts off at the
+  // first failure in canonical order, so the two modes print the same
+  // bytes either way.
+  std::vector<ChaosCampaignResult> results(plan.size());
+  std::vector<std::string> errors(plan.size());
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= plan.size()) return;
+      try {
+        results[i] = rcs::core::run_campaign(plan[i]);
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+      }
+    }
+  };
+  std::vector<std::thread> workers;
+  const auto worker_count = std::min<std::size_t>(
+      static_cast<std::size_t>(args.jobs), std::max<std::size_t>(plan.size(), 1));
+  workers.reserve(worker_count);
+  for (std::size_t j = 0; j < worker_count; ++j) workers.emplace_back(worker);
+  for (auto& thread : workers) thread.join();
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (i == transition_start) print_transition_header();
+    if (!errors[i].empty()) {
+      std::fprintf(stderr, "campaign seed=%llu died: %s\n",
+                   static_cast<unsigned long long>(plan[i].seed),
+                   errors[i].c_str());
+      return 2;
+    }
+    if (report_one(plan[i], results[i], args.verbose, campaigns, failures)) {
       std::printf("\n%d campaign(s), %d failure(s)\n", campaigns, failures);
       return 1;
     }
   }
-
+  if (plan.size() == transition_start) print_transition_header();
   std::printf("\n%d campaign(s), %d failure(s) — all invariants held\n",
               campaigns, failures);
   return 0;
