@@ -1,0 +1,325 @@
+// bench_message_plane: throughput and allocation cost of the simulator's
+// message plane (EventLoop + Network + Host dispatch).
+//
+// The paper's agile-adaptation claims rest on empirical measurement; the
+// simulator must push millions of events cheaply or the measurement overhead
+// itself distorts the capacity sweeps (ROADMAP: "as fast as the hardware
+// allows"). This bench pins down the per-hop cost every protocol message
+// pays, independent of FTM logic:
+//
+//   request-echo  two hosts ping-pong one request payload; measures the full
+//                 send -> schedule -> deliver -> handler -> send loop.
+//   fanout        a relay re-sends one received payload to 8 receivers (the
+//                 LFR/TR after-brick fan-out pattern); measures the per-copy
+//                 cost of multi-replica traffic.
+//   timer-churn   schedule/cancel/fire cycles on Host timers with a small
+//                 capture; measures the scheduler slab + action storage.
+//
+// Heap traffic is counted by a global operator-new hook; steady-state counts
+// are taken after a warmup so one-time pool growth is excluded.
+//
+// Output: one JSON object per line on stdout. Counts (hops, events,
+// allocs/hop) are byte-deterministic across runs of the same binary — CI
+// runs `--quick` twice and cmp-compares. Wall-clock rates (events/sec,
+// ns/hop) are only emitted with --timing, which the cmp gate does not pass.
+//
+//   bench_message_plane [--quick] [--timing]
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "rcs/common/logging.hpp"
+#include "rcs/common/value.hpp"
+#include "rcs/sim/simulation.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: every path through the global operator new family
+// bumps one counter. Delegating to malloc keeps the hook semantics-free.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace rcs;       // NOLINT
+using namespace rcs::sim;  // NOLINT
+
+constexpr const char* kPing = "bench.ping";
+constexpr const char* kPong = "bench.pong";
+constexpr const char* kFanSeed = "bench.fan_seed";
+constexpr const char* kFanCopy = "bench.fan_copy";
+
+struct Options {
+  bool quick{false};
+  bool timing{false};
+};
+
+struct Measurement {
+  std::uint64_t iterations{0};   // hops / copies / cycles
+  std::uint64_t events{0};       // EventLoop events processed
+  std::uint64_t allocs{0};       // operator-new calls in the measured window
+  std::uint64_t alloc_bytes{0};
+  double wall_seconds{0.0};
+};
+
+/// A representative request payload: the shape a KV/counter request has on
+/// the wire (small map with a string op, an int argument and a binary blob).
+Value make_request_payload() {
+  Bytes blob;
+  for (int i = 0; i < 64; ++i) blob.push_back(static_cast<std::uint8_t>(i));
+  return Value::map()
+      .set("op", "incr")
+      .set("arg", std::int64_t{7})
+      .set("blob", Value(blob));
+}
+
+void emit(const char* name, const Measurement& m, const Options& options) {
+  const double per_iter_allocs =
+      m.iterations == 0
+          ? 0.0
+          : static_cast<double>(m.allocs) / static_cast<double>(m.iterations);
+  const double per_iter_bytes =
+      m.iterations == 0 ? 0.0
+                        : static_cast<double>(m.alloc_bytes) /
+                              static_cast<double>(m.iterations);
+  // Deterministic fields only: the CI cmp gate compares two runs of this.
+  std::printf("{\"bench\":\"%s\",\"iterations\":%" PRIu64
+              ",\"events\":%" PRIu64 ",\"allocs_per_iter\":%.3f"
+              ",\"alloc_bytes_per_iter\":%.1f}\n",
+              name, m.iterations, m.events, per_iter_allocs, per_iter_bytes);
+  if (options.timing && m.wall_seconds > 0.0) {
+    const double events_per_sec =
+        static_cast<double>(m.events) / m.wall_seconds;
+    const double ns_per_event =
+        m.wall_seconds * 1e9 / static_cast<double>(m.events);
+    std::printf("{\"bench\":\"%s.timing\",\"events_per_sec\":%.0f"
+                ",\"ns_per_event\":%.1f,\"wall_seconds\":%.3f}\n",
+                name, events_per_sec, ns_per_event, m.wall_seconds);
+  }
+}
+
+/// Two hosts ping-pong one payload `hops` times after a warmup. The handler
+/// re-sends the payload it received, so the steady state exercises exactly
+/// the per-hop message-plane path: send, transmit serialization, delivery
+/// scheduling, dispatch.
+Measurement run_request_echo(std::uint64_t warmup_hops, std::uint64_t hops) {
+  Simulation sim(42);
+  Host& a = sim.add_host("client");
+  Host& b = sim.add_host("server");
+
+  std::uint64_t remaining = warmup_hops;
+  bool measuring = false;
+  Measurement m;
+  std::uint64_t start_events = 0;
+  std::chrono::steady_clock::time_point start_wall;
+
+  b.register_handler(kPing, [&](const Message& msg) {
+    b.send(msg.from, kPong, msg.payload);
+  });
+  a.register_handler(kPong, [&](const Message& msg) {
+    if (remaining-- > 1) {
+      a.send(msg.to == a.id() ? b.id() : msg.from, kPing, msg.payload);
+      return;
+    }
+    if (!measuring) {
+      // Warmup done: snapshot counters and start the measured window.
+      measuring = true;
+      remaining = hops;
+      m.allocs = g_allocs.load(std::memory_order_relaxed);
+      m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+      start_events = sim.loop().processed();
+      start_wall = std::chrono::steady_clock::now();
+      a.send(b.id(), kPing, msg.payload);
+    }
+  });
+
+  a.send(b.id(), kPing, make_request_payload());
+  sim.run();
+
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - m.allocs;
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - m.alloc_bytes;
+  m.events = sim.loop().processed() - start_events;
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_wall)
+                       .count();
+  m.iterations = hops;
+  return m;
+}
+
+/// One relay re-sends each received payload to `fan` receivers, `rounds`
+/// times (after a warmup): the multi-replica fan-out pattern of the LFR/TR
+/// after-bricks. iterations = delivered copies.
+Measurement run_fanout(std::uint64_t warmup_rounds, std::uint64_t rounds,
+                       std::size_t fan) {
+  Simulation sim(43);
+  Host& source = sim.add_host("source");
+  Host& relay = sim.add_host("relay");
+  std::vector<HostId> receivers;
+  for (std::size_t i = 0; i < fan; ++i) {
+    Host& r = sim.add_host(std::string("r") + std::to_string(i));
+    r.register_handler(kFanCopy, [](const Message&) {});
+    receivers.push_back(r.id());
+  }
+
+  std::uint64_t remaining = warmup_rounds;
+  bool measuring = false;
+  Measurement m;
+  std::uint64_t start_events = 0;
+  std::chrono::steady_clock::time_point start_wall;
+
+  relay.register_handler(kFanSeed, [&](const Message& msg) {
+    for (const HostId to : receivers) relay.send(to, kFanCopy, msg.payload);
+    if (remaining-- > 1) {
+      source.send(relay.id(), kFanSeed, msg.payload);
+      return;
+    }
+    if (!measuring) {
+      measuring = true;
+      remaining = rounds;
+      m.allocs = g_allocs.load(std::memory_order_relaxed);
+      m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+      start_events = sim.loop().processed();
+      start_wall = std::chrono::steady_clock::now();
+      source.send(relay.id(), kFanSeed, msg.payload);
+    }
+  });
+
+  source.send(relay.id(), kFanSeed, make_request_payload());
+  sim.run();
+
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - m.allocs;
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - m.alloc_bytes;
+  m.events = sim.loop().processed() - start_events;
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_wall)
+                       .count();
+  m.iterations = rounds * fan;
+  return m;
+}
+
+/// Host-timer schedule/cancel/fire cycles with a small capture (the client
+/// timeout pattern: schedule a retransmission timer, cancel it when the
+/// reply arrives). iterations = cycles.
+Measurement run_timer_churn(std::uint64_t warmup_cycles,
+                            std::uint64_t cycles) {
+  Simulation sim(44);
+  Host& h = sim.add_host("host");
+
+  Measurement m;
+  std::uint64_t fired = 0;
+  std::uint64_t payload_a = 1;  // captured state, mimics [this, id]
+  std::uint64_t payload_b = 2;
+
+  const auto cycle = [&] {
+    // One "request": a timeout timer that is cancelled (reply arrived) plus
+    // one that fires.
+    const TimerId cancelled = h.schedule_after(
+        1000, [&payload_a, &fired] { fired += payload_a; },
+        "bench.cancelled");
+    h.schedule_after(
+        10, [&payload_b, &fired] { fired += payload_b; }, "bench.fire");
+    h.cancel(cancelled);
+  };
+
+  for (std::uint64_t i = 0; i < warmup_cycles; ++i) cycle();
+  sim.run();
+
+  m.allocs = g_allocs.load(std::memory_order_relaxed);
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  const std::uint64_t start_events = sim.loop().processed();
+  const auto start_wall = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < cycles; ++i) cycle();
+  sim.run();
+
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - m.allocs;
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - m.alloc_bytes;
+  m.events = sim.loop().processed() - start_events;
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_wall)
+                       .count();
+  m.iterations = cycles;
+  if (fired == 0) std::fprintf(stderr, "timer-churn: nothing fired?\n");
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      options.timing = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_message_plane [--quick] [--timing]\n");
+      return 2;
+    }
+  }
+  rcs::log().set_level(rcs::LogLevel::kWarn);
+
+  const std::uint64_t scale = options.quick ? 1 : 20;
+  emit("request_echo", run_request_echo(2'000, 50'000 * scale), options);
+  emit("fanout_x8", run_fanout(250, 6'250 * scale, 8), options);
+  emit("timer_churn", run_timer_churn(2'000, 50'000 * scale), options);
+  return 0;
+}

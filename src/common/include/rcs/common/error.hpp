@@ -13,6 +13,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -63,8 +64,12 @@ class SimError : public Error {
 };
 
 /// Throw LogicError when a precondition does not hold.
-inline void ensure(bool condition, const std::string& message) {
-  if (!condition) throw LogicError(message);
+// Takes a string_view so the (almost always satisfied) check never
+// materializes a std::string: the message is only built on failure. With the
+// const std::string& signature every hot-path ensure() paid one heap
+// allocation just to pass its literal.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) throw LogicError(std::string(message));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,93 @@
+// Global string interning for message-type names.
+//
+// The message plane routes every hop by type; comparing and copying
+// std::string per hop made the type field one of the hottest allocations in
+// the simulator. A MsgType is a 4-byte id from a process-wide interner:
+// construction from a string interns (first use registers the name), after
+// which comparison is an integer compare and copies are free. The name stays
+// available for logs, traces and error messages.
+//
+// Hot senders keep a pre-interned constant (see rcs::ftm::msg); constructing
+// a MsgType from a string literal per send still works but pays one
+// shared-lock lookup. Ids are process-local and never serialized: all
+// observable output uses names, so interning order cannot leak into the
+// byte-deterministic traces.
+//
+// Thread model: chaos_runner --jobs runs independent Simulations on worker
+// threads against the one global interner, so lookups take a shared lock and
+// first-use registration an exclusive one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace rcs {
+
+/// Append-only registry mapping names to dense small ids. Id 0 is always the
+/// empty string, so a default-constructed MsgType is valid and never matches
+/// a registered handler.
+class StringInterner {
+ public:
+  static StringInterner& global();
+
+  /// Return the id for `name`, registering it on first use.
+  std::uint32_t intern(std::string_view name);
+
+  /// Name for an id; the reference stays valid for the process lifetime.
+  /// Unknown ids (never handed out) map to "<bad-intern-id>".
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  StringInterner();
+
+  mutable std::shared_mutex mutex_;
+  /// Stable storage for the names; index_ keys view into these entries.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+/// Interned message-type id. Cheap to copy and compare; implicit conversion
+/// from strings keeps registration/send call sites readable.
+class MsgType {
+ public:
+  /// The empty type (id 0): never registered, never dispatched.
+  constexpr MsgType() = default;
+
+  MsgType(std::string_view name)  // NOLINT: implicit by design
+      : id_(StringInterner::global().intern(name)) {}
+  MsgType(const char* name) : MsgType(std::string_view(name)) {}  // NOLINT
+  MsgType(const std::string& name)                                // NOLINT
+      : MsgType(std::string_view(name)) {}
+
+  [[nodiscard]] constexpr std::uint32_t id() const { return id_; }
+  [[nodiscard]] const std::string& name() const {
+    return StringInterner::global().name(id_);
+  }
+
+  constexpr bool operator==(const MsgType&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, MsgType type) {
+    return os << type.name();
+  }
+
+ private:
+  std::uint32_t id_{0};
+};
+
+}  // namespace rcs
+
+namespace std {
+template <>
+struct hash<rcs::MsgType> {
+  size_t operator()(rcs::MsgType type) const noexcept {
+    return std::hash<std::uint32_t>{}(type.id());
+  }
+};
+}  // namespace std

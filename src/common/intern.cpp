@@ -1,0 +1,46 @@
+#include "rcs/common/intern.hpp"
+
+#include <mutex>
+
+namespace rcs {
+
+StringInterner& StringInterner::global() {
+  static StringInterner interner;
+  return interner;
+}
+
+StringInterner::StringInterner() {
+  // Id 0 is the empty name: default MsgType{} is valid without a lookup.
+  names_.emplace_back();
+  index_.emplace(std::string_view(names_.back()), 0u);
+}
+
+std::uint32_t StringInterner::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  // Double-check: another thread may have registered it between the locks.
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+const std::string& StringInterner::name(std::uint32_t id) const {
+  static const std::string kBadId = "<bad-intern-id>";
+  std::shared_lock lock(mutex_);
+  if (id >= names_.size()) return kBadId;
+  return names_[id];
+}
+
+std::size_t StringInterner::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace rcs

@@ -26,7 +26,7 @@ AdaptationEngine::AdaptationEngine(sim::Host& manager, HostId repository,
     handle_ack(m.payload);
   });
   manager_.register_handler("repo.package", [this](const sim::Message& m) {
-    const auto txn = static_cast<std::uint64_t>(m.payload.at("txn").as_int());
+    const auto txn = static_cast<std::uint64_t>(m.payload->at("txn").as_int());
     const auto it = fetches_.find(txn);
     if (it == fetches_.end()) return;
     auto on_package = std::move(it->second);

@@ -208,6 +208,8 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
         strf("retries forbidden by the oracle but the client retried ",
              result.client_stats.retries, " time(s)"));
   }
+  result.events = system.sim().loop().processed();
+  result.peak_queue_depth = system.sim().loop().peak_pending();
   result.passed = result.report.ok();
   result.trace = strf(
       "campaign seed=", options.seed, " label=", result.label,

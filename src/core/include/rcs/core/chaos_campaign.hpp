@@ -62,6 +62,11 @@ struct ChaosCampaignResult {
   std::string trace_json;
   /// Metrics registry export, one JSON object per line (same gating).
   std::string metrics_json;
+  /// Scheduler events processed over the whole campaign (throughput
+  /// accounting for the runners' stderr summaries).
+  std::uint64_t events{0};
+  /// High-water mark of the pending-event queue.
+  std::size_t peak_queue_depth{0};
 };
 
 /// Generate the schedule from `options.seed` and run it.

@@ -33,7 +33,7 @@ MonitoringEngine::MonitoringEngine(sim::Host& manager,
   });
   manager_.register_handler("monitor.stats", [this](const sim::Message& m) {
     replies_by_host_[static_cast<std::uint32_t>(
-        m.payload.at("host").as_int())] = m.payload.at("replies").as_int();
+        m.payload->at("host").as_int())] = m.payload->at("replies").as_int();
   });
 }
 

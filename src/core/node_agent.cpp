@@ -61,8 +61,8 @@ void NodeAgent::register_handlers() {
     // Peer's answer during restart recovery.
     if (!recovering_) return;
     recovering_ = false;
-    if (!m.payload.at("found").as_bool()) return;
-    auto params = ftm::DeployParams::from_value(m.payload.at("params"));
+    if (!m.payload->at("found").as_bool()) return;
+    auto params = ftm::DeployParams::from_value(m.payload->at("params"));
     // The answer carries the responder's CURRENT role: the master we rejoin
     // under is the responder itself when it leads, otherwise whoever the
     // responder follows. Assuming "responder == master" deadlocks when a

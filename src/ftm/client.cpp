@@ -109,8 +109,13 @@ void Client::transmit(std::uint64_t id) {
         1.0 + options_.backoff_jitter * host_.sim().rng().uniform(-1.0, 1.0);
     wait = static_cast<sim::Duration>(static_cast<double>(wait) * factor);
   }
-  pending.timer = host_.schedule_after(
-      wait, [this, id] { on_timeout(id); }, "client.timeout");
+  // The retransmission timer is the hottest client-side timer: assert its
+  // capture stays small enough for the scheduler's inline action storage.
+  auto on_timeout_action = [this, id] { on_timeout(id); };
+  static_assert(sim::Host::timer_fits_inline<decltype(on_timeout_action)>,
+                "client timeout timer must not allocate");
+  pending.timer = host_.schedule_after(wait, std::move(on_timeout_action),
+                                       "client.timeout");
 }
 
 void Client::on_timeout(std::uint64_t id) {

@@ -69,12 +69,13 @@ void FailureDetectorComponent::on_stop() {
 
 void FailureDetectorComponent::beat() {
   if (!running_ || host() == nullptr) return;
+  // All peers get the identical beacon: build it once, share the payload.
+  const Payload beacon{Value::map().set(
+      "from", static_cast<std::int64_t>(host()->id().value()))};
   for (const auto peer : peer_ids()) {
     if (peer < 0) continue;
-    Value payload = Value::map();
-    payload.set("from", static_cast<std::int64_t>(host()->id().value()));
     host()->send(HostId{static_cast<std::uint32_t>(peer)}, msg::kHeartbeat,
-                 std::move(payload));
+                 beacon);
   }
   beat_timer_ = host()->schedule_after(interval(), [this] { beat(); }, "fd.beat");
 }

@@ -18,6 +18,8 @@
 
 #include <string>
 
+#include "rcs/common/intern.hpp"
+
 namespace rcs::ftm::iface {
 
 inline constexpr const char* kSyncBefore = "rcs.SyncBefore";
@@ -36,14 +38,17 @@ inline constexpr const char* kFailureDetector = "rcs.FailureDetector";
 
 namespace rcs::ftm::msg {
 
+// Message types are interned once at startup: hot senders pass a 4-byte id,
+// not a string, and routing on the receiving host is an array index.
+
 /// client -> replica: {"client": u32, "id": u64, "request": value}
-inline constexpr const char* kRequest = "ftm.request";
+inline const MsgType kRequest{"ftm.request"};
 /// replica -> client: {"id": u64, "result": value} or {"id", "error": str}
-inline constexpr const char* kReply = "ftm.reply";
+inline const MsgType kReply{"ftm.reply"};
 /// replica <-> replica: {"phase": "before"|"after"|"ctrl", "kind": str, ...}
-inline constexpr const char* kReplica = "ftm.replica";
+inline const MsgType kReplica{"ftm.replica"};
 /// replica <-> replica failure detection beacon: {"role": str}
-inline constexpr const char* kHeartbeat = "ftm.heartbeat";
+inline const MsgType kHeartbeat{"ftm.heartbeat"};
 
 }  // namespace rcs::ftm::msg
 

@@ -484,8 +484,20 @@ void ProtocolKernel::handle_peer_message(const Value& payload) {
 
 void ProtocolKernel::send_peer(const std::string& phase, const std::string& kind,
                                Value data) {
-  for (const auto peer : alive_peers()) {
-    send_peer_to(peer, phase, kind, data);
+  if (host() == nullptr) return;
+  const auto peers = alive_peers();
+  if (peers.empty()) return;
+  Value payload = Value::map();
+  payload.set("phase", phase).set("kind", kind);
+  if (data.is_map() && data.has("key")) payload.set("key", data.at("key"));
+  payload.set("data", std::move(data));
+  // One shared payload for the whole fan-out: with N backups the Value tree
+  // is built (and its wire size computed) once, not N times.
+  const Payload shared{std::move(payload)};
+  for (const auto peer : peers) {
+    if (peer < 0) continue;
+    host()->send(HostId{static_cast<std::uint32_t>(peer)}, msg::kReplica,
+                 shared);
   }
 }
 

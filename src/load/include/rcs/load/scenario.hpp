@@ -68,6 +68,10 @@ struct AdaptScenarioResult {
   std::string trace;
   std::string trace_json;    // gated by record_trace
   std::string metrics_json;  // gated by record_trace
+  /// Scheduler events processed and pending-queue high-water mark
+  /// (throughput accounting for load_runner's summary).
+  std::uint64_t events{0};
+  std::size_t peak_queue_depth{0};
   bool passed{false};
 };
 

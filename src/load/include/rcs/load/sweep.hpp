@@ -70,6 +70,10 @@ struct SweepResult {
   std::vector<SweepPoint> points;
   /// Index of the first point past the knee; -1 if the ramp never saturates.
   int knee_index{-1};
+  /// Scheduler events processed over the whole sweep and the pending-queue
+  /// high-water mark (throughput accounting for load_runner's summary).
+  std::uint64_t events{0};
+  std::size_t peak_queue_depth{0};
 
   [[nodiscard]] double knee_offered_rps() const {
     return knee_index < 0 ? 0.0

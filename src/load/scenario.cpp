@@ -168,6 +168,8 @@ AdaptScenarioResult run_adapt_scenario(const AdaptScenarioOptions& options) {
 
   result.totals = fleet.totals();
   result.final_counter = final_counter;
+  result.events = sim.loop().processed();
+  result.peak_queue_depth = sim.loop().peak_pending();
   result.passed = result.report.ok();
   if (options.record_trace) {
     result.trace_json = sim.tracer().export_chrome_json();

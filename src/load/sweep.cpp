@@ -152,6 +152,8 @@ SweepResult run_sweep(const SweepOptions& options) {
   }
 
   fleet.stop();
+  result.events = sim.loop().processed();
+  result.peak_queue_depth = sim.loop().peak_pending();
   return result;
 }
 

@@ -27,6 +27,7 @@ TimerId EventLoop::schedule_at(Time at, Action action, std::string_view label) {
       (static_cast<std::uint64_t>(slot.generation) << 32) | index;
   queue_.push(Event{at, next_seq_++, handle});
   ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
   return TimerId{handle};
 }
 

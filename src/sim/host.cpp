@@ -32,17 +32,20 @@ void Host::restart() {
   for (const auto& listener : restart_listeners_) listener();
 }
 
-void Host::register_handler(std::string type, MessageHandler handler) {
+void Host::register_handler(MsgType type, MessageHandler handler) {
   ensure(static_cast<bool>(handler), "Host::register_handler: empty handler");
-  handlers_[std::move(type)] = std::move(handler);
+  if (type.id() >= handlers_.size()) handlers_.resize(type.id() + 1);
+  handlers_[type.id()] = std::move(handler);
 }
 
-void Host::unregister_handler(const std::string& type) { handlers_.erase(type); }
+void Host::unregister_handler(MsgType type) {
+  if (type.id() < handlers_.size()) handlers_[type.id()] = nullptr;
+}
 
 void Host::deliver(const Message& message) {
   if (!alive_) return;
-  const auto it = handlers_.find(message.type);
-  if (it == handlers_.end()) {
+  const std::uint32_t id = message.type.id();
+  if (id >= handlers_.size() || !handlers_[id]) {
     log().debug("host", name_, ": no handler for message type '", message.type,
                 "' from ", message.from);
     return;
@@ -51,26 +54,24 @@ void Host::deliver(const Message& message) {
   // cannot process (e.g. one from a peer in a different configuration during
   // a transition window) must not take the whole node down.
   try {
-    it->second(message);
+    handlers_[id](message);
   } catch (const Error& e) {
     log().error("host", name_, ": handler for '", message.type,
                 "' failed: ", e.what());
   }
 }
 
-void Host::send(HostId to, std::string type, Value payload) {
-  sim_.network().send(Message{id_, to, std::move(type), std::move(payload)});
+void Host::send(HostId to, MsgType type, Value payload) {
+  send(to, type, Payload(std::move(payload)));
 }
 
-TimerId Host::schedule_after(Duration delay, std::function<void()> action,
-                             std::string_view label) {
-  const auto epoch = epoch_;
-  return sim_.schedule_after(
-      delay,
-      [this, epoch, action = std::move(action)]() {
-        if (alive_ && epoch_ == epoch) action();
-      },
-      label);
+void Host::send(HostId to, MsgType type, Payload payload) {
+  sim_.network().send(Message{id_, to, type, std::move(payload)});
+}
+
+TimerId Host::schedule_raw(Duration delay, EventLoop::Action action,
+                           std::string_view label) {
+  return sim_.schedule_after(delay, std::move(action), label);
 }
 
 void Host::cancel(TimerId id) { sim_.loop().cancel(id); }

@@ -11,19 +11,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <string_view>
 #include <vector>
 
 #include "rcs/common/ids.hpp"
+#include "rcs/sim/inplace_action.hpp"
 #include "rcs/sim/time.hpp"
 
 namespace rcs::sim {
 
 class EventLoop {
  public:
-  using Action = std::function<void()>;
+  /// Small-buffer callable: hot-path closures run without heap traffic.
+  using Action = InplaceAction;
 
   /// Observer invoked once per executed event, after the clock has advanced
   /// and before the action runs. Installed by the owning Simulation to feed
@@ -63,6 +64,8 @@ class EventLoop {
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t pending() const { return live_; }
+  /// High-water mark of pending() over the loop's lifetime (queue depth).
+  [[nodiscard]] std::size_t peak_pending() const { return peak_live_; }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
  private:
@@ -97,6 +100,7 @@ class EventLoop {
   std::uint64_t next_seq_{0};
   std::uint64_t processed_{0};
   std::size_t live_{0};
+  std::size_t peak_live_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_{kNoSlot};

@@ -11,15 +11,21 @@
 // through Host::schedule_after are bound to the epoch they were created in,
 // so stale closures from before a crash never execute after a restart
 // (fail-silent, as the paper assumes for its duplex protocols).
+//
+// Dispatch is by interned type id into a dense handler table, and timers wrap
+// the caller's closure directly in the scheduler's small-buffer action, so a
+// steady-state request hop performs no handler-map or closure allocations.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "rcs/common/ids.hpp"
+#include "rcs/sim/event_loop.hpp"
 #include "rcs/sim/network.hpp"
 #include "rcs/sim/resources.hpp"
 #include "rcs/sim/stable_storage.hpp"
@@ -43,6 +49,16 @@ class Host {
  public:
   using MessageHandler = std::function<void(const Message&)>;
   using Listener = std::function<void()>;
+
+  /// True when the epoch-bound wrapper around F still fits the scheduler's
+  /// inline action buffer (wrapper = Host* + epoch + F). Hot callers
+  /// static_assert this so a growing capture fails the build instead of
+  /// silently reintroducing a per-timer allocation.
+  template <typename F>
+  static constexpr bool timer_fits_inline =
+      sizeof(F) + 2 * sizeof(std::uint64_t) <= EventLoop::Action::kCapacity &&
+      alignof(F) <= EventLoop::Action::kAlignment &&
+      std::is_nothrow_move_constructible_v<F>;
 
   Host(Simulation& sim, HostId id, std::string name);
 
@@ -72,21 +88,32 @@ class Host {
   // --- Messaging ----------------------------------------------------------
   /// Register the handler for a message type. Handlers are volatile: they are
   /// cleared on crash and must be re-registered on restart.
-  void register_handler(std::string type, MessageHandler handler);
-  void unregister_handler(const std::string& type);
+  void register_handler(MsgType type, MessageHandler handler);
+  void unregister_handler(MsgType type);
 
   /// Deliver a message (called by the Network). Dropped if crashed or no
   /// handler is registered for the type.
   void deliver(const Message& message);
 
-  /// Convenience: send via the simulation's network.
-  void send(HostId to, std::string type, Value payload);
+  /// Convenience: send via the simulation's network. The Payload overload
+  /// forwards an already-shared payload (fan-out, echo) without re-encoding.
+  void send(HostId to, MsgType type, Value payload);
+  void send(HostId to, MsgType type, Payload payload);
 
   // --- Timers -------------------------------------------------------------
   /// Schedule an action bound to the current epoch: it is skipped if the host
-  /// crashes (or restarts) before it fires.
-  TimerId schedule_after(Duration delay, std::function<void()> action,
-                         std::string_view label = {});
+  /// crashes (or restarts) before it fires. The wrapper is built around F
+  /// itself (not a type-erased intermediary) so small captures stay inline.
+  template <typename F>
+  TimerId schedule_after(Duration delay, F&& action,
+                         std::string_view label = {}) {
+    return schedule_raw(
+        delay,
+        [this, epoch = epoch_, action = std::forward<F>(action)]() mutable {
+          if (alive_ && epoch_ == epoch) action();
+        },
+        label);
+  }
   void cancel(TimerId id);
 
   // --- State, resources, faults -------------------------------------------
@@ -110,12 +137,17 @@ class Host {
   [[nodiscard]] Time cpu_free_at() const { return cpu_free_; }
 
  private:
+  /// Non-template backend for schedule_after (Simulation is incomplete here).
+  TimerId schedule_raw(Duration delay, EventLoop::Action action,
+                       std::string_view label);
+
   Simulation& sim_;
   HostId id_;
   std::string name_;
   bool alive_{true};
   std::uint64_t epoch_{0};
-  std::map<std::string, MessageHandler> handlers_;
+  /// Dense dispatch table indexed by interned message-type id.
+  std::vector<MessageHandler> handlers_;
   std::vector<Listener> crash_listeners_;
   std::vector<Listener> restart_listeners_;
   StableStorage stable_;

@@ -1,0 +1,126 @@
+// Small-buffer callable for scheduler actions.
+//
+// std::function heap-allocates any capture beyond its tiny inline buffer,
+// which put one malloc/free pair on every scheduled event (network delivery
+// closures, epoch-bound host timers). InplaceAction stores callables up to
+// kCapacity bytes inside the object — sized so the hot closures (Network
+// delivery: Network* + Message; Host timers: epoch wrapper + a small
+// capture) fit — and falls back to a heap box only for large cold-path
+// closures. Dispatch is two function pointers (no vtable), move-only like a
+// scheduler slot wants, and relocation is a move-construct + destroy so slab
+// recycling in EventLoop never touches the allocator.
+//
+// Hot callers static_assert kFitsInline<F> so a capture that grows past the
+// buffer fails the build instead of silently reintroducing the malloc.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rcs::sim {
+
+class InplaceAction {
+ public:
+  /// Inline storage: fits Network's delivery closure (Network* + a 40-byte
+  /// Message) and Host's epoch-bound timer wrapper with a 32-byte capture.
+  static constexpr std::size_t kCapacity = 48;
+  static constexpr std::size_t kAlignment = 16;
+
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kCapacity && alignof(F) <= kAlignment &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InplaceAction() = default;
+  InplaceAction(std::nullptr_t) {}  // NOLINT: mirrors std::function
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceAction> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InplaceAction(F&& f) {  // NOLINT: implicit, like std::function
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(f)));
+      ops_ = &boxed_ops<D>;
+    }
+  }
+
+  InplaceAction(InplaceAction&& other) noexcept { move_from(other); }
+  InplaceAction& operator=(InplaceAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InplaceAction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  InplaceAction(const InplaceAction&) = delete;
+  InplaceAction& operator=(const InplaceAction&) = delete;
+  ~InplaceAction() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct the callable from `from` into `to`, destroying the
+    /// source (relocation; both point at kCapacity-sized storage).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  static D* stored(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*stored<D>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D(std::move(*stored<D>(from)));
+        stored<D>(from)->~D();
+      },
+      [](void* s) { stored<D>(s)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops boxed_ops = {
+      [](void* s) { (**stored<D*>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D*(*stored<D*>(from));
+      },
+      [](void* s) { delete *stored<D*>(s); },
+  };
+
+  void move_from(InplaceAction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_{nullptr};
+  alignas(kAlignment) unsigned char buffer_[kCapacity];
+};
+
+}  // namespace rcs::sim

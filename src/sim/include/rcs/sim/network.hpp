@@ -6,14 +6,23 @@
 // All traffic is metered per host and per link so the monitoring engine can
 // observe resource usage, and per-FTM bandwidth costs can be measured
 // empirically (Table 1's R row).
+//
+// Hot-path layout: message types are interned ids (integer routing), payloads
+// are refcounted immutable Values with a cached wire size, and the per-link
+// state (params + stats + both directed transmitter-free times) lives in one
+// entry of an open-addressed table keyed by a packed u64 — one probe per send
+// where three std::map tree walks used to be. Per-host traffic is a dense
+// vector indexed by host id. Entries are stored in a deque, so references
+// handed out by link() stay valid forever (as they did with std::map).
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
-#include <unordered_map>
+#include <deque>
+#include <vector>
 
 #include "rcs/common/ids.hpp"
+#include "rcs/common/intern.hpp"
+#include "rcs/common/payload.hpp"
 #include "rcs/common/value.hpp"
 #include "rcs/sim/time.hpp"
 
@@ -22,12 +31,13 @@ namespace rcs::sim {
 class Simulation;
 
 /// One message in flight. `type` routes to a handler on the destination host
-/// (e.g. "ftm.request", "ftm.replica", "adapt.package").
+/// (e.g. "ftm.request", "ftm.replica", "adapt.package"); the payload is
+/// shared by every scheduled copy of the message.
 struct Message {
   HostId from;
   HostId to;
-  std::string type;
-  Value payload;
+  MsgType type;
+  Payload payload;
   /// Wire size: payload encoding plus a fixed header; filled in by send().
   std::size_t size_bytes{0};
 };
@@ -79,7 +89,8 @@ class Network {
   void send(Message message);
 
   /// Parameters of the (symmetric) link between two hosts. Creates the link
-  /// with default parameters on first access.
+  /// with default parameters on first access; the reference stays valid for
+  /// the lifetime of the Network.
   LinkParams& link(HostId a, HostId b);
   [[nodiscard]] const LinkParams& link(HostId a, HostId b) const;
 
@@ -88,31 +99,56 @@ class Network {
 
   void set_partitioned(HostId a, HostId b, bool partitioned);
 
+  /// Cumulative stats of a link / a host. Pure observers: an untouched link
+  /// or host reads as all-zero without materializing an entry.
   [[nodiscard]] const LinkStats& link_stats(HostId a, HostId b) const;
   [[nodiscard]] const HostTraffic& traffic(HostId h) const;
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
 
   /// Zero the cumulative per-link and per-host accounting (e.g. between
   /// measurement phases). Byte counters observed by the monitoring engine
-  /// regress across this call; samplers must tolerate that.
+  /// regress across this call; samplers must tolerate that. Link parameters
+  /// and transmitter backlogs are untouched.
   void reset_stats();
 
  private:
-  using LinkKey = std::pair<std::uint32_t, std::uint32_t>;
-  static LinkKey key(HostId a, HostId b);
+  /// All per-link state: parameters, stats and the per-direction time at
+  /// which the transmitter becomes free again. Sending while the transmitter
+  /// is busy queues behind earlier frames, so sustained overload shows up as
+  /// growing latency (and the saturation probes measure something physical).
+  struct LinkEntry {
+    std::uint64_t key{0};
+    LinkParams params;
+    LinkStats stats;
+    /// [0]: low-id -> high-id direction, [1]: the reverse.
+    Time tx_free[2]{0, 0};
+  };
+
+  /// Undirected link key: (min(a,b) << 32) | max(a,b).
+  static std::uint64_t key(HostId a, HostId b);
+  /// Direction slot within an entry for a transmission a -> b.
+  static std::size_t direction(HostId a, HostId b) {
+    return a.value() <= b.value() ? 0 : 1;
+  }
+
+  LinkEntry& entry(std::uint64_t k);
+  [[nodiscard]] const LinkEntry* find_entry(std::uint64_t k) const;
+  void rehash(std::size_t buckets);
+  HostTraffic& traffic_slot(HostId h);
+
   /// Receiver-side accounting + dispatch of one delivered copy.
   void deliver_copy(const Message& message);
 
   Simulation& sim_;
   LinkParams default_link_{};
-  std::map<LinkKey, LinkParams> links_;
-  /// Transmission serialization: when each directed link's transmitter
-  /// becomes free again. Sending while busy queues behind earlier frames,
-  /// so sustained overload shows up as growing latency (and the saturation
-  /// probes measure something physical).
-  std::map<std::pair<std::uint32_t, std::uint32_t>, Time> tx_free_;
-  mutable std::map<LinkKey, LinkStats> stats_;
-  mutable std::unordered_map<std::uint32_t, HostTraffic> traffic_;
+  /// Open-addressed index (linear probing, power-of-two size) over entries_.
+  /// kNoEntry marks a free bucket; entries live in a deque so references
+  /// survive rehashing.
+  static constexpr std::uint32_t kNoEntry = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index_;
+  std::deque<LinkEntry> entries_;
+  /// Dense per-host accounting, indexed by host id.
+  std::vector<HostTraffic> traffic_;
   std::uint64_t total_bytes_{0};
 };
 

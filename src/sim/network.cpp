@@ -8,20 +8,72 @@
 
 namespace rcs::sim {
 
-Network::LinkKey Network::key(HostId a, HostId b) {
-  return {std::min(a.value(), b.value()), std::max(a.value(), b.value())};
+namespace {
+/// Fibonacci hash of a packed link key onto a power-of-two bucket count.
+std::size_t bucket_of(std::uint64_t k, std::size_t mask) {
+  return static_cast<std::size_t>((k * 0x9E3779B97F4A7C15ull) >> 32) & mask;
+}
+}  // namespace
+
+std::uint64_t Network::key(HostId a, HostId b) {
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  return (lo << 32) | hi;
 }
 
-LinkParams& Network::link(HostId a, HostId b) {
-  const auto k = key(a, b);
-  const auto it = links_.find(k);
-  if (it != links_.end()) return it->second;
-  return links_.emplace(k, default_link_).first->second;
+void Network::rehash(std::size_t buckets) {
+  index_.assign(buckets, kNoEntry);
+  const std::size_t mask = buckets - 1;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    std::size_t slot = bucket_of(entries_[i].key, mask);
+    while (index_[slot] != kNoEntry) slot = (slot + 1) & mask;
+    index_[slot] = i;
+  }
 }
+
+Network::LinkEntry& Network::entry(std::uint64_t k) {
+  // Grow at 50% load so probe chains stay short; entries_ is a deque, so the
+  // LinkEntry references handed out below survive every rehash.
+  if (index_.empty() || entries_.size() * 2 >= index_.size()) {
+    rehash(std::max<std::size_t>(16, index_.size() * 2));
+  }
+  const std::size_t mask = index_.size() - 1;
+  std::size_t slot = bucket_of(k, mask);
+  while (index_[slot] != kNoEntry) {
+    LinkEntry& e = entries_[index_[slot]];
+    if (e.key == k) return e;
+    slot = (slot + 1) & mask;
+  }
+  index_[slot] = static_cast<std::uint32_t>(entries_.size());
+  LinkEntry& e = entries_.emplace_back();
+  e.key = k;
+  e.params = default_link_;
+  return e;
+}
+
+const Network::LinkEntry* Network::find_entry(std::uint64_t k) const {
+  if (index_.empty()) return nullptr;
+  const std::size_t mask = index_.size() - 1;
+  std::size_t slot = bucket_of(k, mask);
+  while (index_[slot] != kNoEntry) {
+    const LinkEntry& e = entries_[index_[slot]];
+    if (e.key == k) return &e;
+    slot = (slot + 1) & mask;
+  }
+  return nullptr;
+}
+
+HostTraffic& Network::traffic_slot(HostId h) {
+  const auto i = static_cast<std::size_t>(h.value());
+  if (i >= traffic_.size()) traffic_.resize(i + 1);
+  return traffic_[i];
+}
+
+LinkParams& Network::link(HostId a, HostId b) { return entry(key(a, b)).params; }
 
 const LinkParams& Network::link(HostId a, HostId b) const {
-  const auto it = links_.find(key(a, b));
-  return it == links_.end() ? default_link_ : it->second;
+  const LinkEntry* e = find_entry(key(a, b));
+  return e == nullptr ? default_link_ : e->params;
 }
 
 void Network::set_partitioned(HostId a, HostId b, bool partitioned) {
@@ -29,11 +81,15 @@ void Network::set_partitioned(HostId a, HostId b, bool partitioned) {
 }
 
 const LinkStats& Network::link_stats(HostId a, HostId b) const {
-  return stats_[key(a, b)];
+  static const LinkStats kZero{};
+  const LinkEntry* e = find_entry(key(a, b));
+  return e == nullptr ? kZero : e->stats;
 }
 
 const HostTraffic& Network::traffic(HostId h) const {
-  return traffic_[h.value()];
+  static const HostTraffic kZero{};
+  const auto i = static_cast<std::size_t>(h.value());
+  return i < traffic_.size() ? traffic_[i] : kZero;
 }
 
 void Network::send(Message message) {
@@ -41,16 +97,17 @@ void Network::send(Message message) {
   if (!sender.alive()) return;  // a crashed host is fail-silent
 
   message.size_bytes = message.payload.encoded_size() + kHeaderBytes;
-  const auto k = key(message.from, message.to);
-  const LinkParams params = link(message.from, message.to);
-  auto& stats = stats_[k];
+  // One probe fetches params, stats and both transmitter-free times.
+  LinkEntry& e = entry(key(message.from, message.to));
+  const LinkParams& params = e.params;
+  LinkStats& stats = e.stats;
 
   // Sender-side accounting happens even for dropped messages: the bytes were
   // put on the wire.
   stats.messages += 1;
   stats.bytes += message.size_bytes;
   total_bytes_ += message.size_bytes;
-  auto& sender_traffic = traffic_[message.from.value()];
+  HostTraffic& sender_traffic = traffic_slot(message.from);
   sender_traffic.bytes_sent += message.size_bytes;
   sender_traffic.messages_sent += 1;
   sender.meter().charge_sent(message.size_bytes);
@@ -82,7 +139,7 @@ void Network::send(Message message) {
     // Transmission is serialized per directed link: a frame sent while the
     // transmitter is busy queues behind the earlier ones. Propagation
     // (latency) still overlaps.
-    auto& tx_free = tx_free_[{message.from.value(), message.to.value()}];
+    Time& tx_free = e.tx_free[direction(message.from, message.to)];
     const Time start = std::max(sim_.loop().now(), tx_free);
     const Duration queueing = start - sim_.loop().now();
     tx_free = start + transfer;
@@ -111,19 +168,22 @@ void Network::send(Message message) {
   }
 
   if (duplicate_delay >= 0) {
+    // The duplicate shares the payload with the original: copying a Message
+    // is two ids, a type id and a refcount bump.
     sim_.schedule_after(
         duplicate_delay, [this, message] { deliver_copy(message); },
         "net.deliver.dup");
   }
-  sim_.schedule_after(
-      delay, [this, message = std::move(message)] { deliver_copy(message); },
-      "net.deliver");
+  auto deliver = [this, message = std::move(message)] { deliver_copy(message); };
+  static_assert(EventLoop::Action::kFitsInline<decltype(deliver)>,
+                "network delivery closure must not allocate");
+  sim_.schedule_after(delay, std::move(deliver), "net.deliver");
 }
 
 void Network::deliver_copy(const Message& message) {
   Host& receiver = sim_.host(message.to);
   if (!receiver.alive()) return;
-  auto& recv_traffic = traffic_[message.to.value()];
+  HostTraffic& recv_traffic = traffic_slot(message.to);
   recv_traffic.bytes_received += message.size_bytes;
   recv_traffic.messages_received += 1;
   receiver.meter().charge_received(message.size_bytes);
@@ -131,8 +191,8 @@ void Network::deliver_copy(const Message& message) {
 }
 
 void Network::reset_stats() {
-  stats_.clear();
-  traffic_.clear();
+  for (LinkEntry& e : entries_) e.stats = LinkStats{};
+  traffic_.assign(traffic_.size(), HostTraffic{});
   total_bytes_ = 0;
 }
 

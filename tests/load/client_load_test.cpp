@@ -21,10 +21,10 @@ using ftm::Client;
 void install_echo_server(sim::Host& server) {
   server.register_handler(ftm::msg::kRequest, [&server](const sim::Message& m) {
     Value reply = Value::map();
-    reply.set("id", m.payload.at("id"))
-        .set("result", Value::map().set("echo", m.payload.at("request")));
+    reply.set("id", m.payload->at("id"))
+        .set("result", Value::map().set("echo", m.payload->at("request")));
     server.send(HostId{static_cast<std::uint32_t>(
-                    m.payload.at("client").as_int())},
+                    m.payload->at("client").as_int())},
                 ftm::msg::kReply, std::move(reply));
   });
 }

@@ -33,7 +33,7 @@ std::vector<std::pair<Time, std::int64_t>> run_trace(std::uint64_t seed) {
   });
   for (int i = 0; i < 50; ++i) {
     sim.schedule_at(i * 50 * kMillisecond, [&, i] {
-      sim.network().send({a.id(), b.id(), "m", Value(i)});
+      sim.network().send({a.id(), b.id(), "m", Payload{Value(i)}});
     });
   }
   sim.run_for(10 * kSecond);

@@ -150,5 +150,79 @@ TEST(EventLoop, PendingExcludesCancelled) {
   EXPECT_FALSE(loop.empty());
 }
 
+TEST(EventLoop, PeakPendingTracksHighWaterMark) {
+  EventLoop loop;
+  EXPECT_EQ(loop.peak_pending(), 0u);
+  for (int i = 0; i < 5; ++i) loop.schedule_at(i + 1, [] {});
+  EXPECT_EQ(loop.peak_pending(), 5u);
+  loop.run();
+  // Draining does not lower the high-water mark.
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.peak_pending(), 5u);
+}
+
+// Cancel/reschedule churn forces slots through the free list over and over;
+// every cancelled timer must stay dead and every live one must fire exactly
+// once, whatever slot it was recycled into.
+TEST(EventLoop, SlotReuseStressKeepsHandlesDistinct) {
+  EventLoop loop;
+  int fired = 0;
+  int dead = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const auto doomed =
+        loop.schedule_after(100, [&dead] { ++dead; }, "doomed");
+    const auto kept = loop.schedule_after(1, [&fired] { ++fired; }, "kept");
+    loop.cancel(doomed);
+    // The doomed slot is now on the free list; this schedule recycles it.
+    loop.schedule_after(2, [&fired] { ++fired; }, "recycled");
+    // Cancelling the stale id again must not kill the recycled occupant.
+    loop.cancel(doomed);
+    (void)kept;
+    loop.run();
+  }
+  EXPECT_EQ(fired, 2000);
+  EXPECT_EQ(dead, 0);
+}
+
+// A TimerId from a previous occupancy of the same slot (old generation) is
+// stale: cancelling it must be a no-op for the current occupant.
+TEST(EventLoop, StaleOldGenerationIdNeverCancelsNewOccupant) {
+  EventLoop loop;
+  bool first_ran = false;
+  const auto first = loop.schedule_at(1, [&] { first_ran = true; });
+  loop.run();
+  EXPECT_TRUE(first_ran);
+
+  // The slot was released by running; this reuses it with a new generation.
+  bool second_ran = false;
+  loop.schedule_at(2, [&] { second_ran = true; });
+  loop.cancel(first);  // stale: same slot index, old generation
+  loop.run();
+  EXPECT_TRUE(second_ran);
+}
+
+// Regression: release must bump the generation. If it did not, a heap entry
+// surviving a cancel would find the recycled slot "live" with a matching
+// generation and fire the wrong action (or a cancelled one).
+TEST(EventLoop, GenerationBumpsOnEveryRelease) {
+  EventLoop loop;
+  int wrong = 0;
+  int right = 0;
+  // Schedule and cancel: the heap entry for `cancelled` stays queued but its
+  // slot is released and recycled by the next schedule at the same time.
+  const auto cancelled = loop.schedule_at(5, [&wrong] { ++wrong; });
+  loop.cancel(cancelled);
+  loop.schedule_at(5, [&right] { ++right; });
+  loop.run();
+  EXPECT_EQ(wrong, 0);
+  EXPECT_EQ(right, 1);
+
+  // And a full cycle on the recycled slot still works.
+  bool again = false;
+  loop.schedule_at(6, [&again] { again = true; });
+  loop.run();
+  EXPECT_TRUE(again);
+}
+
 }  // namespace
 }  // namespace rcs::sim

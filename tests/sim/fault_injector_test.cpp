@@ -132,7 +132,7 @@ TEST_F(FaultFixture, PartitionWindowDropsAndHeals) {
                       300 * kMillisecond);
   for (int i = 0; i < 5; ++i) {
     sim.schedule_at(i * 100 * kMillisecond + 50 * kMillisecond, [&] {
-      sim.network().send({h.id(), peer.id(), "m", Value(1)});
+      sim.network().send({h.id(), peer.id(), "m", Payload{Value(1)}});
     });
   }
   sim.run();

@@ -25,7 +25,7 @@ TEST_F(HostFixture, CrashMakesHostSilent) {
   h.register_handler("m", [&](const Message&) { got = true; });
   h.crash();
   EXPECT_FALSE(h.alive());
-  h.deliver({peer.id(), h.id(), "m", Value(1)});
+  h.deliver({peer.id(), h.id(), "m", Payload{Value(1)}});
   EXPECT_FALSE(got);
 }
 
@@ -37,8 +37,8 @@ TEST_F(HostFixture, CrashBumpsEpochAndClearsHandlers) {
   EXPECT_EQ(h.epoch(), 2u);
   bool got = false;
   h.register_handler("m2", [&](const Message&) { got = true; });
-  h.deliver({peer.id(), h.id(), "m", Value(1)});   // old handler gone
-  h.deliver({peer.id(), h.id(), "m2", Value(1)});  // new one works
+  h.deliver({peer.id(), h.id(), "m", Payload{Value(1)}});   // old handler gone
+  h.deliver({peer.id(), h.id(), "m2", Payload{Value(1)}});  // new one works
   EXPECT_TRUE(got);
 }
 

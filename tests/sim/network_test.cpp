@@ -21,7 +21,7 @@ struct NetFixture : ::testing::Test {
   }
 
   void send(Value payload = Value("ping")) {
-    sim.network().send({a.id(), b.id(), "msg", std::move(payload)});
+    sim.network().send({a.id(), b.id(), "msg", Payload{std::move(payload)}});
   }
 };
 
@@ -29,7 +29,7 @@ TEST_F(NetFixture, DeliversToRegisteredHandler) {
   send();
   sim.run();
   ASSERT_EQ(received.size(), 1u);
-  EXPECT_EQ(received[0].payload.as_string(), "ping");
+  EXPECT_EQ(received[0].payload->as_string(), "ping");
   EXPECT_EQ(received[0].from, a.id());
 }
 
@@ -118,14 +118,14 @@ TEST_F(NetFixture, DropRateLosesApproximatelyThatFraction) {
 }
 
 TEST_F(NetFixture, UnknownTypeIsIgnored) {
-  sim.network().send({a.id(), b.id(), "unknown.type", Value(1)});
+  sim.network().send({a.id(), b.id(), "unknown.type", Payload{Value(1)}});
   EXPECT_NO_THROW(sim.run());
 }
 
 TEST_F(NetFixture, LoopbackIsImmediate) {
   Value got;
   a.register_handler("self", [&](const Message& m) { got = m.payload; });
-  sim.network().send({a.id(), a.id(), "self", Value(7)});
+  sim.network().send({a.id(), a.id(), "self", Payload{Value(7)}});
   sim.run();
   EXPECT_EQ(got.as_int(), 7);
   EXPECT_EQ(sim.now(), 0);
@@ -166,8 +166,8 @@ TEST_F(NetFixture, OppositeDirectionsDoNotQueueOnEachOther) {
   b.register_handler("msg", [&](const Message&) { a_to_b = sim.now(); });
   a.register_handler("back", [&](const Message&) { b_to_a = sim.now(); });
   const Value payload(Bytes(100'000, 1));
-  sim.network().send({a.id(), b.id(), "msg", payload});
-  sim.network().send({b.id(), a.id(), "back", payload});
+  sim.network().send({a.id(), b.id(), "msg", Payload{payload}});
+  sim.network().send({b.id(), a.id(), "back", Payload{payload}});
   sim.run();
   // Full duplex: both directions transmit simultaneously.
   EXPECT_EQ(a_to_b, b_to_a);
@@ -229,7 +229,7 @@ TEST_F(NetFixture, ReorderRateLetsLaterSendsOvertake) {
   ASSERT_EQ(received.size(), 100u);
   bool out_of_order = false;
   for (std::size_t i = 1; i < received.size(); ++i) {
-    if (received[i].payload.as_int() < received[i - 1].payload.as_int()) {
+    if (received[i].payload->as_int() < received[i - 1].payload->as_int()) {
       out_of_order = true;
     }
   }
@@ -242,7 +242,7 @@ TEST_F(NetFixture, DuplicationAndReorderingAreOffByDefault) {
   sim.run();
   ASSERT_EQ(received.size(), 50u);
   for (std::size_t i = 0; i < received.size(); ++i) {
-    EXPECT_EQ(received[i].payload.as_int(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(received[i].payload->as_int(), static_cast<std::int64_t>(i));
   }
   const auto& stats = sim.network().link_stats(a.id(), b.id());
   EXPECT_EQ(stats.duplicated, 0u);

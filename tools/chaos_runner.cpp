@@ -18,6 +18,7 @@
 // re-validated by replay before it is printed.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +33,31 @@ namespace {
 
 using rcs::core::ChaosCampaignOptions;
 using rcs::core::ChaosCampaignResult;
+
+/// Wall-clock throughput accounting, printed to stderr so stdout stays
+/// byte-identical for the determinism cmp gates.
+struct RunSummary {
+  std::uint64_t events{0};
+  std::size_t peak_queue_depth{0};
+  std::chrono::steady_clock::time_point start{std::chrono::steady_clock::now()};
+
+  void add(const ChaosCampaignResult& result) {
+    events += result.events;
+    peak_queue_depth = std::max(peak_queue_depth, result.peak_queue_depth);
+  }
+  void print() const {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+    std::fprintf(stderr,
+                 "summary: %llu events processed, %.0f events/sec, "
+                 "peak queue depth %zu, wall %.2fs\n",
+                 static_cast<unsigned long long>(events), rate,
+                 peak_queue_depth, seconds);
+  }
+};
 
 struct SweepSpec {
   std::string ftm;
@@ -178,8 +204,9 @@ void report_failure(const ChaosCampaignOptions& options,
 /// the --jobs merge so both emit byte-identical reports.
 int report_one(const ChaosCampaignOptions& options,
                const ChaosCampaignResult& result, bool verbose,
-               int& campaigns, int& failures) {
+               int& campaigns, int& failures, RunSummary& summary) {
   ++campaigns;
+  summary.add(result);
   if (verbose || !result.passed) {
     std::printf("  seed=%-4llu %-18s %s (ctr=%lld retries=%llu)\n",
                 static_cast<unsigned long long>(options.seed),
@@ -196,12 +223,12 @@ int report_one(const ChaosCampaignOptions& options,
 }
 
 int run_one(const ChaosCampaignOptions& options, bool verbose,
-            int& campaigns, int& failures) {
+            int& campaigns, int& failures, RunSummary& summary) {
   const auto result = rcs::core::run_campaign(options);
-  return report_one(options, result, verbose, campaigns, failures);
+  return report_one(options, result, verbose, campaigns, failures, summary);
 }
 
-int run_sweep(const Args& args) {
+int run_sweep(const Args& args, RunSummary& summary) {
   std::vector<bool> delta_modes;
   if (args.delta == "on" || args.delta == "both") delta_modes.push_back(true);
   if (args.delta == "off" || args.delta == "both") delta_modes.push_back(false);
@@ -262,7 +289,7 @@ int run_sweep(const Args& args) {
   if (args.jobs <= 1) {
     for (std::size_t i = 0; i < plan.size(); ++i) {
       if (i == transition_start) print_transition_header();
-      if (run_one(plan[i], args.verbose, campaigns, failures)) {
+      if (run_one(plan[i], args.verbose, campaigns, failures, summary)) {
         std::printf("\n%d campaign(s), %d failure(s)\n", campaigns,
                     failures);
         return 1;
@@ -309,7 +336,8 @@ int run_sweep(const Args& args) {
                    errors[i].c_str());
       return 2;
     }
-    if (report_one(plan[i], results[i], args.verbose, campaigns, failures)) {
+    if (report_one(plan[i], results[i], args.verbose, campaigns, failures,
+                   summary)) {
       std::printf("\n%d campaign(s), %d failure(s)\n", campaigns, failures);
       return 1;
     }
@@ -332,7 +360,7 @@ bool dump_to(const std::string& path, const std::string& data,
   return ok;
 }
 
-int run_replay(const Args& args) {
+int run_replay(const Args& args, RunSummary& summary) {
   ChaosCampaignOptions options;
   options.seed = args.replay_seed;
   options.ftm = args.replay_ftm;
@@ -340,6 +368,7 @@ int run_replay(const Args& args) {
   options.transition_to = args.transition_to;
   options.record_trace = !args.trace_out.empty() || !args.metrics_out.empty();
   const auto result = rcs::core::run_campaign(options);
+  summary.add(result);
   std::printf("%s", result.trace.c_str());
   if (!args.trace_out.empty() &&
       !dump_to(args.trace_out, result.trace_json, "trace")) {
@@ -388,6 +417,9 @@ int main(int argc, char** argv) {
                                     : rcs::LogLevel::kWarn);
   if (args.verbose) rcs::log().set_stderr_level(rcs::LogLevel::kInfo);
   if (args.demo_shrink) return run_demo_shrink(args);
-  if (args.has_replay) return run_replay(args);
-  return run_sweep(args);
+  RunSummary summary;
+  const int rc = args.has_replay ? run_replay(args, summary)
+                                 : run_sweep(args, summary);
+  summary.print();
+  return rc;
 }

@@ -11,6 +11,8 @@
 // traffic and exits non-zero if any invariant is violated. Both modes are
 // bit-deterministic in --seed: the same command line yields byte-identical
 // output, which CI exploits with a cmp gate.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +23,27 @@
 #include "rcs/load/sweep.hpp"
 
 namespace {
+
+/// Wall-clock throughput accounting, printed to stderr so stdout stays
+/// byte-identical for the determinism cmp gates.
+struct RunSummary {
+  std::uint64_t events{0};
+  std::size_t peak_queue_depth{0};
+  std::chrono::steady_clock::time_point start{std::chrono::steady_clock::now()};
+
+  void print() const {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+    std::fprintf(stderr,
+                 "summary: %llu events processed, %.0f events/sec, "
+                 "peak queue depth %zu, wall %.2fs\n",
+                 static_cast<unsigned long long>(events), rate,
+                 peak_queue_depth, seconds);
+  }
+};
 
 struct Args {
   std::string scenario;  // empty: sweep mode
@@ -146,7 +169,7 @@ bool dump_to(const std::string& path, const std::string& data,
   return ok;
 }
 
-int run_sweep_mode(const Args& args) {
+int run_sweep_mode(const Args& args, RunSummary& summary) {
   rcs::load::SweepOptions options;
   options.seed = args.seed;
   options.ftm = args.ftm;
@@ -171,6 +194,9 @@ int run_sweep_mode(const Args& args) {
                options.rps_to, options.steps, options.replica_bandwidth_bps,
                options.cpu_speed);
   const auto result = rcs::load::run_sweep(options);
+  summary.events += result.events;
+  summary.peak_queue_depth =
+      std::max(summary.peak_queue_depth, result.peak_queue_depth);
   const std::string json = result.to_json_lines();
   std::fputs(json.c_str(), stdout);
   if (!args.out.empty() && !dump_to(args.out, json, "sweep curve")) return 2;
@@ -183,7 +209,7 @@ int run_sweep_mode(const Args& args) {
   return 0;
 }
 
-int run_scenario_mode(const Args& args) {
+int run_scenario_mode(const Args& args, RunSummary& summary) {
   if (args.scenario != "adapt") {
     std::fprintf(stderr, "unknown scenario: %s\n", args.scenario.c_str());
     return 2;
@@ -197,6 +223,9 @@ int run_scenario_mode(const Args& args) {
   }
   options.record_trace = !args.trace_out.empty() || !args.metrics_out.empty();
   const auto result = rcs::load::run_adapt_scenario(options);
+  summary.events += result.events;
+  summary.peak_queue_depth =
+      std::max(summary.peak_queue_depth, result.peak_queue_depth);
   std::fputs(result.trace.c_str(), stdout);
   if (!args.trace_out.empty() &&
       !dump_to(args.trace_out, result.trace_json, "trace")) {
@@ -220,6 +249,9 @@ int main(int argc, char** argv) {
   rcs::log().set_level(args.verbose ? rcs::LogLevel::kInfo
                                     : rcs::LogLevel::kWarn);
   if (args.verbose) rcs::log().set_stderr_level(rcs::LogLevel::kInfo);
-  if (!args.scenario.empty()) return run_scenario_mode(args);
-  return run_sweep_mode(args);
+  RunSummary summary;
+  const int rc = args.scenario.empty() ? run_sweep_mode(args, summary)
+                                       : run_scenario_mode(args, summary);
+  summary.print();
+  return rc;
 }
