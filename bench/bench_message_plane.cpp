@@ -263,6 +263,9 @@ Measurement run_timer_churn(std::uint64_t warmup_cycles,
                             std::uint64_t cycles) {
   Simulation sim(44);
   Host& h = sim.add_host("host");
+  // Depth hint (EventLoop::reserve): each cycle leaves one net pending
+  // timer, so pre-sizing the slab keeps the measured window allocation-free.
+  sim.loop().reserve(warmup_cycles + cycles + 16);
 
   Measurement m;
   std::uint64_t fired = 0;

@@ -1,0 +1,275 @@
+// bench_scheduler: scheduler throughput across the pending-queue-depth
+// profile (EventLoop slab + wheel, Host timer wrappers).
+//
+// bench_message_plane's timer_churn showed the old binary-heap core was
+// cache-miss-bound exactly where fleet-scale topologies live: deep pending
+// queues. This bench measures the queue-depth profile instead of guessing
+// it, with one steady-state churn variant per observed depth regime and the
+// pathological schedule-everything-then-drain shape that regressed 0.68x in
+// PR 5:
+//
+//   churn_steady_64   ~64 pending timers (chaos smoke peaks at 55): each
+//                     fired timer re-arms itself one period out and does one
+//                     schedule/cancel retry cycle — the failure-detector +
+//                     client-timeout steady state.
+//   churn_steady_4k   same pattern at ~4k pending (a few hundred hosts'
+//                     worth of detectors and retry timers).
+//   timer_churn_2m    2M schedule(+1000)/schedule(+10)/cancel cycles issued
+//                     before any drain — each cycle leaves one net pending
+//                     timer, so the queue peaks at 2M entries; then one
+//                     drain. The deep-queue cliff.
+//
+// Heap traffic is counted by a global operator-new hook; steady-state counts
+// are taken after a warmup so one-time pool growth is excluded.
+//
+// Output: one JSON object per line on stdout. Counts (iterations, events,
+// peak_pending, allocs/iter) are byte-deterministic across runs of the same
+// binary — CI runs `--quick` twice and cmp-compares. Wall-clock rates are
+// only emitted with --timing, which the cmp gate does not pass.
+//
+//   bench_scheduler [--quick] [--timing]
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "rcs/common/logging.hpp"
+#include "rcs/sim/simulation.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: every path through the global operator new family
+// bumps one counter. Delegating to malloc keeps the hook semantics-free.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace rcs;       // NOLINT
+using namespace rcs::sim;  // NOLINT
+
+struct Options {
+  bool quick{false};
+  bool timing{false};
+};
+
+struct Measurement {
+  std::uint64_t iterations{0};  // fired timers / cycles
+  std::uint64_t events{0};      // EventLoop events processed
+  std::uint64_t peak_pending{0};
+  std::uint64_t allocs{0};
+  std::uint64_t alloc_bytes{0};
+  double wall_seconds{0.0};
+};
+
+void emit(const char* name, const Measurement& m, const Options& options) {
+  const double per_iter_allocs =
+      m.iterations == 0
+          ? 0.0
+          : static_cast<double>(m.allocs) / static_cast<double>(m.iterations);
+  const double per_iter_bytes =
+      m.iterations == 0 ? 0.0
+                        : static_cast<double>(m.alloc_bytes) /
+                              static_cast<double>(m.iterations);
+  // Deterministic fields only: the CI cmp gate compares two runs of this.
+  std::printf("{\"bench\":\"%s\",\"iterations\":%" PRIu64
+              ",\"events\":%" PRIu64 ",\"peak_pending\":%" PRIu64
+              ",\"allocs_per_iter\":%.3f,\"alloc_bytes_per_iter\":%.1f}\n",
+              name, m.iterations, m.events, m.peak_pending, per_iter_allocs,
+              per_iter_bytes);
+  if (options.timing && m.wall_seconds > 0.0) {
+    const double events_per_sec =
+        static_cast<double>(m.events) / m.wall_seconds;
+    const double ns_per_event =
+        m.wall_seconds * 1e9 / static_cast<double>(m.events);
+    std::printf("{\"bench\":\"%s.timing\",\"events_per_sec\":%.0f"
+                ",\"ns_per_event\":%.1f,\"wall_seconds\":%.3f}\n",
+                name, events_per_sec, ns_per_event, m.wall_seconds);
+  }
+}
+
+/// One self-re-arming timer: fires once per `period`, and on every firing
+/// performs one schedule/cancel retry cycle (the client-timeout pattern).
+/// `depth` of these keep the pending queue at a steady ~depth entries.
+struct ChurnTimer {
+  Host* host;
+  Duration period;
+  std::uint64_t fired{0};
+
+  void arm(Duration delay) {
+    host->schedule_after(
+        delay, [this] { fire(); }, "bench.churn");
+  }
+  void fire() {
+    ++fired;
+    const TimerId retry = host->schedule_after(
+        4 * period, [this] { ++fired; }, "bench.retry");
+    host->cancel(retry);
+    arm(period);
+  }
+};
+
+/// Steady-state churn at a fixed pending depth: `depth` timers each firing
+/// once per `depth` ticks (so ~one event per tick), re-arming themselves and
+/// doing one schedule/cancel per firing. iterations = fired timers.
+Measurement run_churn_steady(std::uint64_t depth, std::uint64_t warmup_events,
+                             std::uint64_t events) {
+  Simulation sim(42);
+  Host& h = sim.add_host("host");
+  // Depth hint: `depth` armed timers plus one in-flight retry per firing.
+  sim.loop().reserve(depth + 16);
+
+  std::vector<ChurnTimer> timers(depth);
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    timers[i].host = &h;
+    timers[i].period = static_cast<Duration>(depth);
+    // Stagger initial firings across one period.
+    timers[i].arm(static_cast<Duration>(i + 1));
+  }
+
+  sim.run(warmup_events);
+
+  Measurement m;
+  m.allocs = g_allocs.load(std::memory_order_relaxed);
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  const std::uint64_t start_events = sim.loop().processed();
+  const auto start_wall = std::chrono::steady_clock::now();
+  sim.run(events);
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_wall)
+                       .count();
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - m.allocs;
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - m.alloc_bytes;
+  m.events = sim.loop().processed() - start_events;
+  m.iterations = m.events;
+  m.peak_pending = sim.loop().peak_pending();
+  return m;
+}
+
+/// The deep-drain cliff: schedule `cycles` schedule(+1000)/schedule(+10)/
+/// cancel triples before draining anything — one net pending timer per
+/// cycle, so the queue peaks at `cycles` entries — then drain. Identical
+/// cycle shape to bench_message_plane's timer_churn. iterations = cycles.
+Measurement run_timer_drain(std::uint64_t warmup_cycles,
+                            std::uint64_t cycles) {
+  Simulation sim(44);
+  Host& h = sim.add_host("host");
+  // Depth hint: every cycle leaves one net pending timer (the cancelled
+  // slot recycles within the cycle), so depth peaks near warmup + cycles.
+  sim.loop().reserve(warmup_cycles + cycles + 16);
+
+  Measurement m;
+  std::uint64_t fired = 0;
+  std::uint64_t payload_a = 1;  // captured state, mimics [this, id]
+  std::uint64_t payload_b = 2;
+
+  const auto cycle = [&] {
+    const TimerId cancelled = h.schedule_after(
+        1000, [&payload_a, &fired] { fired += payload_a; },
+        "bench.cancelled");
+    h.schedule_after(
+        10, [&payload_b, &fired] { fired += payload_b; }, "bench.fire");
+    h.cancel(cancelled);
+  };
+
+  for (std::uint64_t i = 0; i < warmup_cycles; ++i) cycle();
+  sim.run();
+
+  m.allocs = g_allocs.load(std::memory_order_relaxed);
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  const std::uint64_t start_events = sim.loop().processed();
+  const auto start_wall = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < cycles; ++i) cycle();
+  sim.run();
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_wall)
+                       .count();
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - m.allocs;
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - m.alloc_bytes;
+  m.events = sim.loop().processed() - start_events;
+  m.iterations = cycles;
+  m.peak_pending = sim.loop().peak_pending();
+  if (fired == 0) std::fprintf(stderr, "timer-drain: nothing fired?\n");
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      options.timing = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_scheduler [--quick] [--timing]\n");
+      return 2;
+    }
+  }
+  rcs::log().set_level(rcs::LogLevel::kWarn);
+
+  const std::uint64_t scale = options.quick ? 1 : 20;
+  emit("churn_steady_64", run_churn_steady(64, 5'000, 100'000 * scale),
+       options);
+  emit("churn_steady_4k", run_churn_steady(4'096, 20'000, 100'000 * scale),
+       options);
+  emit("timer_churn_2m", run_timer_drain(2'000, 100'000 * scale), options);
+  return 0;
+}

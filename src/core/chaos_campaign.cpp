@@ -44,6 +44,7 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
   sys.seed = options.seed;
   sys.start_monitoring = false;  // campaigns adapt only on explicit request
   ResilientSystem system(sys);
+  system.sim().loop().reserve(options.queue_depth_hint);
   // Tracing must switch on before deployment so the deploy spans and every
   // request span land in the rings; the run itself stays bit-identical
   // (recording never schedules events or draws randomness).
@@ -210,6 +211,7 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
   }
   result.events = system.sim().loop().processed();
   result.peak_queue_depth = system.sim().loop().peak_pending();
+  result.wheel = system.sim().loop().wheel_stats();
   result.passed = result.report.ok();
   result.trace = strf(
       "campaign seed=", options.seed, " label=", result.label,

@@ -44,6 +44,10 @@ struct ChaosCampaignOptions {
   /// Record structured spans (rcs::obs) for the whole run and export them in
   /// the result. Deterministic: same seed + options => byte-identical JSON.
   bool record_trace{false};
+  /// Pending-event depth hint passed to EventLoop::reserve() before the run;
+  /// chaos campaigns peak well under 100 pending timers, so the default
+  /// keeps even a transition-heavy run allocation-free in the scheduler.
+  std::size_t queue_depth_hint{256};
 };
 
 struct ChaosCampaignResult {
@@ -67,6 +71,9 @@ struct ChaosCampaignResult {
   std::uint64_t events{0};
   /// High-water mark of the pending-event queue.
   std::size_t peak_queue_depth{0};
+  /// Timer-wheel traffic counters (cascades, sorts, overflow migrations);
+  /// deterministic, reported only in the runners' stderr summaries.
+  sim::EventLoop::WheelStats wheel{};
 };
 
 /// Generate the schedule from `options.seed` and run it.

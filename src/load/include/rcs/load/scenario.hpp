@@ -49,6 +49,9 @@ struct AdaptScenarioOptions {
   sim::Duration drain{30 * sim::kSecond};
   /// Record Chrome-trace spans + metrics export in the result.
   bool record_trace{false};
+  /// Pending-event depth hint passed to EventLoop::reserve() before the
+  /// scenario starts (clients, detectors, checkpoint + monitoring timers).
+  std::size_t queue_depth_hint{4096};
 };
 
 struct AdaptScenarioResult {
@@ -72,6 +75,8 @@ struct AdaptScenarioResult {
   /// (throughput accounting for load_runner's summary).
   std::uint64_t events{0};
   std::size_t peak_queue_depth{0};
+  /// Timer-wheel traffic counters for load_runner's stderr summary.
+  sim::EventLoop::WheelStats wheel{};
   bool passed{false};
 };
 

@@ -44,6 +44,10 @@ struct SweepOptions {
   /// Goodput fraction below which a step counts as past the knee.
   double goodput_floor{0.9};
   ftm::ClientOptions client{};
+  /// Pending-event depth hint passed to EventLoop::reserve() before the
+  /// ramp: roughly one in-flight timer set per client plus detector and
+  /// checkpoint timers, with headroom for the saturated tail of the ramp.
+  std::size_t queue_depth_hint{4096};
 };
 
 struct SweepPoint {
@@ -74,6 +78,8 @@ struct SweepResult {
   /// high-water mark (throughput accounting for load_runner's summary).
   std::uint64_t events{0};
   std::size_t peak_queue_depth{0};
+  /// Timer-wheel traffic counters for load_runner's stderr summary.
+  sim::EventLoop::WheelStats wheel{};
 
   [[nodiscard]] double knee_offered_rps() const {
     return knee_index < 0 ? 0.0

@@ -49,6 +49,7 @@ AdaptScenarioResult run_adapt_scenario(const AdaptScenarioOptions& options) {
   sys.thresholds.utilization_high = 0.5;
   sys.thresholds.utilization_low = 0.15;
   core::ResilientSystem system(sys);
+  system.sim().loop().reserve(options.queue_depth_hint);
   if (options.record_trace) system.sim().tracer().set_enabled(true);
 
   // Full-state PBR: the heaviest per-request traffic profile, and the one
@@ -170,6 +171,7 @@ AdaptScenarioResult run_adapt_scenario(const AdaptScenarioOptions& options) {
   result.final_counter = final_counter;
   result.events = sim.loop().processed();
   result.peak_queue_depth = sim.loop().peak_pending();
+  result.wheel = sim.loop().wheel_stats();
   result.passed = result.report.ok();
   if (options.record_trace) {
     result.trace_json = sim.tracer().export_chrome_json();

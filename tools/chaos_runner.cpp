@@ -39,11 +39,17 @@ using rcs::core::ChaosCampaignResult;
 struct RunSummary {
   std::uint64_t events{0};
   std::size_t peak_queue_depth{0};
+  rcs::sim::EventLoop::WheelStats wheel{};
   std::chrono::steady_clock::time_point start{std::chrono::steady_clock::now()};
 
   void add(const ChaosCampaignResult& result) {
     events += result.events;
     peak_queue_depth = std::max(peak_queue_depth, result.peak_queue_depth);
+    wheel.cascaded_entries += result.wheel.cascaded_entries;
+    wheel.bucket_sorts += result.wheel.bucket_sorts;
+    wheel.overflow_migrated += result.wheel.overflow_migrated;
+    wheel.overflow_peak = std::max(wheel.overflow_peak,
+                                   result.wheel.overflow_peak);
   }
   void print() const {
     const double seconds =
@@ -56,6 +62,13 @@ struct RunSummary {
                  "peak queue depth %zu, wall %.2fs\n",
                  static_cast<unsigned long long>(events), rate,
                  peak_queue_depth, seconds);
+    std::fprintf(stderr,
+                 "wheel: %llu cascaded, %llu bucket sorts, "
+                 "%llu overflow migrations, overflow peak %zu\n",
+                 static_cast<unsigned long long>(wheel.cascaded_entries),
+                 static_cast<unsigned long long>(wheel.bucket_sorts),
+                 static_cast<unsigned long long>(wheel.overflow_migrated),
+                 wheel.overflow_peak);
   }
 };
 

@@ -29,6 +29,7 @@ namespace {
 struct RunSummary {
   std::uint64_t events{0};
   std::size_t peak_queue_depth{0};
+  rcs::sim::EventLoop::WheelStats wheel{};
   std::chrono::steady_clock::time_point start{std::chrono::steady_clock::now()};
 
   void print() const {
@@ -42,6 +43,13 @@ struct RunSummary {
                  "peak queue depth %zu, wall %.2fs\n",
                  static_cast<unsigned long long>(events), rate,
                  peak_queue_depth, seconds);
+    std::fprintf(stderr,
+                 "wheel: %llu cascaded, %llu bucket sorts, "
+                 "%llu overflow migrations, overflow peak %zu\n",
+                 static_cast<unsigned long long>(wheel.cascaded_entries),
+                 static_cast<unsigned long long>(wheel.bucket_sorts),
+                 static_cast<unsigned long long>(wheel.overflow_migrated),
+                 wheel.overflow_peak);
   }
 };
 
@@ -197,6 +205,7 @@ int run_sweep_mode(const Args& args, RunSummary& summary) {
   summary.events += result.events;
   summary.peak_queue_depth =
       std::max(summary.peak_queue_depth, result.peak_queue_depth);
+  summary.wheel = result.wheel;
   const std::string json = result.to_json_lines();
   std::fputs(json.c_str(), stdout);
   if (!args.out.empty() && !dump_to(args.out, json, "sweep curve")) return 2;
@@ -226,6 +235,7 @@ int run_scenario_mode(const Args& args, RunSummary& summary) {
   summary.events += result.events;
   summary.peak_queue_depth =
       std::max(summary.peak_queue_depth, result.peak_queue_depth);
+  summary.wheel = result.wheel;
   std::fputs(result.trace.c_str(), stdout);
   if (!args.trace_out.empty() &&
       !dump_to(args.trace_out, result.trace_json, "trace")) {
