@@ -1,0 +1,290 @@
+#include "rcs/fsim/fsim.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rcs/common/error.hpp"
+#include "rcs/obs/metrics.hpp"
+
+namespace rcs::fsim {
+
+namespace {
+
+// Indexed by Point. The parameter schemas document what each call site
+// passes through Site; descriptions state the injected failure and the
+// handling the FTM is expected to demonstrate.
+constexpr PointDef kPoints[kPointCount] = {
+    {"ckpt.apply",
+     "state=backup/{delta|full}, bytes=checkpoint size, now_us",
+     "backup-side checkpoint apply fails; backup withholds the ack and "
+     "escalates through the resync/join path (delta) or waits for the "
+     "primary's retransmission (full)"},
+    {"ckpt.serialize",
+     "state=primary/{delta|full}, bytes=encoded checkpoint size, now_us",
+     "primary-side checkpoint capture/encode fails; the send is skipped and "
+     "the kernel's peer-retry loop re-captures after retry_us"},
+    {"replylog.append",
+     "state={record|import_delta}, bytes=reply size, now_us",
+     "reply-log storage pressure; the log evicts its oldest entry and the "
+     "append proceeds (at-most-once must never lose the append itself)"},
+    {"repo.fetch",
+     "state={full|transition|refresh}, bytes=request size, now_us",
+     "repository refuses the package fetch; the adaptation engine retries "
+     "with bounded backoff"},
+    {"script.rollback",
+     "state=transition, bytes=script size, now_us",
+     "reconfiguration script aborts after executing; the transaction rolls "
+     "back and the node agent enforces fail-silence (peer takes over)"},
+    {"timer.arm",
+     "state={peer_retry|resume}, bytes=0, now_us",
+     "timer service degrades; the arm falls back to a conservative 2x "
+     "interval (liveness preserved, latency doubled)"},
+};
+
+// kPoints is ordered by name so --list-points output is sorted without a
+// runtime sort; point ids follow the enum, so map between the two here.
+constexpr int kByEnum[kPointCount] = {1, 0, 2, 3, 4, 5};
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+const PointDef& point_def(Point p) {
+  const int i = static_cast<int>(p);
+  ensure(i >= 0 && i < kPointCount, "fsim: point id out of range");
+  return kPoints[kByEnum[i]];
+}
+
+const char* to_string(Point p) { return point_def(p).name; }
+
+bool point_from_name(std::string_view name, Point& out) {
+  for (int i = 0; i < kPointCount; ++i) {
+    if (kPoints[kByEnum[i]].name == name) {
+      out = static_cast<Point>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Indicator::to_string() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kOff: out = "off"; break;
+    case Kind::kAlways: out = "always"; break;
+    case Kind::kEveryNth:
+      out = "nth:" + std::to_string(n);
+      break;
+    case Kind::kAfterTime:
+      out = "after:" + std::to_string(after_us);
+      break;
+    case Kind::kProbability: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "p:%.4f", probability);
+      out = buf;
+      break;
+    }
+  }
+  out += " max_fires=" + std::to_string(max_fires);
+  if (!state_filter.empty()) out += " state=" + state_filter;
+  if (min_bytes > 0) out += " min_bytes=" + std::to_string(min_bytes);
+  return out;
+}
+
+std::uint64_t CoverageReport::fire_total() const {
+  std::uint64_t total = 0;
+  for (const auto& pair : pairs) total += pair.fires;
+  return total;
+}
+
+std::uint64_t CoverageReport::hits_of(Point p) const {
+  std::uint64_t total = 0;
+  for (const auto& pair : pairs) {
+    if (pair.point == static_cast<int>(p)) total += pair.hits;
+  }
+  return total;
+}
+
+std::uint64_t CoverageReport::fires_of(Point p) const {
+  std::uint64_t total = 0;
+  for (const auto& pair : pairs) {
+    if (pair.point == static_cast<int>(p)) total += pair.fires;
+  }
+  return total;
+}
+
+void CoverageReport::merge(const CoverageReport& other) {
+  // Merge two (point, state)-sorted runs; tallies add where keys collide.
+  std::vector<Pair> merged;
+  merged.reserve(pairs.size() + other.pairs.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto key_less = [](const Pair& x, const Pair& y) {
+    if (x.point != y.point) return x.point < y.point;
+    return x.state < y.state;
+  };
+  while (i < pairs.size() || j < other.pairs.size()) {
+    if (j >= other.pairs.size() ||
+        (i < pairs.size() && key_less(pairs[i], other.pairs[j]))) {
+      merged.push_back(pairs[i++]);
+    } else if (i >= pairs.size() || key_less(other.pairs[j], pairs[i])) {
+      merged.push_back(other.pairs[j++]);
+    } else {
+      Pair combined = pairs[i++];
+      combined.hits += other.pairs[j].hits;
+      combined.fires += other.pairs[j].fires;
+      ++j;
+      merged.push_back(std::move(combined));
+    }
+  }
+  pairs = std::move(merged);
+}
+
+std::string CoverageReport::to_json() const {
+  std::string out = "{\"pair_count\":";
+  append_u64(out, pairs.size());
+  out += ",\"fire_total\":";
+  append_u64(out, fire_total());
+  out += ",\"pairs\":[";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const Pair& pair = pairs[i];
+    if (i > 0) out += ',';
+    out += "{\"point\":";
+    append_json_string(out, to_string(static_cast<Point>(pair.point)));
+    out += ",\"state\":";
+    append_json_string(out, pair.state);
+    out += ",\"hits\":";
+    append_u64(out, pair.hits);
+    out += ",\"fires\":";
+    append_u64(out, pair.fires);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+void Registry::set_enabled(bool on) {
+  enabled_ = on;
+  if (on && metrics_ != nullptr && !metrics_bound_) {
+    metrics_bound_ = true;
+    for (int i = 0; i < kPointCount; ++i) {
+      const std::string name = kPoints[kByEnum[i]].name;
+      hit_cells_[i] = metrics_->counter_cell("fsim." + name + ".hits");
+      fire_cells_[i] = metrics_->counter_cell("fsim." + name + ".fires");
+    }
+  }
+}
+
+void Registry::arm(Point p, const Indicator& indicator) {
+  Slot& slot = slots_[static_cast<int>(p)];
+  slot.indicator = indicator;
+  slot.armed = indicator.kind != Indicator::Kind::kOff;
+  // A fresh arm starts a fresh scenario: the every-nth and max_fires
+  // counters restart so two consecutive windows behave identically. The
+  // lifetime fire tally survives (campaign verdicts read it).
+  slot.matched = 0;
+  slot.window_fires = 0;
+}
+
+void Registry::disarm(Point p) {
+  Slot& slot = slots_[static_cast<int>(p)];
+  slot.armed = false;
+  slot.indicator = Indicator{};
+}
+
+bool Registry::armed(Point p) const {
+  return slots_[static_cast<int>(p)].armed;
+}
+
+bool Registry::should_fail(Point p, const Site& site) {
+  if (!enabled_) return false;
+  Slot& slot = slots_[static_cast<int>(p)];
+  ++slot.hits;
+  if (hit_cells_[static_cast<int>(p)] != nullptr) {
+    ++*hit_cells_[static_cast<int>(p)];
+  }
+  auto& tally = coverage_[{static_cast<int>(p), std::string(site.state)}];
+  ++tally.first;
+
+  if (!slot.armed) return false;
+  const Indicator& ind = slot.indicator;
+  if (ind.max_fires > 0 &&
+      slot.window_fires >= static_cast<std::uint64_t>(ind.max_fires)) {
+    return false;
+  }
+  // Parameter predicates gate every kind.
+  if (!ind.state_filter.empty() &&
+      site.state.substr(0, ind.state_filter.size()) != ind.state_filter) {
+    return false;
+  }
+  if (site.bytes < ind.min_bytes) return false;
+  ++slot.matched;
+
+  bool fire = false;
+  switch (ind.kind) {
+    case Indicator::Kind::kOff:
+      break;
+    case Indicator::Kind::kAlways:
+      fire = true;
+      break;
+    case Indicator::Kind::kEveryNth:
+      fire = ind.n > 0 && slot.matched % static_cast<std::uint64_t>(ind.n) == 0;
+      break;
+    case Indicator::Kind::kAfterTime:
+      fire = site.now_us >= ind.after_us;
+      break;
+    case Indicator::Kind::kProbability:
+      fire = rng_.bernoulli(ind.probability);
+      break;
+  }
+  if (!fire) return false;
+  ++slot.fires;
+  ++slot.window_fires;
+  if (fire_cells_[static_cast<int>(p)] != nullptr) {
+    ++*fire_cells_[static_cast<int>(p)];
+  }
+  ++tally.second;
+  return true;
+}
+
+std::uint64_t Registry::hits(Point p) const {
+  return slots_[static_cast<int>(p)].hits;
+}
+
+std::uint64_t Registry::fires(Point p) const {
+  return slots_[static_cast<int>(p)].fires;
+}
+
+CoverageReport Registry::coverage() const {
+  CoverageReport report;
+  report.pairs.reserve(coverage_.size());
+  for (const auto& [key, tally] : coverage_) {
+    CoverageReport::Pair pair;
+    pair.point = key.first;
+    pair.state = key.second;
+    pair.hits = tally.first;
+    pair.fires = tally.second;
+    report.pairs.push_back(std::move(pair));
+  }
+  return report;
+}
+
+void Registry::reset() {
+  for (auto& slot : slots_) slot = Slot{};
+  coverage_.clear();
+}
+
+}  // namespace rcs::fsim

@@ -1,0 +1,188 @@
+// Fault-simulation points (KEDR model): named injection sites compiled into
+// the FTM bricks and kernel, with pluggable scenario *indicators* deciding
+// when each point fires.
+//
+// Chaos campaigns (PR 2) inject at the network/host boundary — crash,
+// partition, degrade. The error-handling paths *inside* the mechanisms
+// (checkpoint apply, reply-log append, repository fetch, script rollback)
+// are only reachable through rarer coincidences. A fault-simulation point
+// makes them first-class targets: the instrumented call site consults the
+// per-simulation Registry with its call-site parameters (protocol state,
+// byte count, virtual time) and, when the armed indicator says "fire",
+// takes its local error path instead of executing. The FTM must then either
+// mask the failure or escalate into a detected, invariant-clean recovery.
+//
+// Determinism: indicator decisions derive from the campaign seed (reseed())
+// and the deterministic hit sequence — never from wall clock — so replays
+// and shrinks reproduce the exact same fire decisions byte for byte.
+//
+// Coverage is first-class: every consult while the registry is enabled
+// records the (point, protocol-state) pair, so a sweep can measure which
+// slices of the fault space its campaigns actually reached.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rcs/common/rng.hpp"
+
+namespace rcs::obs {
+class MetricsRegistry;
+}
+
+namespace rcs::fsim {
+
+/// The compiled-in points. Fixed enum (not dynamic registration): iteration
+/// order and ids are the same in every binary, independent of link order or
+/// which translation units happen to be instrumented.
+enum class Point : int {
+  kCkptSerialize = 0,  // PBR syncAfter, primary: checkpoint capture/encode
+  kCkptApply,          // PBR syncAfter, backup: checkpoint apply/import
+  kReplylogAppend,     // reply-log record (at-most-once storage)
+  kRepoFetch,          // repository package fetch (adaptation plane)
+  kScriptRollback,     // reconfiguration script transaction
+  kTimerArm,           // kernel timer service (peer retry / compute resume)
+};
+
+inline constexpr int kPointCount = 6;
+
+struct PointDef {
+  const char* name;         // canonical dotted name, e.g. "ckpt.serialize"
+  const char* params;       // call-site parameter schema (documentation)
+  const char* description;  // what firing simulates + expected handling
+};
+
+[[nodiscard]] const PointDef& point_def(Point p);
+[[nodiscard]] const char* to_string(Point p);
+/// Resolve a canonical name back to its point; false if unknown.
+bool point_from_name(std::string_view name, Point& out);
+
+/// Scenario indicator: a seeded expression over the call-site parameters
+/// deciding whether a consult fires. All kinds honour the shared parameter
+/// predicates (state_filter prefix, min_bytes) and the max_fires bound.
+struct Indicator {
+  enum class Kind : int {
+    kOff = 0,      // never fires (disarmed)
+    kAlways,       // every matching hit
+    kEveryNth,     // every n-th matching hit (the n-th, 2n-th, ...)
+    kAfterTime,    // every matching hit at/after virtual time `after_us`
+    kProbability,  // Bernoulli(probability) from the campaign-seeded RNG
+  };
+
+  Kind kind{Kind::kOff};
+  std::int64_t n{1};           // kEveryNth
+  std::int64_t after_us{0};    // kAfterTime (absolute virtual time, us)
+  double probability{0.0};     // kProbability
+  /// Stop firing after this many fires; 0 = unbounded. Bounded by default:
+  /// an unbounded failing point starves the retry loops it exercises.
+  int max_fires{1};
+  /// Parameter predicate: only hits whose protocol state starts with this
+  /// prefix match (empty = any state).
+  std::string state_filter;
+  /// Parameter predicate: only hits carrying at least this many bytes match.
+  std::size_t min_bytes{0};
+
+  /// Canonical one-token-per-field text form (schedule printing / replay
+  /// comparison). Byte-identical for equal indicators.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Call-site parameters passed to every consult.
+struct Site {
+  std::string_view state;  // protocol state, e.g. "primary/delta"
+  std::size_t bytes{0};    // payload size at the site (0 if not meaningful)
+  std::int64_t now_us{0};  // virtual time (0 when hostless, e.g. unit tests)
+};
+
+/// (point, protocol-state) coverage with hit/fire tallies. Deterministic:
+/// pairs are kept sorted by point id, then state, and merge() is
+/// order-insensitive, so serial and --jobs sweeps report identical bytes.
+struct CoverageReport {
+  struct Pair {
+    int point{0};
+    std::string state;
+    std::uint64_t hits{0};
+    std::uint64_t fires{0};
+  };
+
+  std::vector<Pair> pairs;  // sorted by (point, state)
+
+  [[nodiscard]] std::size_t pair_count() const { return pairs.size(); }
+  [[nodiscard]] std::uint64_t fire_total() const;
+  [[nodiscard]] std::uint64_t hits_of(Point p) const;
+  [[nodiscard]] std::uint64_t fires_of(Point p) const;
+
+  /// Sum `other` into this report (union of pairs, tallies added).
+  void merge(const CoverageReport& other);
+
+  /// One-line JSON (trailing newline): {"pair_count":..,"fire_total":..,
+  /// "pairs":[{"point":..,"state":..,"hits":..,"fires":..},..]}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Per-simulation registry of the fault-simulation points. Disabled by
+/// default: a disabled registry neither fires nor records coverage, and the
+/// consult is a single boolean load — load/bench runs stay untouched.
+/// Campaigns enable it, reseed it from the campaign seed, and arm/disarm
+/// indicators through the FaultInjector as the schedule plays out.
+class Registry {
+ public:
+  Registry() : rng_(0x5Eed0F51D0C0FFEEULL) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Enabling materializes the per-point obs counters (when bound), so runs
+  /// that never enable fault simulation keep their metrics export unchanged.
+  void set_enabled(bool on);
+
+  /// Reseed the private indicator RNG (kProbability draws). Campaigns derive
+  /// this from the campaign seed so decisions never depend on wall clock.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Point the hit/fire tallies at an obs registry ("fsim.<point>.hits" /
+  /// ".fires" counters, created on first enable).
+  void bind_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  void arm(Point p, const Indicator& indicator);
+  void disarm(Point p);
+  [[nodiscard]] bool armed(Point p) const;
+
+  /// The one hot-path call. Records the hit and its coverage pair, then
+  /// evaluates the armed indicator. Returns true when the call site must
+  /// take its injected-error path. Immediately false while disabled
+  /// (nothing recorded).
+  [[nodiscard]] bool should_fail(Point p, const Site& site);
+
+  [[nodiscard]] std::uint64_t hits(Point p) const;
+  [[nodiscard]] std::uint64_t fires(Point p) const;
+  [[nodiscard]] CoverageReport coverage() const;
+
+  /// Forget counters, coverage and indicators (fresh campaign); keeps the
+  /// enabled flag and RNG untouched.
+  void reset();
+
+ private:
+  struct Slot {
+    Indicator indicator{};
+    bool armed{false};
+    std::uint64_t hits{0};
+    std::uint64_t fires{0};         // lifetime (survives re-arms)
+    std::uint64_t matched{0};       // matching hits since the last arm
+    std::uint64_t window_fires{0};  // fires since the last arm (max_fires)
+  };
+
+  bool enabled_{false};
+  Rng rng_;
+  Slot slots_[kPointCount];
+  // (point, state) -> {hits, fires}. A std::map keeps deterministic order.
+  std::map<std::pair<int, std::string>, std::pair<std::uint64_t, std::uint64_t>>
+      coverage_;
+  obs::MetricsRegistry* metrics_{nullptr};
+  bool metrics_bound_{false};
+  std::uint64_t* hit_cells_[kPointCount] = {};
+  std::uint64_t* fire_cells_[kPointCount] = {};
+};
+
+}  // namespace rcs::fsim

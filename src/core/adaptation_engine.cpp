@@ -26,26 +26,48 @@ AdaptationEngine::AdaptationEngine(sim::Host& manager, HostId repository,
     handle_ack(m.payload);
   });
   manager_.register_handler("repo.package", [this](const sim::Message& m) {
-    const auto txn = static_cast<std::uint64_t>(m.payload->at("txn").as_int());
-    const auto it = fetches_.find(txn);
-    if (it == fetches_.end()) return;
-    auto on_package = std::move(it->second);
-    fetches_.erase(it);
-    on_package(m.payload);
+    handle_package(m.payload);
   });
+}
+
+void AdaptationEngine::handle_package(const Value& response) {
+  const auto txn = static_cast<std::uint64_t>(response.at("txn").as_int());
+  const auto it = fetches_.find(txn);
+  if (it == fetches_.end()) return;
+  if (!response.at("ok").as_bool() && it->second.attempts < kMaxFetchAttempts) {
+    // Transient repository fault: retry the identical request after a linear
+    // backoff. The entry stays in fetches_ so busy() keeps excluding a
+    // concurrent adaptation while the retry is in flight.
+    const int attempt = ++it->second.attempts;
+    log().info("engine", "repository fetch refused (",
+               response.at("error").as_string(), "), retry ", attempt, "/",
+               kMaxFetchAttempts);
+    manager_.schedule_after(
+        attempt * kFetchRetryBackoff,
+        [this, txn] {
+          const auto retry = fetches_.find(txn);
+          if (retry == fetches_.end()) return;
+          manager_.send(repository_, "repo.fetch", Value(retry->second.request));
+        },
+        "engine.fetch_retry");
+    return;
+  }
+  auto on_package = std::move(it->second.on_package);
+  fetches_.erase(it);
+  on_package(response);
 }
 
 void AdaptationEngine::fetch_package(
     const std::string& kind, const ftm::FtmConfig& target,
     std::function<void(const Value& package)> on_package) {
   const auto txn = next_txn_++;
-  fetches_[txn] = std::move(on_package);
   Value request = Value::map();
   request.set("txn", static_cast<std::int64_t>(txn))
       .set("kind", kind)
       .set("to", target.to_value())
       .set("app", app_.to_value());
   if (kind == "transition") request.set("from", current_.to_value());
+  fetches_[txn] = PendingFetch{request, std::move(on_package)};
   manager_.send(repository_, "repo.fetch", std::move(request));
 }
 
@@ -223,8 +245,8 @@ void AdaptationEngine::refresh_brick(const std::string& slot,
   ensure(!busy(), "AdaptationEngine: another adaptation is in progress");
   ensure(!current_.name.empty(), "AdaptationEngine: nothing deployed yet");
   const auto fetch_txn = next_txn_++;
-  fetches_[fetch_txn] = [this, slot, callback = std::move(callback)](
-                            const Value& response) mutable {
+  auto on_package = [this, slot, callback = std::move(callback)](
+                        const Value& response) mutable {
     if (!response.at("ok").as_bool()) {
       log().error("engine", "repository refused refresh package: ",
                   response.at("error").as_string());
@@ -249,6 +271,7 @@ void AdaptationEngine::refresh_brick(const std::string& slot,
       .set("slot", slot)
       .set("to", current_.to_value())
       .set("app", app_.to_value());
+  fetches_[fetch_txn] = PendingFetch{request, std::move(on_package)};
   manager_.send(repository_, "repo.fetch", std::move(request));
 }
 

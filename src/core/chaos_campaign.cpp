@@ -1,5 +1,6 @@
 #include "rcs/core/chaos_campaign.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "rcs/app/app_base.hpp"
@@ -18,6 +19,13 @@ namespace {
 bool masks_value_faults(const ftm::FtmConfig& config) {
   return config.proceed == ftm::brick::kProceedTr ||
          config.proceed == ftm::brick::kProceedRb;
+}
+
+/// Whether this FTM ships PBR checkpoints (the ckpt.* fsim points live on
+/// that path; other FTMs never reach them).
+bool pbr_checkpoints(const ftm::FtmConfig& config) {
+  return config.sync_after == ftm::brick::kSyncAfterPbr ||
+         config.sync_after == ftm::brick::kSyncAfterPbrAssert;
 }
 
 Value kv_request(const std::string& op, const std::string& key) {
@@ -59,6 +67,15 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
     target.delta_checkpoint = options.delta_checkpoint;
   }
 
+  if (options.fsim) {
+    // Enable before deployment: deploy-time hits (repository fetches) land
+    // in the coverage report even though no window is armed yet. The fsim
+    // RNG stream is salted off the campaign seed, independent of both the
+    // schedule draw and the simulation's own stream.
+    system.sim().fsim().reseed(options.seed ^ 0x0F51DC0DE5EEDB0BULL);
+    system.sim().fsim().set_enabled(true);
+  }
+
   system.deploy_and_wait(config);
   auto& sim = system.sim();
 
@@ -73,6 +90,52 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
   chaos.allow_transients =
       masks_value_faults(config) &&
       (!has_transition || masks_value_faults(target));
+  if (options.fsim) {
+    // Fault-simulation targets: only points the deployed FTM(s) can reach,
+    // so every armed window has traffic to fire on. Caps keep each window
+    // within what the masking/escalation path absorbs (e.g. repo.fetch stays
+    // below the engine's retry budget; at most one script rollback so the
+    // surviving replica completes the transition).
+    const auto wants = [&options](fsim::Point p) {
+      return options.fsim_points.empty() ||
+             std::find(options.fsim_points.begin(), options.fsim_points.end(),
+                       static_cast<int>(p)) != options.fsim_points.end();
+    };
+    const auto add = [&](fsim::Point p, int cap, bool whole_horizon = false,
+                         bool exclusive_with_crashes = false) {
+      if (!wants(p)) return;
+      sim::ChaosScheduleOptions::FsimTarget target_opt;
+      target_opt.point = static_cast<int>(p);
+      target_opt.max_fires_cap = cap;
+      target_opt.whole_horizon = whole_horizon;
+      target_opt.exclusive_with_crashes = exclusive_with_crashes;
+      chaos.fsim_targets.push_back(std::move(target_opt));
+    };
+    add(fsim::Point::kReplylogAppend, 2);
+    add(fsim::Point::kTimerArm, 2);
+    if (pbr_checkpoints(config) || (has_transition && pbr_checkpoints(target))) {
+      add(fsim::Point::kCkptSerialize, 2);
+      add(fsim::Point::kCkptApply, 2);
+    }
+    if (has_transition) {
+      // Rare-path points: one fetch / one script run per campaign, so arm
+      // across the whole horizon or the window would usually miss it.
+      add(fsim::Point::kRepoFetch, 2, /*whole_horizon=*/true);
+      if (config.duplex && target.duplex) {
+        // A fired rollback fail-silences one replica for the rest of the
+        // run: never combine with crash episodes (double fault, see
+        // FsimTarget::exclusive_with_crashes).
+        add(fsim::Point::kScriptRollback, 1, /*whole_horizon=*/true,
+            /*exclusive_with_crashes=*/true);
+      }
+    }
+    if (options.fsim_only && !chaos.fsim_targets.empty()) {
+      chaos.weights.crash_restart = 0.0;
+      chaos.weights.partition = 0.0;
+      chaos.weights.degrade = 0.0;
+      chaos.weights.transient = 0.0;
+    }
+  }
   sim::Time transition_at = 0;
   if (has_transition) {
     // Reconfigure mid-campaign, inside a reserved fault-free zone: the
@@ -160,7 +223,12 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
   (void)probe;  // recorded in the history; liveness judges it there
 
   // --- Verdict.
-  bool crashed = false;
+  // A fired script rollback fail-silences one replica (§5.3): its kernel
+  // counters are gone and the engine reports the transition as failed —
+  // both are the *specified* escalation, not a violation.
+  const bool rollback_fired =
+      system.sim().fsim().fires(fsim::Point::kScriptRollback) > 0;
+  bool crashed = rollback_fired;
   for (const auto& e : schedule.episodes()) {
     crashed |= e.kind == sim::ChaosEpisodeKind::kCrashRestart;
   }
@@ -201,7 +269,7 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
   }
   if (!transition_done) {
     result.report.violations.push_back("transition never completed");
-  } else if (!transition_ok) {
+  } else if (!transition_ok && !rollback_fired) {
     result.report.violations.push_back("transition reported failure");
   }
   if (options.forbid_retries && result.client_stats.retries > 0) {
@@ -212,6 +280,7 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
   result.events = system.sim().loop().processed();
   result.peak_queue_depth = system.sim().loop().peak_pending();
   result.wheel = system.sim().loop().wheel_stats();
+  result.fsim = system.sim().fsim().coverage();
   result.passed = result.report.ok();
   result.trace = strf(
       "campaign seed=", options.seed, " label=", result.label,
@@ -222,6 +291,8 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
                                         : "incomplete")
                      : "none",
       " retries=", result.client_stats.retries, "\n",
+      "fsim pairs=", result.fsim.pair_count(),
+      " fires=", result.fsim.fire_total(), "\n",
       "verdict: ", result.report.to_string(), "\n");
   return result;
 }

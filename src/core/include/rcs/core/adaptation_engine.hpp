@@ -118,8 +118,20 @@ class AdaptationEngine {
     TimerId timeout{};
   };
 
+  /// An outstanding repository fetch. The original request is kept so a
+  /// refused fetch (transient repository fault) can be retried verbatim,
+  /// with bounded attempts and a linear backoff.
+  struct PendingFetch {
+    Value request;
+    std::function<void(const Value& package)> on_package;
+    int attempts{1};
+  };
+  static constexpr int kMaxFetchAttempts = 4;
+  static constexpr sim::Duration kFetchRetryBackoff = 150 * sim::kMillisecond;
+
   void fetch_package(const std::string& kind, const ftm::FtmConfig& target,
                      std::function<void(const Value& package)> on_package);
+  void handle_package(const Value& response);
   std::uint64_t begin_txn(const std::string& kind, const std::string& from,
                           const std::string& to, std::size_t expected_acks,
                           Callback callback);
@@ -138,7 +150,7 @@ class AdaptationEngine {
   sim::Duration ack_timeout_{20 * sim::kSecond};
   std::uint64_t next_txn_{1};
   std::map<std::uint64_t, PendingTxn> pending_;
-  std::map<std::uint64_t, std::function<void(const Value&)>> fetches_;
+  std::map<std::uint64_t, PendingFetch> fetches_;
   std::optional<HostId> sabotage_;
 };
 

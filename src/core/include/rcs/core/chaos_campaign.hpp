@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "rcs/core/system.hpp"
 #include "rcs/ftm/history.hpp"
@@ -48,6 +49,17 @@ struct ChaosCampaignOptions {
   /// chaos campaigns peak well under 100 pending timers, so the default
   /// keeps even a transition-heavy run allocation-free in the scheduler.
   std::size_t queue_depth_hint{256};
+  /// Enable the fault-simulation registry for this run: the schedule draws
+  /// kFsim episodes arming the points reachable from the deployed FTM(s),
+  /// and the result carries the (point, state) coverage report.
+  bool fsim{true};
+  /// Non-empty: restrict the schedule's fsim targets to these points
+  /// (fsim::Point as int). Points the FTM cannot reach are still dropped.
+  std::vector<int> fsim_points;
+  /// Zero out every other fault class so the run exercises fsim points in
+  /// isolation (escalation-path tests). Ignored when no target survives the
+  /// FTM scoping — a schedule needs at least one enabled class.
+  bool fsim_only{false};
 };
 
 struct ChaosCampaignResult {
@@ -74,6 +86,8 @@ struct ChaosCampaignResult {
   /// Timer-wheel traffic counters (cascades, sorts, overflow migrations);
   /// deterministic, reported only in the runners' stderr summaries.
   sim::EventLoop::WheelStats wheel{};
+  /// Fault-simulation (point, protocol-state) coverage of this run.
+  fsim::CoverageReport fsim;
 };
 
 /// Generate the schedule from `options.seed` and run it.

@@ -3,6 +3,7 @@
 #include "rcs/common/logging.hpp"
 #include "rcs/common/strf.hpp"
 #include "rcs/ftm/app_spec.hpp"
+#include "rcs/sim/simulation.hpp"
 
 namespace rcs::core {
 
@@ -101,6 +102,18 @@ void Repository::handle_fetch(const Value& request, HostId requester) {
   const auto& kind = request.at("kind").as_string();
   Value response = Value::map();
   response.set("txn", request.at("txn"));
+  if (host_.sim().fsim().enabled()) {
+    // fsim "repo.fetch": the repository fails to serve this package (corrupt
+    // artifact, transient store error). The engine's bounded fetch-retry
+    // loop re-requests, so a transient fault here is masked.
+    const fsim::Site site{kind, request.encoded_size(),
+                          static_cast<std::int64_t>(host_.sim().now())};
+    if (host_.sim().fsim().should_fail(fsim::Point::kRepoFetch, site)) {
+      response.set("ok", false).set("error", "fsim: injected repository fault");
+      host_.send(requester, "repo.package", std::move(response));
+      return;
+    }
+  }
   try {
     const ftm::AppSpec app = ftm::AppSpec::from_value(request.at("app"));
     // Configurations travel by value, not by name: the repository can serve

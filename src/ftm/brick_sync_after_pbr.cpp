@@ -52,6 +52,18 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
     data.set("pending_reply", Value::map()
                                   .set("id", ctx.at("id"))
                                   .set("result", ctx.at("result")));
+    if (auto* fsim = fsim_registry()) {
+      // fsim "ckpt.serialize": the capture/encode of this checkpoint fails.
+      // Skip the send but wait as usual — the kernel's peer-retry loop
+      // re-runs this phase after retry_us and re-captures (the delta only
+      // widens), so the failure is masked at the cost of one retry interval.
+      const fsim::Site site{delta_enabled() ? "primary/delta" : "primary/full",
+                            data.encoded_size(), fsim_now()};
+      if (fsim->should_fail(fsim::Point::kCkptSerialize, site)) {
+        trace_instant("fsim.ckpt.serialize", trace_of(ctx));
+        return wait_for_group("checkpoint_ack", static_cast<int>(group.size()));
+      }
+    }
     if (tracing()) {
       trace_instant("ckpt.send", trace_of(ctx),
                     static_cast<std::int64_t>(data.encoded_size()));
@@ -90,6 +102,16 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
         return apply_delta_checkpoint(data, from);
       }
       // Legacy full-state checkpoint (delta knob off on the primary).
+      if (auto* fsim = fsim_registry()) {
+        // fsim "ckpt.apply" (full path): the apply fails before any state is
+        // touched. No ack goes back, so the primary's retry loop re-sends
+        // the full snapshot — masked at the cost of one retry interval.
+        const fsim::Site site{"backup/full", data.encoded_size(), fsim_now()};
+        if (fsim->should_fail(fsim::Point::kCkptApply, site)) {
+          trace_instant("fsim.ckpt.apply", 0, from);
+          return Value::map();
+        }
+      }
       if (!data.at("state").is_null()) restore_state(data.at("state"));
       import_replies(data.at("replies"));
       record_pending_reply(data);
@@ -123,7 +145,17 @@ class SyncAfterPbr final : public SyncAfterDuplexBase {
   Value apply_delta_checkpoint(const Value& data, std::int64_t from) {
     Value ack = Value::map().set("key", data.at("key"));
     bool ok = true;
-    if (data.has("ckpt") && wired("state")) {
+    if (auto* fsim = fsim_registry()) {
+      // fsim "ckpt.apply" (delta path): the apply fails mid-import, as if
+      // this backup's state diverged. Escalate exactly like a detected gap:
+      // request a full resync through the join path and withhold the ack.
+      const fsim::Site site{"backup/delta", data.encoded_size(), fsim_now()};
+      if (fsim->should_fail(fsim::Point::kCkptApply, site)) {
+        trace_instant("fsim.ckpt.apply", 0, from);
+        ok = false;
+      }
+    }
+    if (ok && data.has("ckpt") && wired("state")) {
       const Value applied = call("state", "apply_delta", data.at("ckpt"));
       ok = applied.at("ok").as_bool();
       if (ok) ack.set("seq", data.at("ckpt").at("seq"));

@@ -128,6 +128,22 @@ class FtmBrick : public comp::Component {
     return static_cast<std::int64_t>(fnv1a(value.encode()));
   }
 
+  // --- Fault simulation -----------------------------------------------------
+  /// The simulation's fault-simulation registry when it is enabled, else
+  /// nullptr (disabled, or the brick runs hostless in a unit test). Callers
+  /// gate any parameter computation (payload sizes) behind this so the
+  /// uninstrumented path stays free of extra work.
+  [[nodiscard]] fsim::Registry* fsim_registry() const {
+    if (host() == nullptr) return nullptr;
+    fsim::Registry& registry = host()->sim().fsim();
+    return registry.enabled() ? &registry : nullptr;
+  }
+
+  /// Virtual time for fsim Site stamps (0 when hostless).
+  [[nodiscard]] std::int64_t fsim_now() const {
+    return host() != nullptr ? host()->sim().now() : 0;
+  }
+
   // --- Observability --------------------------------------------------------
   /// True when this brick runs on a host whose simulation records traces.
   /// Callers gate any argument computation (payload sizes) behind this so

@@ -54,7 +54,10 @@ class ReplyLogComponent : public comp::Component {
 
   [[nodiscard]] std::size_t capacity() const;
   void evict_to_capacity();
-  void record(const std::string& key, const Value& reply);
+  /// `state` names the driving op for the fsim "replylog.append" point
+  /// ("record" for a fresh reply, "import_delta" for checkpoint import).
+  void record(const std::string& key, const Value& reply,
+              const char* state = "record");
 
   std::map<std::string, Entry> entries_;
   std::deque<std::string> order_;  // insertion order, for FIFO eviction

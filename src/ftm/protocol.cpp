@@ -58,8 +58,19 @@ sim::Duration ProtocolKernel::retry_interval() const {
 
 void ProtocolKernel::schedule_peer_retry(Ctx& ctx) {
   if (host() == nullptr) return;
+  sim::Duration interval = retry_interval();
+  if (host()->sim().fsim().enabled()) {
+    // fsim "timer.arm": the retry timer mis-arms (a lost tick). The retry
+    // still fires — one interval late — so the failure is masked as added
+    // latency, never as a lost retransmission.
+    const fsim::Site site{"peer_retry", 0,
+                          static_cast<std::int64_t>(host()->sim().now())};
+    if (host()->sim().fsim().should_fail(fsim::Point::kTimerArm, site)) {
+      interval *= 2;
+    }
+  }
   ctx.retry_timer = host()->schedule_after(
-      retry_interval(), [this, key = ctx.key] { on_peer_retry(key); },
+      interval, [this, key = ctx.key] { on_peer_retry(key); },
       "ftm.peer_retry");
 }
 
@@ -669,7 +680,16 @@ Value ProtocolKernel::dispatch_control(const std::string& op, const Value& args)
     return {};
   }
   if (op == "resume_after") {
-    const auto delay = args.at("delay_us").as_int();
+    auto delay = args.at("delay_us").as_int();
+    if (host() != nullptr && host()->sim().fsim().enabled()) {
+      // fsim "timer.arm": same lost-tick model as the peer-retry timer —
+      // the resume fires one period late, masked as latency.
+      const fsim::Site site{"resume", 0,
+                            static_cast<std::int64_t>(host()->sim().now())};
+      if (host()->sim().fsim().should_fail(fsim::Point::kTimerArm, site)) {
+        delay *= 2;
+      }
+    }
     Value resume_args = Value::map();
     resume_args.set("key", args.at("key"));
     if (args.has("result")) resume_args.set("result", args.at("result"));

@@ -4,6 +4,8 @@
 #include "rcs/common/strf.hpp"
 #include "rcs/ftm/config.hpp"
 #include "rcs/ftm/interfaces.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
 
 namespace rcs::ftm {
 
@@ -35,7 +37,23 @@ void ReplyLogComponent::evict_to_capacity() {
   }
 }
 
-void ReplyLogComponent::record(const std::string& key, const Value& reply) {
+void ReplyLogComponent::record(const std::string& key, const Value& reply,
+                               const char* state) {
+  if (host() != nullptr && host()->sim().fsim().enabled()) {
+    // fsim "replylog.append": storage pressure on the at-most-once log. The
+    // append itself must never be lost (a dropped entry re-executes a
+    // retransmitted request), so the log sheds its oldest entry and the
+    // append proceeds — the same policy FIFO eviction already encodes,
+    // triggered early.
+    fsim::Registry& fsim = host()->sim().fsim();
+    const fsim::Site site{state, reply.encoded_size(),
+                          static_cast<std::int64_t>(host()->sim().now())};
+    if (fsim.should_fail(fsim::Point::kReplylogAppend, site) &&
+        !order_.empty()) {
+      entries_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
   if (!entries_.contains(key)) order_.push_back(key);
   entries_[key] = Entry{reply, ++record_seq_};
   evict_to_capacity();
@@ -120,7 +138,7 @@ Value ReplyLogComponent::on_invoke(const std::string& /*service*/,
     }
     for (const auto& key_value : args.at("order").as_list()) {
       const auto& key = key_value.as_string();
-      record(key, args.at("entries").at(key));
+      record(key, args.at("entries").at(key), "import_delta");
     }
     if (upto > import_mark_) import_mark_ = upto;
     return Value::map().set("ok", true);

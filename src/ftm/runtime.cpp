@@ -4,6 +4,7 @@
 #include "rcs/common/logging.hpp"
 #include "rcs/common/strf.hpp"
 #include "rcs/script/parser.hpp"
+#include "rcs/sim/simulation.hpp"
 
 namespace rcs::ftm {
 
@@ -119,6 +120,28 @@ void FtmRuntime::register_handlers() {
 
 script::ExecutionStats FtmRuntime::run_transition(const std::string& source,
                                                   const FtmConfig& target) {
+  if (host_.sim().fsim().enabled()) {
+    // fsim "script.rollback": the reconfiguration fails at its very end, as
+    // if a final validity check refused the new configuration. Appending a
+    // failing `require` runs the WHOLE script first, so the rollback journal
+    // is fully populated and the session unwinds every statement before the
+    // ScriptException escalates to the node agent (ack(false) + fail-silence,
+    // §5.3 — the survivor completes and serves master-alone).
+    const fsim::Site site{"transition", source.size(),
+                          static_cast<std::int64_t>(host_.sim().now())};
+    if (host_.sim().fsim().should_fail(fsim::Point::kScriptRollback, site)) {
+      // Scripts are `script name { ... }` blocks: the failing require must
+      // land inside the body (before the last '}'), as the final statement.
+      std::string failing = source;
+      const auto brace = failing.rfind('}');
+      if (brace == std::string::npos) {
+        failing += "\nrequire false;";
+      } else {
+        failing.insert(brace, "\nrequire false;\n");
+      }
+      return script::Interpreter::run_source(failing, composite());
+    }
+  }
   const auto stats = script::Interpreter::run_source(source, composite());
   params_.config = target;
   persist(params_);

@@ -17,6 +17,7 @@ const char* to_string(ChaosEpisodeKind kind) {
     case ChaosEpisodeKind::kPartition: return "partition";
     case ChaosEpisodeKind::kDegrade: return "degrade";
     case ChaosEpisodeKind::kTransient: return "transient";
+    case ChaosEpisodeKind::kFsim: return "fsim";
   }
   return "?";
 }
@@ -91,6 +92,9 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
   if (options.allow_transients && options.weights.transient > 0.0) {
     choices.push_back({ChaosEpisodeKind::kTransient, options.weights.transient});
   }
+  if (options.weights.fsim > 0.0 && !options.fsim_targets.empty()) {
+    choices.push_back({ChaosEpisodeKind::kFsim, options.weights.fsim});
+  }
   ensure(!choices.empty(), "ChaosSchedule: every fault class is disabled");
 
   // Quiet zones block everything; crashes additionally exclude each other,
@@ -105,6 +109,12 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
   // concurrent outage stalls requests for max_outage. Two pending faults
   // hit one request twice, which no Table 1 FTM claims to mask.
   std::map<std::size_t, CrashWindows> transient_busy;
+  // One armed window per fsim point at a time: arming is a global registry
+  // slot, so overlapping windows on the same point would have the second
+  // disarm clobber the first indicator mid-window.
+  std::map<int, CrashWindows> fsim_busy;
+  bool crash_drawn = false;
+  bool exclusive_fsim_drawn = false;
   const Duration transient_spacing = options.max_outage + 1 * kSecond;
   const auto draw_start =
       [&](Duration duration,
@@ -131,8 +141,11 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
         // At most one replica down (or freshly rejoining) at a time: search
         // for a start that keeps crash windows + grace disjoint. Bounded
         // deterministic retries; on failure degrade the client link instead.
+        // An exclusive fsim episode (fail-silence on fire) consumes the
+        // crash budget outright: no crash may join it in one schedule.
         bool placed = false;
-        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+        for (int attempt = 0; attempt < 8 && !placed && !exclusive_fsim_drawn;
+             ++attempt) {
           const Time latest = options.heal_deadline - episode.duration;
           const Time at = static_cast<Time>(
               rng.uniform_int(options.start, latest));
@@ -144,6 +157,7 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
             episode.at = at;
             crash_windows.emplace_back(guard_begin, guard_end);
             placed = true;
+            crash_drawn = true;
           }
         }
         if (!placed) {
@@ -257,6 +271,65 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
                           *at + transient_spacing);
         break;
       }
+      case ChaosEpisodeKind::kFsim: {
+        const auto& target = options.fsim_targets[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(
+                                   options.fsim_targets.size()) -
+                                   1))];
+        episode.point = target.point;
+        if (target.exclusive_with_crashes && crash_drawn) continue;
+        auto& busy = fsim_busy[target.point];
+        if (target.whole_horizon) {
+          // Rare-path point (one transition per run): arm across the whole
+          // horizon — quiet zones included, since the quiet zone around the
+          // transition is exactly where such a point fires. One window per
+          // point per schedule.
+          if (!busy.empty()) continue;
+          episode.at = options.start;
+          episode.duration = options.heal_deadline - options.start;
+          busy.emplace_back(episode.at, episode.at + episode.duration);
+        } else {
+          const Duration range = options.heal_deadline - options.start;
+          episode.duration =
+              draw_duration(rng, std::min<Duration>(1 * kSecond, range),
+                            std::min<Duration>(4 * kSecond, range));
+          const auto at = draw_start(episode.duration, &busy);
+          if (!at) continue;
+          episode.at = *at;
+          busy.emplace_back(*at, *at + episode.duration);
+        }
+        fsim::Indicator ind;
+        ind.max_fires = static_cast<int>(
+            rng.uniform_int(1, std::max(1, target.max_fires_cap)));
+        ind.state_filter = target.state_filter;
+        const double r = rng.uniform(0.0, 1.0);
+        if (target.whole_horizon) {
+          // A rare-path point sees one or two hits per run; an indicator
+          // that skips early hits would usually miss its only occasion.
+          if (r < 0.6) {
+            ind.kind = fsim::Indicator::Kind::kAlways;
+          } else {
+            ind.kind = fsim::Indicator::Kind::kProbability;
+            ind.probability = rng.uniform(0.5, 0.9);
+          }
+        } else if (r < 0.4) {
+          ind.kind = fsim::Indicator::Kind::kEveryNth;
+          ind.n = rng.uniform_int(1, 4);
+        } else if (r < 0.7) {
+          ind.kind = fsim::Indicator::Kind::kProbability;
+          ind.probability = rng.uniform(0.25, 0.9);
+        } else {
+          // Fire on the first hit past a point inside the window's first
+          // half, so traffic after the trigger still exercises recovery.
+          ind.kind = fsim::Indicator::Kind::kAfterTime;
+          ind.after_us = rng.uniform_int(
+              static_cast<std::int64_t>(episode.at),
+              static_cast<std::int64_t>(episode.at + episode.duration / 2));
+        }
+        episode.indicator = ind;
+        if (target.exclusive_with_crashes) exclusive_fsim_drawn = true;
+        break;
+      }
     }
     schedule.episodes_.push_back(episode);
   }
@@ -267,6 +340,7 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
               if (x.kind != y.kind) return static_cast<int>(x.kind) <
                                            static_cast<int>(y.kind);
               if (x.a != y.a) return x.a < y.a;
+              if (x.point != y.point) return x.point < y.point;
               return x.b < y.b;
             });
 
@@ -297,6 +371,9 @@ void ChaosSchedule::apply(FaultInjector& injector,
         break;
       case ChaosEpisodeKind::kTransient:
         injector.transient_at(endpoints[e.a], e.at, e.count);
+        break;
+      case ChaosEpisodeKind::kFsim:
+        injector.fsim_window(e.point, e.indicator, e.at, e.at + e.duration);
         break;
     }
   }
@@ -332,6 +409,12 @@ std::string ChaosSchedule::to_string() const {
       case ChaosEpisodeKind::kTransient:
         out += " host=" + std::to_string(e.a) +
                " count=" + std::to_string(e.count);
+        break;
+      case ChaosEpisodeKind::kFsim:
+        out += std::string(" point=") +
+               fsim::point_def(static_cast<fsim::Point>(e.point)).name +
+               " window=" + std::to_string(e.duration) + " ind=" +
+               e.indicator.to_string();
         break;
     }
     out += "\n";

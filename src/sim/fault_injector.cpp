@@ -54,6 +54,21 @@ void FaultInjector::transient_campaign(HostId host, Time from, Time to,
   }
 }
 
+void FaultInjector::fsim_window(int point, const fsim::Indicator& indicator,
+                                Time from, Time to) {
+  const auto p = static_cast<fsim::Point>(point);
+  sim_.schedule_at(
+      from,
+      [this, p, indicator] {
+        sim_.fsim().arm(p, indicator);
+        log().debug("fault", "fsim point ", fsim::to_string(p), " armed: ",
+                    indicator.to_string());
+      },
+      "fault.fsim_arm");
+  sim_.schedule_at(
+      to, [this, p] { sim_.fsim().disarm(p); }, "fault.fsim_disarm");
+}
+
 void FaultInjector::partition_at(HostId a, HostId b, Time from, Time to) {
   sim_.schedule_at(
       from,

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "rcs/common/ids.hpp"
+#include "rcs/fsim/fsim.hpp"
 #include "rcs/sim/network.hpp"
 #include "rcs/sim/time.hpp"
 
@@ -37,6 +38,7 @@ enum class ChaosEpisodeKind {
   kPartition,     // link a<->b cut during [at, at + duration)
   kDegrade,       // link a<->b runs `degraded` during [at, at + duration)
   kTransient,     // host a: `count` transient value faults armed at `at`
+  kFsim,          // fsim point `point` armed with `indicator` during window
 };
 
 [[nodiscard]] const char* to_string(ChaosEpisodeKind kind);
@@ -51,8 +53,10 @@ struct ChaosEpisode {
   Duration duration{0};
   std::size_t a{0};
   std::size_t b{0};
-  int count{1};            // kTransient only
-  LinkParams degraded{};   // kDegrade only
+  int count{1};              // kTransient only
+  LinkParams degraded{};     // kDegrade only
+  int point{0};              // kFsim only: fsim::Point as int
+  fsim::Indicator indicator{};  // kFsim only
 };
 
 /// Relative likelihood of each fault class; zero disables a class.
@@ -61,6 +65,7 @@ struct ChaosWeights {
   double partition{1.0};
   double degrade{1.5};
   double transient{1.0};
+  double fsim{1.5};
 };
 
 struct ChaosScheduleOptions {
@@ -94,6 +99,25 @@ struct ChaosScheduleOptions {
   /// campaign driver reserves one around a mid-run FTM transition so the
   /// reconfiguration protocol itself is not under fire.
   std::vector<std::pair<Time, Time>> quiet;
+  /// Fault-simulation points this schedule may arm (KEDR-style, §fsim). The
+  /// campaign driver scopes the list to the points the deployed FTMs can
+  /// reach, so every armed window has a chance to fire. Empty disables the
+  /// kFsim class regardless of its weight.
+  struct FsimTarget {
+    int point{0};              // fsim::Point as int
+    int max_fires_cap{3};      // indicator fire bound drawn in [1, cap]
+    /// Arm for the whole chaos horizon instead of a drawn sub-window —
+    /// for points on rare paths (one transition per run) where a random
+    /// window would usually miss the single occasion to fire.
+    bool whole_horizon{false};
+    /// Firing this point permanently removes a replica (e.g. a script
+    /// rollback ends in fail-silence), consuming the duplex pair's entire
+    /// fault budget: a schedule never combines it with kCrashRestart, or a
+    /// later crash of the survivor would be an out-of-model double fault.
+    bool exclusive_with_crashes{false};
+    std::string state_filter;  // optional Site.state prefix restriction
+  };
+  std::vector<FsimTarget> fsim_targets;
 };
 
 class ChaosSchedule {

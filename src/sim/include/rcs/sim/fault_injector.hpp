@@ -18,6 +18,7 @@
 #include "rcs/common/ids.hpp"
 #include "rcs/common/rng.hpp"
 #include "rcs/common/value.hpp"
+#include "rcs/fsim/fsim.hpp"
 #include "rcs/sim/network.hpp"
 #include "rcs/sim/time.hpp"
 
@@ -46,6 +47,13 @@ class FaultInjector {
   // --- Network fault windows ----------------------------------------------
   // Partitions and link-quality bursts go through the injector too, so every
   // FT-dimension event shares one scheduling API and one trace log.
+
+  /// Arm fault-simulation point `point` (an fsim::Point as int) with
+  /// `indicator` during [from, to): the registry slot is armed at `from` and
+  /// disarmed at `to`. Requires the simulation's fsim registry to be enabled
+  /// for the window to have any effect.
+  void fsim_window(int point, const fsim::Indicator& indicator, Time from,
+                   Time to);
 
   /// Partition the (symmetric) link between `a` and `b` during [from, to).
   void partition_at(HostId a, HostId b, Time from, Time to);

@@ -13,6 +13,7 @@
 
 #include "rcs/common/ids.hpp"
 #include "rcs/common/rng.hpp"
+#include "rcs/fsim/fsim.hpp"
 #include "rcs/obs/metrics.hpp"
 #include "rcs/obs/trace.hpp"
 #include "rcs/sim/event_loop.hpp"
@@ -70,6 +71,12 @@ class Simulation {
     return metrics_;
   }
 
+  /// Fault-simulation point registry (KEDR model). Disabled by default;
+  /// chaos campaigns enable it, reseed it from the campaign seed, and arm
+  /// scenario indicators through the FaultInjector.
+  fsim::Registry& fsim() { return fsim_; }
+  [[nodiscard]] const fsim::Registry& fsim() const { return fsim_; }
+
  private:
   // Feeds scheduler activity into the metrics registry (event count plus a
   // queue-depth histogram); lives here so EventLoop stays obs-agnostic.
@@ -88,6 +95,7 @@ class Simulation {
   Rng rng_;
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  fsim::Registry fsim_;
   LoopObserver loop_observer_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };

@@ -19,6 +19,7 @@ Simulation::Simulation(std::uint64_t seed)
     : network_(*this), rng_(seed), loop_observer_(metrics_) {
   log().set_time_source([this] { return loop_.now(); });
   loop_.set_hook(&loop_observer_);
+  fsim_.bind_metrics(&metrics_);
 }
 
 Simulation::~Simulation() { log().reset_time_source(); }

@@ -1,0 +1,124 @@
+// Fault-simulation campaign properties: coverage determinism across rerun
+// and replay, point scoping, and the per-point escalation paths — each
+// point fired in isolation must be masked or escalated into a detected,
+// invariant-clean recovery. Campaigns run real ResilientSystem stacks, so
+// each scan keeps its seed budget small.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rcs/core/chaos_campaign.hpp"
+
+namespace rcs::core::testing {
+namespace {
+
+namespace fsim = rcs::fsim;
+
+ChaosCampaignOptions quick(std::uint64_t seed, const std::string& ftm,
+                           bool delta) {
+  ChaosCampaignOptions options;
+  options.seed = seed;
+  options.ftm = ftm;
+  options.delta_checkpoint = delta;
+  options.requests = 18;
+  options.chaos_horizon = 8 * sim::kSecond;
+  options.chaos_events = 7;
+  return options;
+}
+
+// Scan a few seeds until `point` fires at least once under a schedule that
+// arms only that point (fsim_only). Every scanned campaign — firing or not —
+// must hold the invariants; the returned result is the first firing one.
+ChaosCampaignResult fire_in_isolation(fsim::Point point, const std::string& ftm,
+                                      bool delta,
+                                      const std::string& transition_to = "") {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    auto options = quick(seed, ftm, delta);
+    options.transition_to = transition_to;
+    options.fsim_only = true;
+    options.fsim_points = {static_cast<int>(point)};
+    const auto result = run_campaign(options);
+    EXPECT_TRUE(result.passed)
+        << fsim::to_string(point) << " seed " << seed << ":\n"
+        << result.report.to_string();
+    for (int other = 0; other < fsim::kPointCount; ++other) {
+      if (other == static_cast<int>(point)) continue;
+      EXPECT_EQ(result.fsim.fires_of(static_cast<fsim::Point>(other)), 0u)
+          << "unscoped point fired: "
+          << fsim::to_string(static_cast<fsim::Point>(other));
+    }
+    if (result.fsim.fires_of(point) > 0) return result;
+  }
+  ADD_FAILURE() << fsim::to_string(point) << " never fired in 12 seeds";
+  return {};
+}
+
+TEST(FsimCampaign, CoverageIsByteIdenticalAcrossReruns) {
+  const auto options = quick(4, "PBR", true);
+  const auto first = run_campaign(options);
+  const auto second = run_campaign(options);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.fsim.to_json(), second.fsim.to_json());
+  EXPECT_TRUE(first.passed) << first.report.to_string();
+  EXPECT_GT(first.fsim.pair_count(), 0u);
+  EXPECT_NE(first.trace.find("fsim pairs="), std::string::npos);
+}
+
+TEST(FsimCampaign, ReplayReproducesTheExactCoverage) {
+  const auto options = quick(6, "PBR", false);
+  const auto direct = run_campaign(options);
+  const auto replayed = replay_campaign(options, direct.schedule);
+  EXPECT_EQ(direct.trace, replayed.trace);
+  EXPECT_EQ(direct.fsim.to_json(), replayed.fsim.to_json());
+}
+
+TEST(FsimCampaign, DisablingFsimLeavesCoverageEmpty) {
+  auto options = quick(4, "PBR", true);
+  options.fsim = false;
+  const auto result = run_campaign(options);
+  EXPECT_TRUE(result.passed) << result.report.to_string();
+  EXPECT_EQ(result.fsim.pair_count(), 0u);
+  EXPECT_EQ(result.fsim.fire_total(), 0u);
+}
+
+TEST(FsimCampaign, CkptSerializeEscalatesThroughPeerRetry) {
+  const auto result = fire_in_isolation(fsim::Point::kCkptSerialize, "PBR", true);
+  EXPECT_GT(result.fsim.fires_of(fsim::Point::kCkptSerialize), 0u);
+}
+
+TEST(FsimCampaign, CkptApplyDeltaEscalatesThroughResync) {
+  const auto result = fire_in_isolation(fsim::Point::kCkptApply, "PBR", true);
+  EXPECT_GT(result.fsim.fires_of(fsim::Point::kCkptApply), 0u);
+}
+
+TEST(FsimCampaign, CkptApplyFullIsMaskedByRetransmission) {
+  const auto result = fire_in_isolation(fsim::Point::kCkptApply, "PBR", false);
+  EXPECT_GT(result.fsim.fires_of(fsim::Point::kCkptApply), 0u);
+}
+
+TEST(FsimCampaign, ReplylogAppendEvictionPreservesAtMostOnce) {
+  const auto result =
+      fire_in_isolation(fsim::Point::kReplylogAppend, "PBR", true);
+  EXPECT_GT(result.fsim.fires_of(fsim::Point::kReplylogAppend), 0u);
+}
+
+TEST(FsimCampaign, TimerArmDegradationOnlyCostsLatency) {
+  const auto result = fire_in_isolation(fsim::Point::kTimerArm, "PBR", true);
+  EXPECT_GT(result.fsim.fires_of(fsim::Point::kTimerArm), 0u);
+}
+
+TEST(FsimCampaign, RepoFetchIsMaskedByEngineRetry) {
+  const auto result =
+      fire_in_isolation(fsim::Point::kRepoFetch, "PBR", true, "LFR");
+  EXPECT_GT(result.fsim.fires_of(fsim::Point::kRepoFetch), 0u);
+  EXPECT_NE(result.trace.find("transition=ok"), std::string::npos);
+}
+
+TEST(FsimCampaign, ScriptRollbackEscalatesToFailSilence) {
+  const auto result =
+      fire_in_isolation(fsim::Point::kScriptRollback, "PBR", true, "LFR");
+  EXPECT_GT(result.fsim.fires_of(fsim::Point::kScriptRollback), 0u);
+}
+
+}  // namespace
+}  // namespace rcs::core::testing

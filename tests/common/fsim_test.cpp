@@ -1,0 +1,269 @@
+// Fault-simulation registry properties: indicator semantics (every-nth,
+// after-time, probability), parameter predicates, fire bounds across
+// re-arms, seeded determinism, and coverage-report ordering/merging.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rcs/fsim/fsim.hpp"
+
+namespace rcs::fsim::testing {
+namespace {
+
+Site site(std::string_view state, std::size_t bytes = 0,
+          std::int64_t now_us = 0) {
+  Site s;
+  s.state = state;
+  s.bytes = bytes;
+  s.now_us = now_us;
+  return s;
+}
+
+Registry enabled_registry() {
+  Registry registry;
+  registry.set_enabled(true);
+  return registry;
+}
+
+TEST(FsimPoint, NamesRoundTripThroughTheCatalogue) {
+  for (int i = 0; i < kPointCount; ++i) {
+    const auto p = static_cast<Point>(i);
+    Point back{};
+    ASSERT_TRUE(point_from_name(to_string(p), back)) << to_string(p);
+    EXPECT_EQ(back, p);
+    EXPECT_NE(point_def(p).params, nullptr);
+    EXPECT_NE(point_def(p).description, nullptr);
+  }
+  Point out{};
+  EXPECT_FALSE(point_from_name("no.such.point", out));
+  EXPECT_FALSE(point_from_name("", out));
+}
+
+TEST(FsimRegistry, DisabledRegistryNeverFiresNorRecords) {
+  Registry registry;
+  Indicator always;
+  always.kind = Indicator::Kind::kAlways;
+  registry.arm(Point::kCkptApply, always);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(registry.should_fail(Point::kCkptApply, site("backup/delta")));
+  }
+  EXPECT_EQ(registry.hits(Point::kCkptApply), 0u);
+  EXPECT_EQ(registry.fires(Point::kCkptApply), 0u);
+  EXPECT_EQ(registry.coverage().pair_count(), 0u);
+}
+
+TEST(FsimRegistry, EveryNthFiresOnExactlyTheNthMatchingHit) {
+  auto registry = enabled_registry();
+  Indicator nth;
+  nth.kind = Indicator::Kind::kEveryNth;
+  nth.n = 3;
+  nth.max_fires = 0;  // unbounded: observe the periodicity itself
+  registry.arm(Point::kReplylogAppend, nth);
+  std::vector<bool> decisions;
+  for (int i = 0; i < 9; ++i) {
+    decisions.push_back(
+        registry.should_fail(Point::kReplylogAppend, site("record", 64)));
+  }
+  const std::vector<bool> expected = {false, false, true,  false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(decisions, expected);
+  EXPECT_EQ(registry.hits(Point::kReplylogAppend), 9u);
+  EXPECT_EQ(registry.fires(Point::kReplylogAppend), 3u);
+}
+
+TEST(FsimRegistry, MaxFiresBoundsTheWindowAndRearmResetsIt) {
+  auto registry = enabled_registry();
+  Indicator always;
+  always.kind = Indicator::Kind::kAlways;
+  always.max_fires = 2;
+  registry.arm(Point::kCkptSerialize, always);
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (registry.should_fail(Point::kCkptSerialize, site("primary/delta"))) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 2);  // bound applies within one armed window
+
+  // Re-arming opens a fresh window; lifetime fires keep accumulating.
+  registry.arm(Point::kCkptSerialize, always);
+  for (int i = 0; i < 6; ++i) {
+    if (registry.should_fail(Point::kCkptSerialize, site("primary/delta"))) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(registry.fires(Point::kCkptSerialize), 4u);
+  EXPECT_EQ(registry.hits(Point::kCkptSerialize), 12u);
+}
+
+TEST(FsimRegistry, AfterTimeFiresOnlyAtOrPastTheThreshold) {
+  auto registry = enabled_registry();
+  Indicator after;
+  after.kind = Indicator::Kind::kAfterTime;
+  after.after_us = 1000;
+  after.max_fires = 0;
+  registry.arm(Point::kTimerArm, after);
+  EXPECT_FALSE(
+      registry.should_fail(Point::kTimerArm, site("peer_retry", 0, 0)));
+  EXPECT_FALSE(
+      registry.should_fail(Point::kTimerArm, site("peer_retry", 0, 999)));
+  EXPECT_TRUE(
+      registry.should_fail(Point::kTimerArm, site("peer_retry", 0, 1000)));
+  EXPECT_TRUE(
+      registry.should_fail(Point::kTimerArm, site("peer_retry", 0, 5000)));
+}
+
+TEST(FsimRegistry, DisarmStopsFiringButCoverageKeepsRecordingHits) {
+  auto registry = enabled_registry();
+  Indicator always;
+  always.kind = Indicator::Kind::kAlways;
+  registry.arm(Point::kRepoFetch, always);
+  EXPECT_TRUE(registry.armed(Point::kRepoFetch));
+  EXPECT_TRUE(registry.should_fail(Point::kRepoFetch, site("full", 10)));
+  registry.disarm(Point::kRepoFetch);
+  EXPECT_FALSE(registry.armed(Point::kRepoFetch));
+  EXPECT_FALSE(registry.should_fail(Point::kRepoFetch, site("full", 10)));
+  EXPECT_EQ(registry.hits(Point::kRepoFetch), 2u);
+  EXPECT_EQ(registry.fires(Point::kRepoFetch), 1u);
+}
+
+TEST(FsimRegistry, StateFilterIsAPrefixMatchOnTheProtocolState) {
+  auto registry = enabled_registry();
+  Indicator always;
+  always.kind = Indicator::Kind::kAlways;
+  always.max_fires = 0;
+  always.state_filter = "primary/";
+  registry.arm(Point::kCkptSerialize, always);
+  EXPECT_TRUE(
+      registry.should_fail(Point::kCkptSerialize, site("primary/delta")));
+  EXPECT_TRUE(
+      registry.should_fail(Point::kCkptSerialize, site("primary/full")));
+  EXPECT_FALSE(
+      registry.should_fail(Point::kCkptSerialize, site("backup/delta")));
+  EXPECT_FALSE(registry.should_fail(Point::kCkptSerialize, site("prim")));
+}
+
+TEST(FsimRegistry, MinBytesGatesOnPayloadSize) {
+  auto registry = enabled_registry();
+  Indicator always;
+  always.kind = Indicator::Kind::kAlways;
+  always.max_fires = 0;
+  always.min_bytes = 100;
+  registry.arm(Point::kCkptApply, always);
+  EXPECT_FALSE(registry.should_fail(Point::kCkptApply, site("backup/full", 99)));
+  EXPECT_TRUE(registry.should_fail(Point::kCkptApply, site("backup/full", 100)));
+  EXPECT_TRUE(registry.should_fail(Point::kCkptApply, site("backup/full", 500)));
+}
+
+TEST(FsimRegistry, ProbabilityDecisionsAreSeedDeterministic) {
+  Indicator coin;
+  coin.kind = Indicator::Kind::kProbability;
+  coin.probability = 0.5;
+  coin.max_fires = 0;
+
+  const auto draw = [&](std::uint64_t seed) {
+    auto registry = enabled_registry();
+    registry.reseed(seed);
+    registry.arm(Point::kScriptRollback, coin);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 64; ++i) {
+      decisions.push_back(
+          registry.should_fail(Point::kScriptRollback, site("transition", 1)));
+    }
+    return decisions;
+  };
+
+  const auto a = draw(42);
+  EXPECT_EQ(a, draw(42));  // same seed, same decision sequence
+  EXPECT_NE(a, draw(43));  // 2^-64 flake odds; a differing seed must diverge
+}
+
+TEST(FsimRegistry, ResetForgetsTalliesButKeepsEnabledAndSeed) {
+  auto registry = enabled_registry();
+  registry.reseed(7);
+  Indicator always;
+  always.kind = Indicator::Kind::kAlways;
+  registry.arm(Point::kTimerArm, always);
+  EXPECT_TRUE(registry.should_fail(Point::kTimerArm, site("resume")));
+  registry.reset();
+  EXPECT_TRUE(registry.enabled());
+  EXPECT_FALSE(registry.armed(Point::kTimerArm));
+  EXPECT_EQ(registry.hits(Point::kTimerArm), 0u);
+  EXPECT_EQ(registry.fires(Point::kTimerArm), 0u);
+  EXPECT_EQ(registry.coverage().pair_count(), 0u);
+}
+
+TEST(FsimCoverage, PairsAreSortedByPointThenStateRegardlessOfHitOrder) {
+  auto registry = enabled_registry();
+  // Touch states in deliberately reversed order.
+  (void)registry.should_fail(Point::kTimerArm, site("resume"));
+  (void)registry.should_fail(Point::kTimerArm, site("peer_retry"));
+  (void)registry.should_fail(Point::kCkptApply, site("backup/full", 8));
+  (void)registry.should_fail(Point::kCkptApply, site("backup/delta", 8));
+  const auto coverage = registry.coverage();
+  ASSERT_EQ(coverage.pair_count(), 4u);
+  for (std::size_t i = 1; i < coverage.pairs.size(); ++i) {
+    const auto& prev = coverage.pairs[i - 1];
+    const auto& cur = coverage.pairs[i];
+    EXPECT_TRUE(prev.point < cur.point ||
+                (prev.point == cur.point && prev.state < cur.state));
+  }
+  EXPECT_EQ(coverage.pairs.front().state, "backup/delta");
+  EXPECT_EQ(coverage.hits_of(Point::kTimerArm), 2u);
+}
+
+TEST(FsimCoverage, MergeIsOrderInsensitiveAndAddsTallies) {
+  CoverageReport a;
+  a.pairs.push_back({0, "primary/delta", 4, 1});
+  a.pairs.push_back({2, "record", 10, 2});
+  CoverageReport b;
+  b.pairs.push_back({0, "primary/full", 3, 0});
+  b.pairs.push_back({2, "record", 5, 1});
+  b.pairs.push_back({5, "resume", 7, 7});
+
+  CoverageReport ab = a;
+  ab.merge(b);
+  CoverageReport ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+  ASSERT_EQ(ab.pair_count(), 4u);
+  EXPECT_EQ(ab.fire_total(), 11u);
+  EXPECT_EQ(ab.hits_of(Point::kReplylogAppend), 15u);
+  EXPECT_EQ(ab.fires_of(Point::kReplylogAppend), 3u);
+
+  // Merging an empty report is the identity in both directions.
+  CoverageReport empty;
+  CoverageReport c = ab;
+  c.merge(empty);
+  EXPECT_EQ(c.to_json(), ab.to_json());
+  empty.merge(ab);
+  EXPECT_EQ(empty.to_json(), ab.to_json());
+}
+
+TEST(FsimIndicator, ToStringIsCanonicalPerKind) {
+  Indicator ind;
+  EXPECT_EQ(ind.to_string(), "off max_fires=1");
+
+  ind.kind = Indicator::Kind::kAlways;
+  ind.max_fires = 3;
+  EXPECT_EQ(ind.to_string(), "always max_fires=3");
+
+  ind.kind = Indicator::Kind::kEveryNth;
+  ind.n = 4;
+  EXPECT_EQ(ind.to_string(), "nth:4 max_fires=3");
+
+  ind.kind = Indicator::Kind::kAfterTime;
+  ind.after_us = 123456;
+  EXPECT_EQ(ind.to_string(), "after:123456 max_fires=3");
+
+  ind.kind = Indicator::Kind::kProbability;
+  ind.probability = 0.375;
+  ind.state_filter = "backup/";
+  ind.min_bytes = 32;
+  EXPECT_EQ(ind.to_string(), "p:0.3750 max_fires=3 state=backup/ min_bytes=32");
+}
+
+}  // namespace
+}  // namespace rcs::fsim::testing

@@ -12,6 +12,9 @@
 //   chaos_runner --replay 17 --ftm LFR --delta off
 //   chaos_runner --replay 3 --ftm PBR --delta on --transition-to LFR
 //   chaos_runner --demo-shrink            # broken oracle -> shrunk timeline
+//   chaos_runner --list-points            # fault-simulation point catalogue
+//   chaos_runner --fsim 'ckpt.*'          # restrict fsim to matching points
+//   chaos_runner --coverage-sweep         # run until fsim coverage is dry
 //
 // Every campaign is bit-deterministic in its seed: replaying a reported
 // failure reproduces the identical trace, and the shrunk schedule is
@@ -28,11 +31,13 @@
 
 #include "rcs/common/logging.hpp"
 #include "rcs/core/chaos_campaign.hpp"
+#include "rcs/fsim/fsim.hpp"
 
 namespace {
 
 using rcs::core::ChaosCampaignOptions;
 using rcs::core::ChaosCampaignResult;
+namespace fsim = rcs::fsim;
 
 /// Wall-clock throughput accounting, printed to stderr so stdout stays
 /// byte-identical for the determinism cmp gates.
@@ -40,10 +45,15 @@ struct RunSummary {
   std::uint64_t events{0};
   std::size_t peak_queue_depth{0};
   rcs::sim::EventLoop::WheelStats wheel{};
+  /// Merged fsim coverage of every reported campaign. Merged in plan order
+  /// (report_one), and merge() is order-insensitive anyway, so serial and
+  /// --jobs sweeps accumulate identical reports.
+  fsim::CoverageReport coverage;
   std::chrono::steady_clock::time_point start{std::chrono::steady_clock::now()};
 
   void add(const ChaosCampaignResult& result) {
     events += result.events;
+    coverage.merge(result.fsim);
     peak_queue_depth = std::max(peak_queue_depth, result.peak_queue_depth);
     wheel.cascaded_entries += result.wheel.cascaded_entries;
     wheel.bucket_sorts += result.wheel.bucket_sorts;
@@ -93,17 +103,62 @@ struct Args {
   bool verbose{false};
   std::string trace_out;    // replay only: Chrome trace JSON destination
   std::string metrics_out;  // replay only: metrics JSON-lines destination
+  std::string fsim_glob;    // "": all points; "off": disable; else glob
+  std::string coverage_out;  // fsim coverage JSON destination
+  bool list_points{false};
+  bool coverage_sweep{false};
+  bool quick{false};  // coverage sweep: 1 seed per spec per round
 };
 
 void usage() {
   std::puts(
       "usage: chaos_runner [--seeds N] [--transitions N] [--base-seed S]\n"
       "                    [--ftm A,B,..] [--delta on|off|both] [--jobs N]\n"
+      "                    [--fsim GLOB|off] [--coverage-out FILE]\n"
       "                    [--verbose]\n"
       "       chaos_runner --replay SEED --ftm NAME --delta on|off\n"
       "                    [--transition-to NAME] [--trace-out FILE]\n"
-      "                    [--metrics-out FILE]\n"
+      "                    [--metrics-out FILE] [--coverage-out FILE]\n"
+      "       chaos_runner --coverage-sweep [--quick] [--base-seed S]\n"
+      "                    [--fsim GLOB] [--coverage-out FILE]\n"
+      "       chaos_runner --list-points\n"
       "       chaos_runner --demo-shrink");
+}
+
+/// Minimal glob: '*' any run, '?' any one char, everything else literal.
+bool glob_match(const char* pattern, const char* text) {
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '*') {
+    return glob_match(pattern + 1, text) ||
+           (*text != '\0' && glob_match(pattern, text + 1));
+  }
+  return *text != '\0' && (*pattern == '?' || *pattern == *text) &&
+         glob_match(pattern + 1, text + 1);
+}
+
+/// Resolve --fsim into the campaign knobs. Returns false (after printing)
+/// when a glob matches no point — a silent no-match would report an empty
+/// sweep as clean coverage.
+bool resolve_fsim(const Args& args, bool& fsim_on, std::vector<int>& points) {
+  fsim_on = true;
+  points.clear();
+  if (args.fsim_glob.empty()) return true;
+  if (args.fsim_glob == "off") {
+    fsim_on = false;
+    return true;
+  }
+  for (int i = 0; i < fsim::kPointCount; ++i) {
+    const auto p = static_cast<fsim::Point>(i);
+    if (glob_match(args.fsim_glob.c_str(), fsim::to_string(p))) {
+      points.push_back(i);
+    }
+  }
+  if (points.empty()) {
+    std::fprintf(stderr, "--fsim '%s' matches no fault-simulation point\n",
+                 args.fsim_glob.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -173,6 +228,20 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.metrics_out = v;
+    } else if (arg == "--fsim") {
+      const char* v = next();
+      if (!v) return false;
+      args.fsim_glob = v;
+    } else if (arg == "--coverage-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.coverage_out = v;
+    } else if (arg == "--list-points") {
+      args.list_points = true;
+    } else if (arg == "--coverage-sweep") {
+      args.coverage_sweep = true;
+    } else if (arg == "--quick") {
+      args.quick = true;
     } else if (arg == "--demo-shrink") {
       args.demo_shrink = true;
     } else if (arg == "--verbose") {
@@ -241,6 +310,36 @@ int run_one(const ChaosCampaignOptions& options, bool verbose,
   return report_one(options, result, verbose, campaigns, failures, summary);
 }
 
+bool dump_to(const std::string& path, const std::string& data,
+             const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for %s\n", path.c_str(), what);
+    return false;
+  }
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  return ok;
+}
+
+/// Deterministic stdout footer shared by every sweep exit path, so the
+/// serial-vs-jobs cmp gate also covers the coverage accounting.
+void print_coverage_footer(const RunSummary& summary) {
+  std::printf("fsim coverage: %zu pair(s), %llu fire(s)\n",
+              summary.coverage.pair_count(),
+              static_cast<unsigned long long>(summary.coverage.fire_total()));
+  // One line per touched point, in catalogue (enum) order: makes "which
+  // points actually fired" legible without parsing the JSON report.
+  for (int i = 0; i < fsim::kPointCount; ++i) {
+    const auto p = static_cast<fsim::Point>(i);
+    const auto hits = summary.coverage.hits_of(p);
+    if (hits == 0) continue;
+    std::printf("  %-17s hits=%-6llu fires=%llu\n", fsim::to_string(p),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(summary.coverage.fires_of(p)));
+  }
+}
+
 int run_sweep(const Args& args, RunSummary& summary) {
   std::vector<bool> delta_modes;
   if (args.delta == "on" || args.delta == "both") delta_modes.push_back(true);
@@ -249,6 +348,9 @@ int run_sweep(const Args& args, RunSummary& summary) {
     std::fprintf(stderr, "bad --delta value: %s\n", args.delta.c_str());
     return 2;
   }
+  bool fsim_on = true;
+  std::vector<int> fsim_points;
+  if (!resolve_fsim(args, fsim_on, fsim_points)) return 2;
 
   // The full campaign plan, in canonical (seed) order. --jobs executes it
   // out of order but always reports it in this order, so the output is
@@ -261,6 +363,8 @@ int run_sweep(const Args& args, RunSummary& summary) {
         options.seed = args.base_seed + static_cast<std::uint64_t>(s);
         options.ftm = ftm;
         options.delta_checkpoint = delta;
+        options.fsim = fsim_on;
+        options.fsim_points = fsim_points;
         plan.push_back(options);
       }
     }
@@ -281,6 +385,8 @@ int run_sweep(const Args& args, RunSummary& summary) {
     options.ftm = spec.ftm;
     options.delta_checkpoint = spec.delta;
     options.transition_to = spec.transition_to;
+    options.fsim = fsim_on;
+    options.fsim_points = fsim_points;
     plan.push_back(options);
   }
 
@@ -305,12 +411,18 @@ int run_sweep(const Args& args, RunSummary& summary) {
       if (run_one(plan[i], args.verbose, campaigns, failures, summary)) {
         std::printf("\n%d campaign(s), %d failure(s)\n", campaigns,
                     failures);
+        print_coverage_footer(summary);
         return 1;
       }
     }
     if (plan.size() == transition_start) print_transition_header();
     std::printf("\n%d campaign(s), %d failure(s) — all invariants held\n",
                 campaigns, failures);
+    print_coverage_footer(summary);
+    if (!args.coverage_out.empty() &&
+        !dump_to(args.coverage_out, summary.coverage.to_json(), "coverage")) {
+      return 2;
+    }
     return 0;
   }
 
@@ -352,25 +464,19 @@ int run_sweep(const Args& args, RunSummary& summary) {
     if (report_one(plan[i], results[i], args.verbose, campaigns, failures,
                    summary)) {
       std::printf("\n%d campaign(s), %d failure(s)\n", campaigns, failures);
+      print_coverage_footer(summary);
       return 1;
     }
   }
   if (plan.size() == transition_start) print_transition_header();
   std::printf("\n%d campaign(s), %d failure(s) — all invariants held\n",
               campaigns, failures);
-  return 0;
-}
-
-bool dump_to(const std::string& path, const std::string& data,
-             const char* what) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for %s\n", path.c_str(), what);
-    return false;
+  print_coverage_footer(summary);
+  if (!args.coverage_out.empty() &&
+      !dump_to(args.coverage_out, summary.coverage.to_json(), "coverage")) {
+    return 2;
   }
-  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
-  std::fclose(f);
-  return ok;
+  return 0;
 }
 
 int run_replay(const Args& args, RunSummary& summary) {
@@ -380,6 +486,7 @@ int run_replay(const Args& args, RunSummary& summary) {
   options.delta_checkpoint = args.delta != "off";
   options.transition_to = args.transition_to;
   options.record_trace = !args.trace_out.empty() || !args.metrics_out.empty();
+  if (!resolve_fsim(args, options.fsim, options.fsim_points)) return 2;
   const auto result = rcs::core::run_campaign(options);
   summary.add(result);
   std::printf("%s", result.trace.c_str());
@@ -391,9 +498,103 @@ int run_replay(const Args& args, RunSummary& summary) {
       !dump_to(args.metrics_out, result.metrics_json, "metrics")) {
     return 2;
   }
+  if (!args.coverage_out.empty() &&
+      !dump_to(args.coverage_out, result.fsim.to_json(), "coverage")) {
+    return 2;
+  }
   if (!result.passed) {
     report_failure(options, result);
     return 1;
+  }
+  return 0;
+}
+
+/// --list-points: the compiled-in fault-simulation catalogue as JSON, one
+/// point per line, name-sorted. Counters are zero here (no campaign ran);
+/// the sweeps report live tallies through the coverage JSON instead.
+int run_list_points() {
+  std::vector<const fsim::PointDef*> defs;
+  for (int i = 0; i < fsim::kPointCount; ++i) {
+    defs.push_back(&fsim::point_def(static_cast<fsim::Point>(i)));
+  }
+  std::sort(defs.begin(), defs.end(),
+            [](const fsim::PointDef* x, const fsim::PointDef* y) {
+              return std::strcmp(x->name, y->name) < 0;
+            });
+  std::printf("{\"points\":[\n");
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    std::printf("  {\"name\":\"%s\",\"params\":\"%s\",\"description\":\"%s\","
+                "\"hits\":0,\"fires\":0}%s\n",
+                defs[i]->name, defs[i]->params, defs[i]->description,
+                i + 1 < defs.size() ? "," : "");
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+/// --coverage-sweep: run rounds of campaigns across every FTM/transition
+/// spec until 3 consecutive rounds add no new (point, state) pair — the
+/// coverage fixed point. Fully seeded, so two runs print identical bytes.
+int run_coverage_sweep(const Args& args, RunSummary& summary) {
+  bool fsim_on = true;
+  std::vector<int> fsim_points;
+  if (!resolve_fsim(args, fsim_on, fsim_points)) return 2;
+  if (!fsim_on) {
+    std::fprintf(stderr, "--coverage-sweep needs fault simulation enabled\n");
+    return 2;
+  }
+  static const SweepSpec kSpecs[] = {
+      {"PBR", true, ""},  {"PBR", false, ""},      {"LFR", true, ""},
+      {"LFR", false, ""}, {"TR", true, ""},        {"TR", false, ""},
+      {"PBR", true, "LFR"}, {"LFR", true, "PBR"},  {"PBR", false, "PBR_TR"},
+  };
+  const int per_spec = args.quick ? 1 : 3;
+  constexpr int kDryRounds = 3;
+  constexpr int kMaxRounds = 40;
+
+  std::printf("fsim coverage sweep: %zu spec(s) x %d seed(s) per round, "
+              "stopping after %d dry round(s)\n",
+              std::size(kSpecs), per_spec, kDryRounds);
+  fsim::CoverageReport total;
+  std::uint64_t seed = args.base_seed;
+  int campaigns = 0;
+  int rounds = 0;
+  int dry = 0;
+  while (dry < kDryRounds && rounds < kMaxRounds) {
+    ++rounds;
+    const std::size_t before = total.pair_count();
+    for (const auto& spec : kSpecs) {
+      for (int k = 0; k < per_spec; ++k) {
+        ChaosCampaignOptions options;
+        options.seed = seed++;
+        options.ftm = spec.ftm;
+        options.delta_checkpoint = spec.delta;
+        options.transition_to = spec.transition_to;
+        options.fsim_points = fsim_points;
+        const auto result = rcs::core::run_campaign(options);
+        ++campaigns;
+        summary.add(result);
+        total.merge(result.fsim);
+        if (!result.passed) {
+          report_failure(options, result);
+          return 1;
+        }
+      }
+    }
+    const std::size_t gained = total.pair_count() - before;
+    std::printf("round %d: %d campaign(s), %zu new pair(s), %zu total\n",
+                rounds, static_cast<int>(std::size(kSpecs)) * per_spec, gained,
+                total.pair_count());
+    dry = gained == 0 ? dry + 1 : 0;
+  }
+  std::printf("\ncoverage fixed point after %d round(s): %zu pair(s), "
+              "%llu fire(s) over %d campaign(s)\n",
+              rounds, total.pair_count(),
+              static_cast<unsigned long long>(total.fire_total()), campaigns);
+  std::printf("%s", total.to_json().c_str());
+  if (!args.coverage_out.empty() &&
+      !dump_to(args.coverage_out, total.to_json(), "coverage")) {
+    return 2;
   }
   return 0;
 }
@@ -429,10 +630,12 @@ int main(int argc, char** argv) {
   rcs::log().set_level(args.verbose ? rcs::LogLevel::kInfo
                                     : rcs::LogLevel::kWarn);
   if (args.verbose) rcs::log().set_stderr_level(rcs::LogLevel::kInfo);
+  if (args.list_points) return run_list_points();
   if (args.demo_shrink) return run_demo_shrink(args);
   RunSummary summary;
-  const int rc = args.has_replay ? run_replay(args, summary)
-                                 : run_sweep(args, summary);
+  const int rc = args.coverage_sweep ? run_coverage_sweep(args, summary)
+                 : args.has_replay  ? run_replay(args, summary)
+                                    : run_sweep(args, summary);
   summary.print();
   return rc;
 }
