@@ -35,15 +35,23 @@ double bytes_per_request(ftm::FtmConfig config, std::size_t state_size,
         "server", "state_size", Value(static_cast<std::int64_t>(state_size)));
   }
 
-  const auto& stats = system.sim().network().link_stats(system.replica(0).id(),
-                                                        system.replica(1).id());
-  const auto before = stats.bytes;
+  // link_stats returns a snapshot by value; refetch after the run.
+  const auto before = system.sim()
+                          .network()
+                          .link_stats(system.replica(0).id(),
+                                      system.replica(1).id())
+                          .bytes;
   for (int i = 0; i < requests; ++i) {
     (void)system.roundtrip(
         Value::map().set("op", "incr").set("key", "k").set("by", 1),
         20 * sim::kSecond);
   }
-  return static_cast<double>(stats.bytes - before) / requests;
+  const auto after = system.sim()
+                         .network()
+                         .link_stats(system.replica(0).id(),
+                                     system.replica(1).id())
+                         .bytes;
+  return static_cast<double>(after - before) / requests;
 }
 
 }  // namespace

@@ -39,9 +39,12 @@ Sample run_config(bool delta, std::size_t state_size, int requests) {
         "server", "state_size", Value(static_cast<std::int64_t>(state_size)));
   }
 
-  const auto& stats = system.sim().network().link_stats(system.replica(0).id(),
-                                                        system.replica(1).id());
-  const auto before = stats.bytes;
+  // link_stats returns a snapshot by value; refetch after the run.
+  const auto before = system.sim()
+                          .network()
+                          .link_stats(system.replica(0).id(),
+                                      system.replica(1).id())
+                          .bytes;
   Sample sample;
   double latency_total = 0;
   for (int i = 0; i < requests; ++i) {
@@ -52,8 +55,12 @@ Sample run_config(bool delta, std::size_t state_size, int requests) {
     latency_total += static_cast<double>(system.sim().now() - start);
     if (!reply.is_map() || reply.has("error")) ++sample.errors;
   }
-  sample.bytes_per_request =
-      static_cast<double>(stats.bytes - before) / requests;
+  const auto after = system.sim()
+                         .network()
+                         .link_stats(system.replica(0).id(),
+                                     system.replica(1).id())
+                         .bytes;
+  sample.bytes_per_request = static_cast<double>(after - before) / requests;
   sample.latency_ms =
       latency_total / requests / static_cast<double>(sim::kMillisecond);
   return sample;

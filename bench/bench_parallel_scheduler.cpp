@@ -1,0 +1,229 @@
+// bench_parallel_scheduler: conservative parallel DES throughput on the
+// multi-group deployment shape the paper's FTM fleets produce — dense
+// intra-group traffic on fast links, sparse cross-group traffic on slow
+// (lookahead-defining) links.
+//
+// Topology: 8 groups of 4 hosts. Within a group every host bounces "ball"
+// messages to its ring neighbour over 1 ms links; each group's gateway
+// forwards a "token" around a cross-group ring over 20 ms links, so the
+// lookahead window is 20 ms and each window holds ~20 ms of independent
+// per-group work.
+//
+// Modes: one serial unpartitioned run (the pre-partitioning baseline), then
+// the same workload partitioned one-group-per-partition at worker counts
+// 1/2/4/8. The determinism contract makes every counted field a function of
+// (seed, partition assignment) only, so all threaded rows must be identical
+// and two runs of the binary byte-compare — CI cmp-gates `--quick` output.
+//
+// The interesting deterministic figure is critical_path_speedup =
+// parallel_events / makespan_events: the scheduling parallelism the
+// partitioning exposes, independent of how many cores the host actually has
+// (this container has one). Wall-clock rates are only emitted with
+// --timing, which the cmp gate does not pass.
+//
+//   bench_parallel_scheduler [--quick] [--timing]
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "rcs/common/strf.hpp"
+#include "rcs/sim/host.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace {
+
+using namespace rcs;       // NOLINT
+using namespace rcs::sim;  // NOLINT
+
+struct Options {
+  bool quick{false};
+  bool timing{false};
+};
+
+constexpr int kGroups = 8;
+constexpr int kPerGroup = 4;
+constexpr Duration kIntraLatency = 1 * kMillisecond;
+constexpr Duration kCrossLatency = 20 * kMillisecond;  // = lookahead
+
+/// The multi-group deployment: intra-group ball rings + a gateway token
+/// ring. Identical construction order in every mode so the serial and
+/// partitioned runs see the same host ids, links and rng draws.
+struct Deployment {
+  Simulation sim;
+  std::vector<Host*> hosts;
+  std::vector<HostId> gateways;
+  // Per-host counters: each element is only ever touched by the partition
+  // that owns the host, so threaded runs stay race-free; sum after the run.
+  std::vector<std::uint64_t> delivered;
+
+  explicit Deployment(bool partitioned) : sim(/*seed=*/1234) {
+    auto& net = sim.network();
+    net.default_link().jitter = 0.0;
+    net.default_link().drop_rate = 0.0;
+
+    for (int g = 0; g < kGroups; ++g) {
+      for (int i = 0; i < kPerGroup; ++i) {
+        Host& h = sim.add_host(strf("g", g, ".h", i));
+        hosts.push_back(&h);
+        if (partitioned) sim.set_partition(h.id(), g);
+      }
+      gateways.push_back(host(g, 0));
+    }
+    delivered.assign(hosts.size(), 0);
+
+    // Materialize every link the run touches: the table freezes during
+    // multi-partition windows.
+    for (int g = 0; g < kGroups; ++g) {
+      for (int i = 0; i < kPerGroup; ++i) {
+        auto& l = net.link(host(g, i), host(g, (i + 1) % kPerGroup));
+        l.latency = kIntraLatency;
+      }
+      auto& ring = net.link(gateways[static_cast<std::size_t>(g)],
+                            gateways[static_cast<std::size_t>((g + 1) % kGroups)]);
+      ring.latency = kCrossLatency;
+    }
+
+    for (int g = 0; g < kGroups; ++g) {
+      for (int i = 0; i < kPerGroup; ++i) {
+        Host* h = hosts[index(g, i)];
+        const HostId next = host(g, (i + 1) % kPerGroup);
+        h->register_handler("ball", [this, h, next](const Message&) {
+          ++delivered[h->id().value()];
+          h->send(next, "ball", Value(std::int64_t{1}));
+        });
+      }
+      Host* gw = hosts[index(g, 0)];
+      const HostId next_gw =
+          gateways[static_cast<std::size_t>((g + 1) % kGroups)];
+      gw->register_handler("token", [this, gw, next_gw](const Message& m) {
+        ++delivered[gw->id().value()];
+        gw->send(next_gw, "token", m.payload);
+      });
+    }
+  }
+
+  [[nodiscard]] std::size_t index(int g, int i) const {
+    return static_cast<std::size_t>(g * kPerGroup + i);
+  }
+  [[nodiscard]] HostId host(int g, int i) const {
+    return hosts[index(g, i)]->id();
+  }
+  [[nodiscard]] std::uint64_t total_delivered() const {
+    std::uint64_t sum = 0;
+    for (const auto d : delivered) sum += d;
+    return sum;
+  }
+
+  /// Every host launches one ball; the token starts at gateway 0. Kicks go
+  /// on each host's own wheel, as deployed setup timers would.
+  void kick() {
+    for (int g = 0; g < kGroups; ++g) {
+      for (int i = 0; i < kPerGroup; ++i) {
+        Host* h = hosts[index(g, i)];
+        const HostId to = host(g, (i + 1) % kPerGroup);
+        sim.loop_for(h->id()).schedule_at(
+            (i + 1) * 100,
+            [h, to] { h->send(to, "ball", Value(std::int64_t{0})); },
+            "kick.ball");
+      }
+    }
+    Host* gw = hosts[index(0, 0)];
+    const HostId next_gw = gateways[1];
+    sim.loop_for(gw->id()).schedule_at(
+        50, [gw, next_gw] { gw->send(next_gw, "token", Value(std::int64_t{0})); },
+        "kick.token");
+  }
+};
+
+struct Measurement {
+  std::uint64_t events{0};
+  std::uint64_t delivered{0};
+  Simulation::ParallelStats stats{};
+  double wall_seconds{0.0};
+};
+
+Measurement run_mode(bool partitioned, int threads, Time horizon) {
+  Deployment d(partitioned);
+  if (threads > 0) d.sim.set_threads(threads);
+  d.kick();
+  const auto start_wall = std::chrono::steady_clock::now();
+  Measurement m;
+  m.events = d.sim.run_until(horizon);
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_wall)
+                       .count();
+  m.delivered = d.total_delivered();
+  m.stats = d.sim.parallel_stats();
+  return m;
+}
+
+void emit(const char* name, int threads, const Measurement& m,
+          const Options& options) {
+  // Deterministic fields only: the CI cmp gate compares two runs of this,
+  // and every threaded row against every other thread count.
+  std::printf("{\"bench\":\"%s\",\"threads\":%d,\"events\":%" PRIu64
+              ",\"delivered\":%" PRIu64 ",\"windows\":%" PRIu64
+              ",\"merged_deliveries\":%" PRIu64
+              ",\"critical_path_speedup\":%.3f}\n",
+              name, threads, m.events, m.delivered, m.stats.windows,
+              m.stats.merged_deliveries, m.stats.critical_path_speedup());
+  if (options.timing && m.wall_seconds > 0.0) {
+    const double events_per_sec =
+        static_cast<double>(m.events) / m.wall_seconds;
+    std::printf("{\"bench\":\"%s.timing\",\"threads\":%d"
+                ",\"events_per_sec\":%.0f,\"wall_seconds\":%.3f}\n",
+                name, threads, events_per_sec, m.wall_seconds);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      options.timing = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel_scheduler [--quick] [--timing]\n");
+      return 2;
+    }
+  }
+
+  const Time horizon = (options.quick ? 2 : 20) * kSecond;
+
+  const Measurement serial = run_mode(/*partitioned=*/false, 0, horizon);
+  emit("serial_unpartitioned", 0, serial, options);
+
+  bool consistent = true;
+  Measurement baseline{};
+  for (const int threads : {1, 2, 4, 8}) {
+    const Measurement m = run_mode(/*partitioned=*/true, threads, horizon);
+    emit("partitioned_8_groups", threads, m, options);
+    if (threads == 1) {
+      baseline = m;
+      continue;
+    }
+    // Determinism contract: thread count must never change counted output.
+    if (m.events != baseline.events || m.delivered != baseline.delivered ||
+        m.stats.windows != baseline.stats.windows ||
+        m.stats.merged_deliveries != baseline.stats.merged_deliveries ||
+        m.stats.parallel_events != baseline.stats.parallel_events ||
+        m.stats.makespan_events != baseline.stats.makespan_events) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION at threads=%d\n", threads);
+      consistent = false;
+    }
+  }
+  if (serial.delivered != baseline.delivered) {
+    // Jitter is off, so the partitioned timeline replays the serial one
+    // delivery-for-delivery.
+    std::fprintf(stderr, "partitioned run diverged from serial baseline\n");
+    consistent = false;
+  }
+  return consistent ? 0 : 1;
+}

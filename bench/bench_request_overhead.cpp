@@ -32,10 +32,12 @@ Profile measure(ftm::FtmConfig config, int requests, std::uint64_t seed,
   (void)system.roundtrip(
       Value::map().set("op", "put").set("key", "k").set("value", "warm"));
 
-  const auto& link_stats =
-      system.sim().network().link_stats(system.replica(0).id(),
-                                        system.replica(1).id());
-  const auto bytes_before = link_stats.bytes;
+  // link_stats returns a snapshot by value; refetch after the run.
+  const auto bytes_before =
+      system.sim()
+          .network()
+          .link_stats(system.replica(0).id(), system.replica(1).id())
+          .bytes;
   const auto cpu0_before = system.replica(0).meter().cpu_used();
   const auto cpu1_before = system.replica(1).meter().cpu_used();
   const auto latency_before = system.client().stats().latency_total();
@@ -49,8 +51,13 @@ Profile measure(ftm::FtmConfig config, int requests, std::uint64_t seed,
   const sim::Duration latency_sum =
       system.client().stats().latency_total() - latency_before;
   profile.latency_ms = sim::to_ms(latency_sum) / requests;
+  const auto bytes_after =
+      system.sim()
+          .network()
+          .link_stats(system.replica(0).id(), system.replica(1).id())
+          .bytes;
   profile.replica_bytes_per_request =
-      static_cast<double>(link_stats.bytes - bytes_before) / requests;
+      static_cast<double>(bytes_after - bytes_before) / requests;
   profile.primary_cpu_ms =
       sim::to_ms(system.replica(0).meter().cpu_used() - cpu0_before) / requests;
   profile.total_cpu_ms =

@@ -60,6 +60,10 @@ struct ChaosCampaignOptions {
   /// isolation (escalation-path tests). Ignored when no target survives the
   /// FTM scoping — a schedule needs at least one enabled class.
   bool fsim_only{false};
+  /// Worker threads for the simulation's partition windows (0 = serial).
+  /// A chaos deployment is one partition, so the output is byte-identical
+  /// either way; threaded runs exercise the pool handoffs (e.g. under TSan).
+  int threads{0};
 };
 
 struct ChaosCampaignResult {

@@ -84,7 +84,20 @@ void NodeAgent::register_handlers() {
     }
     params.peers = std::move(peers);
     params.master = master;
-    deploy_local(params);
+    try {
+      deploy_local(params);
+    } catch (const Error& e) {
+      // §5.3: the peer runs a configuration we cannot deploy — e.g. it
+      // transitioned to an FTM whose package never reached this host before
+      // the crash. A replica that cannot rejoin consistently must not
+      // linger half-recovered: enforce fail-silence; the peer already
+      // serves master-alone.
+      log().warn("agent", host_.name(),
+                 ": recovery deploy failed, enforcing fail-silence: ",
+                 e.what());
+      host_.schedule_after(0, [this] { host_.crash(); }, "agent.failsilent");
+      return;
+    }
     runtime_.request_rejoin();
     log().info("agent", host_.name(), ": recovered as backup of h",
                m.from.value(), " running ", params.config.name);
@@ -487,7 +500,17 @@ void NodeAgent::query_peers_for_config(const ftm::DeployParams& persisted,
     recovering_ = false;
     auto params = persisted;
     params.role = ftm::Role::kAlone;
-    deploy_local(params);
+    try {
+      deploy_local(params);
+    } catch (const Error& e) {
+      // Same fail-silence contract as the peer-answer path: an exception
+      // here would otherwise escape a timer action and abort the process.
+      log().warn("agent", host_.name(),
+                 ": recover-alone deploy failed, enforcing fail-silence: ",
+                 e.what());
+      host_.schedule_after(0, [this] { host_.crash(); }, "agent.failsilent");
+      return;
+    }
     log().info("agent", host_.name(), ": peer silent, recovered alone in ",
                params.config.name);
     return;

@@ -70,20 +70,32 @@ script::ExecutionStats FtmRuntime::deploy(const DeployParams& params) {
       strf("ftm@", host_.name()),
       comp::CompositeEnv{&host_, &library_, registry_});
 
-  const ScriptBuilder builder(registry());
-  const std::string source = builder.deployment_script(params.config, params.app);
-  Value peer_list = Value::list();
-  for (const auto p : params.peers) peer_list.push_back(p);
-  Value bindings = Value::map();
-  bindings.set("role", to_string(params.role))
-      .set("peers", std::move(peer_list))
-      .set("master", params.master);
-  const auto stats = script::Interpreter::run_source(source, *composite_, bindings);
+  script::ExecutionStats stats;
+  try {
+    const ScriptBuilder builder(registry());
+    const std::string source =
+        builder.deployment_script(params.config, params.app);
+    Value peer_list = Value::list();
+    for (const auto p : params.peers) peer_list.push_back(p);
+    Value bindings = Value::map();
+    bindings.set("role", to_string(params.role))
+        .set("peers", std::move(peer_list))
+        .set("master", params.master);
+    stats = script::Interpreter::run_source(source, *composite_, bindings);
 
-  composite_->set_property("detector", "interval_us",
-                           Value(static_cast<std::int64_t>(params.fd_interval)));
-  composite_->set_property("detector", "timeout_us",
-                           Value(static_cast<std::int64_t>(params.fd_timeout)));
+    composite_->set_property("detector", "interval_us",
+                             Value(static_cast<std::int64_t>(params.fd_interval)));
+    composite_->set_property("detector", "timeout_us",
+                             Value(static_cast<std::int64_t>(params.fd_timeout)));
+  } catch (...) {
+    // The deployment script rolled back (e.g. a required package is not
+    // installed on this host). `deployed()` must not report a half-built
+    // FTM: drop the empty composite so callers see "nothing deployed"
+    // instead of a composite with no protocol that trips every later
+    // kernel() probe.
+    composite_.reset();
+    throw;
+  }
 
   register_handlers();
   persist(params);

@@ -52,6 +52,8 @@ struct AdaptScenarioOptions {
   /// Pending-event depth hint passed to EventLoop::reserve() before the
   /// scenario starts (clients, detectors, checkpoint + monitoring timers).
   std::size_t queue_depth_hint{4096};
+  /// Worker threads for the simulation's partition windows (0 = serial).
+  int threads{0};
 };
 
 struct AdaptScenarioResult {

@@ -48,6 +48,10 @@ struct SweepOptions {
   /// ramp: roughly one in-flight timer set per client plus detector and
   /// checkpoint timers, with headroom for the saturated tail of the ramp.
   std::size_t queue_depth_hint{4096};
+  /// Worker threads for the simulation's partition windows (0 = serial).
+  /// The ramp deploys a single partition, so results are byte-identical at
+  /// any thread count; threaded runs exercise the pool (e.g. under TSan).
+  int threads{0};
 };
 
 struct SweepPoint {

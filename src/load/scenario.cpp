@@ -49,6 +49,7 @@ AdaptScenarioResult run_adapt_scenario(const AdaptScenarioOptions& options) {
   sys.thresholds.utilization_high = 0.5;
   sys.thresholds.utilization_low = 0.15;
   core::ResilientSystem system(sys);
+  system.sim().set_threads(options.threads);
   system.sim().loop().reserve(options.queue_depth_hint);
   if (options.record_trace) system.sim().tracer().set_enabled(true);
 

@@ -1,17 +1,25 @@
 #include "rcs/sim/fault_injector.hpp"
 
+#include <algorithm>
+
 #include "rcs/common/logging.hpp"
 #include "rcs/sim/host.hpp"
 #include "rcs/sim/simulation.hpp"
 
 namespace rcs::sim {
 
+// Host-targeted fault events run on the target host's own wheel: under a
+// partitioned run the host's state is then only ever mutated by the
+// partition that owns it, and the event interleaves with the host's workload
+// exactly as in the serial simulation.
+
 void FaultInjector::crash_at(HostId host, Time t) {
-  sim_.schedule_at(t, [this, host] { sim_.host(host).crash(); }, "fault.crash");
+  sim_.loop_for(host).schedule_at(
+      t, [this, host] { sim_.host(host).crash(); }, "fault.crash");
 }
 
 void FaultInjector::restart_at(HostId host, Time t) {
-  sim_.schedule_at(
+  sim_.loop_for(host).schedule_at(
       t,
       [this, host] {
         Host& h = sim_.host(host);
@@ -21,7 +29,7 @@ void FaultInjector::restart_at(HostId host, Time t) {
 }
 
 void FaultInjector::transient_at(HostId host, Time t, int count) {
-  sim_.schedule_at(
+  sim_.loop_for(host).schedule_at(
       t,
       [this, host, count] {
         Host& h = sim_.host(host);
@@ -32,7 +40,7 @@ void FaultInjector::transient_at(HostId host, Time t, int count) {
 }
 
 void FaultInjector::permanent_at(HostId host, Time t, bool on) {
-  sim_.schedule_at(
+  sim_.loop_for(host).schedule_at(
       t,
       [this, host, on] {
         Host& h = sim_.host(host);
@@ -45,10 +53,19 @@ void FaultInjector::permanent_at(HostId host, Time t, bool on) {
 
 void FaultInjector::transient_campaign(HostId host, Time from, Time to,
                                        double rate_per_second) {
+  // A zero, negative or NaN rate has no well-defined Poisson process; arm
+  // nothing rather than divide by it (the old code span forever or threw the
+  // whole campaign into one instant, depending on the rng draw).
+  if (!(rate_per_second > 0.0)) return;
   Time t = from;
   for (;;) {
     const double gap_s = sim_.rng().exponential(rate_per_second);
-    t += static_cast<Duration>(gap_s * kSecond);
+    const double gap_ticks = gap_s * static_cast<double>(kSecond);
+    // Overflow/degenerate-draw bounds: an infinite (or absurdly large) gap
+    // ends the campaign; a zero gap still advances time by one tick so the
+    // loop always terminates.
+    if (!(gap_ticks < 9.2e18)) break;
+    t += std::max<Duration>(1, static_cast<Duration>(gap_ticks));
     if (t >= to) break;
     transient_at(host, t);
   }
@@ -86,26 +103,46 @@ void FaultInjector::partition_at(HostId a, HostId b, Time from, Time to) {
       "fault.heal");
 }
 
+std::uint64_t FaultInjector::degrade_key(HostId a, HostId b) {
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  return (lo << 32) | hi;
+}
+
 void FaultInjector::degrade_link_at(HostId a, HostId b, Time from, Time to,
                                     LinkParams degraded) {
   sim_.schedule_at(
       from,
       [this, a, b, to, degraded] {
         LinkParams& link = sim_.network().link(a, b);
-        const LinkParams before = link;
+        DegradeState& st = degrades_[degrade_key(a, b)];
+        // Reference-count overlapping windows: only the first one to open
+        // snapshots the pristine parameters, so a later window can never
+        // capture (and eventually "restore") another window's degradation.
+        if (st.active++ == 0) st.original = link;
+        const bool partitioned = link.partitioned;
         link = degraded;
         // Degradation never heals a concurrent partition window.
-        link.partitioned = before.partitioned;
+        link.partitioned = partitioned;
         log().info("fault", "link ", a, "<->", b, ": degraded (drop ",
                    degraded.drop_rate, ", dup ", degraded.duplicate_rate,
                    ", reorder ", degraded.reorder_rate, ")");
         sim_.schedule_at(
             to,
-            [this, a, b, before] {
+            [this, a, b] {
+              const auto it = degrades_.find(degrade_key(a, b));
+              if (it == degrades_.end() || it->second.active == 0) return;
+              if (--it->second.active > 0) {
+                // An overlapping window is still open; it owns the restore.
+                log().info("fault", "link ", a, "<->", b,
+                           ": degrade window closed (link still degraded)");
+                return;
+              }
               LinkParams& healed = sim_.network().link(a, b);
               const bool partitioned = healed.partitioned;
-              healed = before;
+              healed = it->second.original;
               healed.partitioned = partitioned;
+              degrades_.erase(it);
               log().info("fault", "link ", a, "<->", b, ": restored");
             },
             "fault.restore");

@@ -13,6 +13,8 @@
 // protocol machinery (checkpoints, notifications) is assumed reliable.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <vector>
 
 #include "rcs/common/ids.hpp"
@@ -41,7 +43,9 @@ class FaultInjector {
   /// Turn the permanent value fault of `host` on/off at time `t`.
   void permanent_at(HostId host, Time t, bool on = true);
   /// Poisson campaign: transient faults arrive on `host` at `rate_per_second`
-  /// during [from, to).
+  /// during [from, to). Non-positive (or NaN) rates are a no-op, and
+  /// inter-arrival gaps are clamped to at least one tick so degenerate rng
+  /// draws can never pin the campaign to a single instant.
   void transient_campaign(HostId host, Time from, Time to, double rate_per_second);
 
   // --- Network fault windows ----------------------------------------------
@@ -57,8 +61,11 @@ class FaultInjector {
 
   /// Partition the (symmetric) link between `a` and `b` during [from, to).
   void partition_at(HostId a, HostId b, Time from, Time to);
-  /// Replace the a<->b link parameters with `degraded` during [from, to);
-  /// the parameters in effect at `from` are restored at `to`.
+  /// Replace the a<->b link parameters with `degraded` during [from, to).
+  /// Windows on the same link may overlap: the injector reference-counts
+  /// them and restores the parameters that were in effect when the *first*
+  /// window opened, only once the *last* window closes — an inner restore
+  /// can never resurrect an outer window's degraded parameters.
   void degrade_link_at(HostId a, HostId b, Time from, Time to,
                        LinkParams degraded);
 
@@ -70,7 +77,17 @@ class FaultInjector {
   [[nodiscard]] static Value apply(Host& host, Value computed, Rng& rng);
 
  private:
+  /// Open degrade windows per link: how many are active and the pristine
+  /// parameters captured when the first one opened.
+  struct DegradeState {
+    int active{0};
+    LinkParams original{};
+  };
+
+  static std::uint64_t degrade_key(HostId a, HostId b);
+
   Simulation& sim_;
+  std::map<std::uint64_t, DegradeState> degrades_;
 };
 
 }  // namespace rcs::sim

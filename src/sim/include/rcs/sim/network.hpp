@@ -14,6 +14,17 @@
 // where three std::map tree walks used to be. Per-host traffic is a dense
 // vector indexed by host id. Entries are stored in a deque, so references
 // handed out by link() stay valid forever (as they did with std::map).
+//
+// Parallel execution (conservative DES): when the owning Simulation runs
+// more than one host partition, every per-link quantity a sender touches is
+// directional — stats and transmitter-free times live in per-direction slots
+// written only by the sending side's partition, and the global byte counter
+// is striped per partition — so concurrent windows never write shared
+// memory. Cross-partition sends inside a window are not scheduled directly:
+// they are appended to the sending partition's outbox and merged at the
+// window barrier in (timestamp, seq, partition) order, which makes delivery
+// order a function of the partition assignment alone, never of thread count
+// or OS scheduling.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +59,9 @@ struct LinkParams {
   double bandwidth_bps{12'500'000.0};
   double drop_rate{0.0};
   bool partitioned{false};
-  /// Multiplicative jitter fraction applied to the transfer delay.
+  /// Multiplicative jitter fraction applied to the transfer delay. Values
+  /// above 1.0 are legal; the effective factor is clamped at zero so a
+  /// large draw can null the transfer but never turn time backwards.
   double jitter{0.02};
   /// Probability that a delivered message arrives twice (the copy takes an
   /// independent extra delay drawn from [0, reorder_window)). Exercises the
@@ -90,7 +103,9 @@ class Network {
 
   /// Parameters of the (symmetric) link between two hosts. Creates the link
   /// with default parameters on first access; the reference stays valid for
-  /// the lifetime of the Network.
+  /// the lifetime of the Network. While a multi-partition window is running
+  /// the table is frozen: touching a link that was never materialized throws
+  /// instead of racing a rehash.
   LinkParams& link(HostId a, HostId b);
   [[nodiscard]] const LinkParams& link(HostId a, HostId b) const;
 
@@ -100,10 +115,12 @@ class Network {
   void set_partitioned(HostId a, HostId b, bool partitioned);
 
   /// Cumulative stats of a link / a host. Pure observers: an untouched link
-  /// or host reads as all-zero without materializing an entry.
-  [[nodiscard]] const LinkStats& link_stats(HostId a, HostId b) const;
+  /// or host reads as all-zero without materializing an entry. link_stats
+  /// returns a merged snapshot of both directions by value — refetch after
+  /// running events rather than holding it across a run.
+  [[nodiscard]] LinkStats link_stats(HostId a, HostId b) const;
   [[nodiscard]] const HostTraffic& traffic(HostId h) const;
-  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_bytes() const;
 
   /// Zero the cumulative per-link and per-host accounting (e.g. between
   /// measurement phases). Byte counters observed by the monitoring engine
@@ -111,17 +128,73 @@ class Network {
   /// and transmitter backlogs are untouched.
   void reset_stats();
 
+  // --- Conservative parallel execution (driven by Simulation) -------------
+
+  /// One cross-partition delivery captured during a window, merged at the
+  /// barrier in (at, seq, partition) order. seq is a per-source-partition
+  /// send counter, so the triple is unique and the merge is a strict total
+  /// order independent of thread count.
+  struct PendingDelivery {
+    Time at{0};
+    std::uint64_t seq{0};
+    std::uint32_t partition{0};
+    Message message;
+  };
+
+  /// Size the per-partition outboxes and byte-counter stripes. Called by
+  /// Simulation whenever the partition count grows; setup-time only.
+  void ensure_partitions(int partitions);
+
+  /// Enter windowed execution with `partitions` concurrent partitions.
+  /// With more than one partition this pre-sizes the per-host traffic table
+  /// and freezes the link table (structural growth would race lookups).
+  void begin_parallel(int partitions);
+  void end_parallel();
+
+  /// Conservative lookahead: the minimum latency over every cross-partition
+  /// host pair. Materialized cross links contribute their configured
+  /// latency; if any cross pair is still unmaterialized the default link's
+  /// latency bounds it. Returns kMaxDuration when no cross pair exists.
+  [[nodiscard]] Duration cross_partition_lookahead() const;
+  static constexpr Duration kMaxDuration = INT64_MAX;
+
+  /// Result of a window-boundary merge: deliveries scheduled and the
+  /// earliest timestamp among them (kMaxDuration when count == 0).
+  struct MergeResult {
+    std::size_t count{0};
+    Time min_at{kMaxDuration};
+  };
+
+  /// Drain every partition outbox into the destination loops, ordered by
+  /// (at, seq, partition). Runs on the coordinating thread at a window
+  /// barrier while all workers are quiescent.
+  MergeResult merge_window();
+
  private:
-  /// All per-link state: parameters, stats and the per-direction time at
-  /// which the transmitter becomes free again. Sending while the transmitter
-  /// is busy queues behind earlier frames, so sustained overload shows up as
-  /// growing latency (and the saturation probes measure something physical).
+  /// All per-link state: parameters, per-direction stats, and the
+  /// per-direction time at which the transmitter becomes free again.
+  /// Sending while the transmitter is busy queues behind earlier frames, so
+  /// sustained overload shows up as growing latency (and the saturation
+  /// probes measure something physical). Direction slot 0 is low-id ->
+  /// high-id traffic, slot 1 the reverse; a slot is only ever written by the
+  /// partition that owns the sending host, which is what keeps concurrent
+  /// windows race-free on a cross-partition link.
   struct LinkEntry {
     std::uint64_t key{0};
     LinkParams params;
-    LinkStats stats;
-    /// [0]: low-id -> high-id direction, [1]: the reverse.
+    LinkStats stats[2];
     Time tx_free[2]{0, 0};
+  };
+
+  /// Per-partition cross-window outbox, padded to its own cache line.
+  struct alignas(64) Outbox {
+    std::vector<PendingDelivery> entries;
+    std::uint64_t next_seq{0};
+  };
+
+  /// Per-partition stripe of the global byte counter.
+  struct alignas(64) ByteStripe {
+    std::uint64_t bytes{0};
   };
 
   /// Undirected link key: (min(a,b) << 32) | max(a,b).
@@ -138,6 +211,8 @@ class Network {
 
   /// Receiver-side accounting + dispatch of one delivered copy.
   void deliver_copy(const Message& message);
+  /// Schedule one delivered copy on the destination host's loop at `at`.
+  void schedule_delivery(Time at, Message message, bool duplicate);
 
   Simulation& sim_;
   LinkParams default_link_{};
@@ -149,7 +224,14 @@ class Network {
   std::deque<LinkEntry> entries_;
   /// Dense per-host accounting, indexed by host id.
   std::vector<HostTraffic> traffic_;
-  std::uint64_t total_bytes_{0};
+  /// Global byte counter, striped per partition (single stripe when serial).
+  std::vector<ByteStripe> byte_stripes_{1};
+  std::vector<Outbox> outboxes_;
+  std::vector<PendingDelivery> merge_scratch_;
+  /// True between begin_parallel/end_parallel with >= 2 partitions: route
+  /// cross-partition sends into outboxes and reject link materialization.
+  bool windowed_{false};
+  bool frozen_{false};
 };
 
 }  // namespace rcs::sim

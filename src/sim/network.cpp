@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "rcs/common/error.hpp"
 #include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
 #include "rcs/sim/host.hpp"
 #include "rcs/sim/simulation.hpp"
 
@@ -32,18 +34,30 @@ void Network::rehash(std::size_t buckets) {
 }
 
 Network::LinkEntry& Network::entry(std::uint64_t k) {
+  if (!index_.empty()) {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t slot = bucket_of(k, mask);
+    while (index_[slot] != kNoEntry) {
+      LinkEntry& e = entries_[index_[slot]];
+      if (e.key == k) return e;
+      slot = (slot + 1) & mask;
+    }
+  }
+  if (frozen_) {
+    throw SimError(
+        strf("Network: link ", HostId{static_cast<std::uint32_t>(k >> 32)},
+             "<->", HostId{static_cast<std::uint32_t>(k & 0xFFFFFFFFu)},
+             " touched during a multi-partition window; materialize every "
+             "link (Network::link) before running partitioned"));
+  }
   // Grow at 50% load so probe chains stay short; entries_ is a deque, so the
   // LinkEntry references handed out below survive every rehash.
-  if (index_.empty() || entries_.size() * 2 >= index_.size()) {
+  if (index_.empty() || (entries_.size() + 1) * 2 >= index_.size()) {
     rehash(std::max<std::size_t>(16, index_.size() * 2));
   }
   const std::size_t mask = index_.size() - 1;
   std::size_t slot = bucket_of(k, mask);
-  while (index_[slot] != kNoEntry) {
-    LinkEntry& e = entries_[index_[slot]];
-    if (e.key == k) return e;
-    slot = (slot + 1) & mask;
-  }
+  while (index_[slot] != kNoEntry) slot = (slot + 1) & mask;
   index_[slot] = static_cast<std::uint32_t>(entries_.size());
   LinkEntry& e = entries_.emplace_back();
   e.key = k;
@@ -80,10 +94,17 @@ void Network::set_partitioned(HostId a, HostId b, bool partitioned) {
   link(a, b).partitioned = partitioned;
 }
 
-const LinkStats& Network::link_stats(HostId a, HostId b) const {
-  static const LinkStats kZero{};
+LinkStats Network::link_stats(HostId a, HostId b) const {
   const LinkEntry* e = find_entry(key(a, b));
-  return e == nullptr ? kZero : e->stats;
+  if (e == nullptr) return LinkStats{};
+  LinkStats merged = e->stats[0];
+  merged.messages += e->stats[1].messages;
+  merged.bytes += e->stats[1].bytes;
+  merged.dropped += e->stats[1].dropped;
+  merged.duplicated += e->stats[1].duplicated;
+  merged.reordered += e->stats[1].reordered;
+  merged.queueing += e->stats[1].queueing;
+  return merged;
 }
 
 const HostTraffic& Network::traffic(HostId h) const {
@@ -92,21 +113,31 @@ const HostTraffic& Network::traffic(HostId h) const {
   return i < traffic_.size() ? traffic_[i] : kZero;
 }
 
+std::uint64_t Network::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const ByteStripe& s : byte_stripes_) total += s.bytes;
+  return total;
+}
+
 void Network::send(Message message) {
   Host& sender = sim_.host(message.from);
   if (!sender.alive()) return;  // a crashed host is fail-silent
 
   message.size_bytes = message.payload.encoded_size() + kHeaderBytes;
-  // One probe fetches params, stats and both transmitter-free times.
+  // One probe fetches params, the direction's stats and transmitter-free
+  // time. Only the sending side's direction slot is written, so concurrent
+  // partition windows never touch the same counters.
   LinkEntry& e = entry(key(message.from, message.to));
   const LinkParams& params = e.params;
-  LinkStats& stats = e.stats;
+  const std::size_t dir = direction(message.from, message.to);
+  LinkStats& stats = e.stats[dir];
 
   // Sender-side accounting happens even for dropped messages: the bytes were
   // put on the wire.
+  const int src = sim_.partition_of(message.from);
   stats.messages += 1;
   stats.bytes += message.size_bytes;
-  total_bytes_ += message.size_bytes;
+  byte_stripes_[static_cast<std::size_t>(src)].bytes += message.size_bytes;
   HostTraffic& sender_traffic = traffic_slot(message.from);
   sender_traffic.bytes_sent += message.size_bytes;
   sender_traffic.messages_sent += 1;
@@ -133,15 +164,20 @@ void Network::send(Message message) {
     double jitter_factor = 1.0;
     if (params.jitter > 0.0) {
       jitter_factor = 1.0 + params.jitter * sim_.rng().uniform(-1.0, 1.0);
+      // A jitter fraction above 1.0 must null the transfer at worst, never
+      // produce a negative delay (which would corrupt the transmitter
+      // backlog and throw mid-run when the delivery is scheduled).
+      if (jitter_factor < 0.0) jitter_factor = 0.0;
     }
     const auto transfer = static_cast<Duration>(transfer_us * jitter_factor);
 
     // Transmission is serialized per directed link: a frame sent while the
     // transmitter is busy queues behind the earlier ones. Propagation
     // (latency) still overlaps.
-    Time& tx_free = e.tx_free[direction(message.from, message.to)];
-    const Time start = std::max(sim_.loop().now(), tx_free);
-    const Duration queueing = start - sim_.loop().now();
+    const Time now = sim_.now();
+    Time& tx_free = e.tx_free[dir];
+    const Time start = std::max(now, tx_free);
+    const Duration queueing = start - now;
     tx_free = start + transfer;
     stats.queueing += queueing;
     delay = queueing + transfer + params.latency;
@@ -167,17 +203,39 @@ void Network::send(Message message) {
     }
   }
 
+  const Time base = sim_.now();
+  const int dst = sim_.partition_of(message.to);
+  if (windowed_ && src != dst) {
+    // Inside a multi-partition window the destination's loop belongs to
+    // another thread: park the delivery in this partition's outbox. The
+    // lookahead bound (delay >= link latency >= window length) guarantees
+    // the merge at the barrier still lands it before the destination's
+    // clock passes it.
+    Outbox& out = outboxes_[static_cast<std::size_t>(src)];
+    if (duplicate_delay >= 0) {
+      out.entries.push_back({base + duplicate_delay, out.next_seq++,
+                             static_cast<std::uint32_t>(src), message});
+    }
+    out.entries.push_back({base + delay, out.next_seq++,
+                           static_cast<std::uint32_t>(src),
+                           std::move(message)});
+    return;
+  }
   if (duplicate_delay >= 0) {
     // The duplicate shares the payload with the original: copying a Message
     // is two ids, a type id and a refcount bump.
-    sim_.schedule_after(
-        duplicate_delay, [this, message] { deliver_copy(message); },
-        "net.deliver.dup");
+    schedule_delivery(base + duplicate_delay, message, /*duplicate=*/true);
   }
+  schedule_delivery(base + delay, std::move(message), /*duplicate=*/false);
+}
+
+void Network::schedule_delivery(Time at, Message message, bool duplicate) {
+  const HostId to = message.to;
   auto deliver = [this, message = std::move(message)] { deliver_copy(message); };
   static_assert(EventLoop::Action::kFitsInline<decltype(deliver)>,
                 "network delivery closure must not allocate");
-  sim_.schedule_after(delay, std::move(deliver), "net.deliver");
+  sim_.loop_for(to).schedule_at(
+      at, std::move(deliver), duplicate ? "net.deliver.dup" : "net.deliver");
 }
 
 void Network::deliver_copy(const Message& message) {
@@ -191,9 +249,95 @@ void Network::deliver_copy(const Message& message) {
 }
 
 void Network::reset_stats() {
-  for (LinkEntry& e : entries_) e.stats = LinkStats{};
+  for (LinkEntry& e : entries_) {
+    e.stats[0] = LinkStats{};
+    e.stats[1] = LinkStats{};
+  }
   traffic_.assign(traffic_.size(), HostTraffic{});
-  total_bytes_ = 0;
+  for (ByteStripe& s : byte_stripes_) s.bytes = 0;
+}
+
+void Network::ensure_partitions(int partitions) {
+  const auto n = static_cast<std::size_t>(std::max(partitions, 1));
+  if (byte_stripes_.size() < n) byte_stripes_.resize(n);
+  if (outboxes_.size() < n) outboxes_.resize(n);
+}
+
+void Network::begin_parallel(int partitions) {
+  ensure_partitions(partitions);
+  if (partitions <= 1) return;
+  // Pre-size the traffic table: lazy growth inside a window would race the
+  // other partitions' reads. Host ids are dense, so host_count covers it.
+  if (traffic_.size() < sim_.host_count()) traffic_.resize(sim_.host_count());
+  windowed_ = true;
+  frozen_ = true;
+}
+
+void Network::end_parallel() {
+  windowed_ = false;
+  frozen_ = false;
+}
+
+Duration Network::cross_partition_lookahead() const {
+  Duration lookahead = kMaxDuration;
+  std::size_t cross_materialized = 0;
+  for (const LinkEntry& e : entries_) {
+    const HostId a{static_cast<std::uint32_t>(e.key >> 32)};
+    const HostId b{static_cast<std::uint32_t>(e.key & 0xFFFFFFFFu)};
+    if (sim_.partition_of(a) == sim_.partition_of(b)) continue;
+    ++cross_materialized;
+    lookahead = std::min(lookahead, e.params.latency);
+  }
+  // Count the cross-partition host pairs from the partition sizes; any pair
+  // not yet materialized would be created from default_link_, so its latency
+  // bounds the lookahead too.
+  std::vector<std::uint64_t> sizes;
+  for (std::size_t i = 0; i < sim_.host_count(); ++i) {
+    const auto p = static_cast<std::size_t>(
+        sim_.partition_of(HostId{static_cast<std::uint32_t>(i)}));
+    if (p >= sizes.size()) sizes.resize(p + 1, 0);
+    ++sizes[p];
+  }
+  const auto n = static_cast<std::uint64_t>(sim_.host_count());
+  std::uint64_t same = 0;
+  for (const std::uint64_t s : sizes) same += s * s;
+  const std::uint64_t cross_pairs = (n * n - same) / 2;
+  if (cross_materialized < cross_pairs) {
+    lookahead = std::min(lookahead, default_link_.latency);
+  }
+  return lookahead;
+}
+
+Network::MergeResult Network::merge_window() {
+  merge_scratch_.clear();
+  for (Outbox& out : outboxes_) {
+    for (PendingDelivery& d : out.entries) {
+      merge_scratch_.push_back(std::move(d));
+    }
+    out.entries.clear();
+  }
+  MergeResult result;
+  result.count = merge_scratch_.size();
+  if (merge_scratch_.empty()) return result;
+  // (at, seq, partition) is unique per entry — seq is a per-partition send
+  // counter — so this is a strict total order and the merge is
+  // deterministic for a fixed partition assignment.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const PendingDelivery& a, const PendingDelivery& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.partition < b.partition;
+            });
+  for (PendingDelivery& d : merge_scratch_) {
+    const EventLoop& dst = sim_.loop_for(d.message.to);
+    ensure(d.at >= dst.now(),
+           "Network::merge_window: delivery before the destination clock — "
+           "lookahead bound violated");
+    schedule_delivery(d.at, std::move(d.message), /*duplicate=*/false);
+  }
+  result.min_at = merge_scratch_.front().at;
+  merge_scratch_.clear();
+  return result;
 }
 
 }  // namespace rcs::sim

@@ -1,0 +1,310 @@
+// Conservative parallel DES driver (Simulation's partitioned run path).
+//
+// Scheme: every partition owns a timer wheel; run_until advances all wheels
+// in lockstep windows of at most the conservative lookahead (the minimum
+// cross-partition link latency). Within a window partitions execute
+// independently on a worker pool — a cross-partition message cannot arrive
+// earlier than its link latency, so nothing sent inside the window can
+// affect another partition before the window's horizon. At the barrier the
+// coordinating thread merges every partition's outbox in (timestamp, seq,
+// partition) order onto the destination wheels and folds the per-partition
+// event counts into the global metrics stream. Execution order is therefore
+// a pure function of (seed, partition assignment): one worker or eight
+// produce byte-identical runs.
+//
+// The pool is a generation-stamped barrier: the coordinator publishes a
+// horizon, bumps the generation, and workers claim partition indices from a
+// shared atomic ticket until the round is exhausted — dynamic load balance
+// without per-partition thread affinity (which the determinism argument
+// never relies on).
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rcs/common/error.hpp"
+#include "rcs/common/logging.hpp"
+#include "rcs/common/strf.hpp"
+#include "rcs/sim/simulation.hpp"
+
+namespace rcs::sim {
+
+namespace {
+
+/// Execution context of the calling thread: which simulation/partition is
+/// running on it. Scoped per thread so chaos_runner --jobs (one Simulation
+/// per job thread) and the worker pool coexist.
+struct ExecContext {
+  const Simulation* sim{nullptr};
+  int partition{0};
+};
+thread_local ExecContext t_exec;
+
+class ExecGuard {
+ public:
+  ExecGuard(const Simulation& sim, int partition) : saved_(t_exec) {
+    t_exec.sim = &sim;
+    t_exec.partition = partition;
+  }
+  ~ExecGuard() { t_exec = saved_; }
+  ExecGuard(const ExecGuard&) = delete;
+  ExecGuard& operator=(const ExecGuard&) = delete;
+
+ private:
+  ExecContext saved_;
+};
+
+}  // namespace
+
+int Simulation::current_partition_slow() const {
+  return t_exec.sim == this ? t_exec.partition : 0;
+}
+
+class ParallelRuntime {
+ public:
+  ParallelRuntime(Simulation& sim, int workers)
+      : sim_(sim), errors_(1), window_events_(1) {
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  ~ParallelRuntime() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ParallelRuntime(const ParallelRuntime&) = delete;
+  ParallelRuntime& operator=(const ParallelRuntime&) = delete;
+
+  [[nodiscard]] int worker_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Run every partition to `horizon` on the pool; returns when all are
+  /// done. Rethrows the first partition's failure (by index) if any.
+  void run_window(Time horizon, int partitions) {
+    const auto n = static_cast<std::size_t>(partitions);
+    if (errors_.size() < n) errors_.resize(n);
+    if (window_events_.size() < n) window_events_.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      errors_[p] = nullptr;
+      window_events_[p] = 0;
+    }
+    horizon_.store(horizon, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      partitions_.store(partitions, std::memory_order_relaxed);
+      next_ticket_.store(0, std::memory_order_release);
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] {
+        return done_.load(std::memory_order_acquire) == partitions;
+      });
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      if (errors_[p]) std::rethrow_exception(errors_[p]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t window_events(int partition) const {
+    return window_events_[static_cast<std::size_t>(partition)];
+  }
+
+ private:
+  void worker_main() {
+    // Virtual timestamps on worker log lines: read the clock of whatever
+    // partition this thread is currently executing.
+    log().set_time_source([sim = &sim_] {
+      return sim->loop_of(sim->current_partition()).now();
+    });
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) break;
+        seen_generation = generation_;
+      }
+      for (;;) {
+        const int p = next_ticket_.fetch_add(1, std::memory_order_acq_rel);
+        const int partitions = partitions_.load(std::memory_order_relaxed);
+        if (p >= partitions) break;
+        const Time horizon = horizon_.load(std::memory_order_relaxed);
+        try {
+          window_events_[static_cast<std::size_t>(p)] =
+              sim_.run_partition_window(p, horizon);
+        } catch (...) {
+          errors_[static_cast<std::size_t>(p)] = std::current_exception();
+        }
+        if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == partitions) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          done_cv_.notify_all();
+        }
+      }
+    }
+    log().reset_time_source();
+  }
+
+  Simulation& sim_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_{0};
+  bool stop_{false};
+  std::atomic<int> next_ticket_{0};
+  std::atomic<int> partitions_{0};
+  std::atomic<int> done_{0};
+  std::atomic<Time> horizon_{0};
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::uint64_t> window_events_;
+  std::vector<std::thread> workers_;
+};
+
+void ParallelRuntimeDeleter::operator()(ParallelRuntime* runtime) const {
+  delete runtime;
+}
+
+// Defined here (not simulation.cpp) so ParallelRuntime is complete for the
+// unique_ptr member's destructor.
+Simulation::~Simulation() {
+  runtime_.reset();  // join workers before any member they touch goes away
+  log().reset_time_source();
+}
+
+void Simulation::set_threads(int threads) {
+  ensure(threads >= 0, "Simulation::set_threads: negative thread count");
+  ensure(!in_parallel_run_,
+         "Simulation::set_threads: cannot resize the pool mid-run");
+  threads_ = threads;
+}
+
+void Simulation::set_partition(HostId host, int partition) {
+  ensure(!in_parallel_run_,
+         "Simulation::set_partition: cannot repartition during a run");
+  ensure(partition >= 0 && partition < 65536,
+         "Simulation::set_partition: partition index out of range");
+  ensure(host.value() < hosts_.size(),
+         "Simulation::set_partition: unknown host");
+  if (partitions_.size() < hosts_.size()) {
+    partitions_.resize(hosts_.size(), 0);
+  }
+  partitions_[host.value()] = partition;
+  while (partition_count_ <= partition) {
+    const int k = partition_count_;
+    if (partition_observers_.empty()) {
+      // First repartition: per-partition series take over from the global
+      // hook; the global counter becomes the barrier-folded total.
+      partition_observers_.emplace_back(metrics_, "sim.events.p0",
+                                        "sim.queue_depth.p0");
+      loop_.set_hook(&partition_observers_.front());
+    }
+    extra_loops_.emplace_back();
+    extra_rngs_.emplace_back(seed_ ^
+                             (0x9E3779B97F4A7C15ull *
+                              static_cast<std::uint64_t>(k)));
+    partition_observers_.emplace_back(metrics_, strf("sim.events.p", k),
+                                      strf("sim.queue_depth.p", k));
+    extra_loops_.back().set_hook(&partition_observers_.back());
+    ++partition_count_;
+  }
+  network_.ensure_partitions(partition_count_);
+}
+
+std::uint64_t Simulation::run_partition_window(int partition, Time horizon) {
+  ExecGuard guard(*this, partition);
+  return static_cast<std::uint64_t>(loop_of(partition).run_until(horizon));
+}
+
+std::size_t Simulation::run_until_parallel(Time t) {
+  ensure(!in_parallel_run_, "Simulation::run_until: nested parallel run");
+  const int partitions = partition_count_;
+  const int desired =
+      std::max(1, std::min(threads_ <= 0 ? 1 : threads_, partitions));
+  if (!runtime_ || runtime_->worker_count() != desired) {
+    runtime_.reset(new ParallelRuntime(*this, desired));
+  }
+  Duration lookahead = Network::kMaxDuration;
+  if (partitions > 1) {
+    lookahead = network_.cross_partition_lookahead();
+    ensure(lookahead > 0,
+           "Simulation::run_until: conservative parallel execution needs a "
+           "positive latency on every cross-partition link");
+  }
+  network_.begin_parallel(partitions);
+  in_parallel_run_ = true;
+  struct Finally {
+    Simulation& sim;
+    ~Finally() {
+      sim.network_.end_parallel();
+      sim.in_parallel_run_ = false;
+    }
+  } finally{*this};
+
+  std::size_t total = 0;
+  Time window_start = loop_.now();  // all clocks agree between runs
+  for (;;) {
+    const Time horizon = (t - window_start <= lookahead)
+                             ? t
+                             : window_start + lookahead;
+    runtime_->run_window(horizon, partitions);
+    std::uint64_t window_sum = 0;
+    std::uint64_t window_max = 0;
+    for (int p = 0; p < partitions; ++p) {
+      const std::uint64_t n = runtime_->window_events(p);
+      window_sum += n;
+      window_max = std::max(window_max, n);
+    }
+    total += static_cast<std::size_t>(window_sum);
+    pstats_.windows += 1;
+    pstats_.parallel_events += window_sum;
+    pstats_.makespan_events += window_max;
+    if (partitions > 1 && window_sum != 0) {
+      // Fold the per-partition event counts into the global series the
+      // serial observer would have written, at a deterministic point.
+      fold_events_.add(window_sum);
+    }
+    const Network::MergeResult merged = network_.merge_window();
+    pstats_.merged_deliveries += static_cast<std::uint64_t>(merged.count);
+    window_start = horizon;
+    if (window_start >= t) {
+      // A merged delivery can land exactly at t; run_until(t) semantics
+      // include events at t, so take one more (empty-width) window.
+      if (merged.count != 0 && merged.min_at <= t) continue;
+      break;
+    }
+    if (merged.count == 0) {
+      // Idle fast-path: nothing pending anywhere means no window between
+      // here and t can produce events — advance every clock in one hop.
+      bool idle = true;
+      for (int p = 0; p < partitions; ++p) {
+        if (!loop_of(p).empty()) {
+          idle = false;
+          break;
+        }
+      }
+      if (idle) {
+        for (int p = 0; p < partitions; ++p) (void)loop_of(p).run_until(t);
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace rcs::sim

@@ -6,9 +6,11 @@
 
 namespace rcs::sim {
 
-Simulation::LoopObserver::LoopObserver(obs::MetricsRegistry& metrics)
-    : events_(metrics.counter("sim.events")),
-      queue_depth_(metrics.histogram("sim.queue_depth")) {}
+Simulation::LoopObserver::LoopObserver(obs::MetricsRegistry& metrics,
+                                       std::string_view events_name,
+                                       std::string_view depth_name)
+    : events_(metrics.counter(events_name)),
+      queue_depth_(metrics.histogram(depth_name)) {}
 
 void Simulation::LoopObserver::on_event(Time /*now*/, std::size_t queue_depth) {
   ++events_;
@@ -16,13 +18,16 @@ void Simulation::LoopObserver::on_event(Time /*now*/, std::size_t queue_depth) {
 }
 
 Simulation::Simulation(std::uint64_t seed)
-    : network_(*this), rng_(seed), loop_observer_(metrics_) {
-  log().set_time_source([this] { return loop_.now(); });
+    : network_(*this),
+      rng_(seed),
+      loop_observer_(metrics_, "sim.events", "sim.queue_depth"),
+      seed_(seed),
+      fold_events_(metrics_.counter("sim.events")) {
+  log().set_time_source(
+      [this] { return loop_of(current_partition()).now(); });
   loop_.set_hook(&loop_observer_);
   fsim_.bind_metrics(&metrics_);
 }
-
-Simulation::~Simulation() { log().reset_time_source(); }
 
 Host& Simulation::add_host(std::string name) {
   const HostId id{static_cast<std::uint32_t>(hosts_.size())};
@@ -43,6 +48,13 @@ const Host& Simulation::host(HostId id) const {
     throw SimError(strf("Simulation::host: unknown host ", id));
   }
   return *hosts_[id.value()];
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+  ensure(partition_count_ == 1,
+         "Simulation::run: a partitioned simulation has no global idle "
+         "instant; drive it with run_until/run_for");
+  return loop_.run(max_events);
 }
 
 }  // namespace rcs::sim

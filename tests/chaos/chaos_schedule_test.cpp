@@ -183,6 +183,42 @@ TEST(ChaosSchedule, ApplySchedulesEveryEpisodeDeterministically) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(ChaosSchedule, OverlappingDegradeWindowsLeaveTheLinkPristine) {
+  // The generator keeps same-link windows disjoint (see
+  // SameLinkWindowsStayDisjoint above), but hand-written and shrunk
+  // schedules may overlap them. The injector ref-counts per-link degrades,
+  // so whatever the interleaving, the last window's close restores the
+  // pre-chaos parameters — not a degraded snapshot taken mid-overlap.
+  Simulation sim(6);
+  Host& r0 = sim.add_host("r0");
+  Host& r1 = sim.add_host("r1");
+  FaultInjector injector(sim);
+  auto& link = sim.network().link(r0.id(), r1.id());
+  const Duration pristine_latency = link.latency;
+  const double pristine_drop = link.drop_rate;
+
+  LinkParams heavy = link;
+  heavy.drop_rate = 0.9;
+  heavy.latency = 50 * kMillisecond;
+  LinkParams light = link;
+  light.drop_rate = 0.2;
+  // Three windows: [1s,4s) nests [2s,3s), and [3500ms,5s) straddles the
+  // first window's close.
+  injector.degrade_link_at(r0.id(), r1.id(), 1 * kSecond, 4 * kSecond, heavy);
+  injector.degrade_link_at(r0.id(), r1.id(), 2 * kSecond, 3 * kSecond, light);
+  injector.degrade_link_at(r0.id(), r1.id(), 3500 * kMillisecond, 5 * kSecond,
+                           light);
+
+  sim.run_until(4500 * kMillisecond);
+  EXPECT_GT(sim.network().link(r0.id(), r1.id()).drop_rate, 0.0)
+      << "a window is still open: the link must stay degraded";
+
+  sim.run();
+  const auto& after = sim.network().link(r0.id(), r1.id());
+  EXPECT_EQ(after.drop_rate, pristine_drop);
+  EXPECT_EQ(after.latency, pristine_latency);
+}
+
 TEST(ChaosSchedule, CanonicalTextRoundTripsKeyFields) {
   const auto schedule = ChaosSchedule::generate(9, base_options());
   const auto text = schedule.to_string();

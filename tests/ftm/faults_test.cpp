@@ -318,5 +318,31 @@ TEST_F(Fixture, FaultListenerFiresForMonitoring) {
   EXPECT_EQ(events[0], "tr_mismatch");
 }
 
+TEST(DeployFailure, FailedDeploymentScriptLeavesRuntimeUndeployed) {
+  // Regression: deploy() built the composite before running the deployment
+  // script, so a script failure (a brick type missing from the host library)
+  // rolled the transaction back but left the empty composite behind —
+  // deployed() reported true and the next kernel() probe (the node agent's
+  // 500 ms stats timer) threw out of a timer action and aborted the process.
+  register_components();
+  app::register_components();
+  sim::Simulation sim{7};
+  sim::Host& h = sim.add_host("replica0");
+  comp::HostLibrary bare;  // nothing installed: every deploy must roll back
+  FtmRuntime rt{h, bare};
+  DeployParams params;
+  params.config = FtmConfig::tr();
+  params.role = Role::kPrimary;
+  params.master = static_cast<std::int64_t>(h.id().value());
+  params.app = app::spec_for(app::kKvStore);
+  EXPECT_THROW(rt.deploy(params), Error);
+  EXPECT_FALSE(rt.deployed()) << "a rolled-back deploy must leave no FTM";
+
+  // And the runtime stays usable: install the bricks and deploy for real.
+  bare.install_all(comp::ComponentRegistry::instance());
+  EXPECT_NO_THROW(rt.deploy(params));
+  EXPECT_TRUE(rt.deployed());
+}
+
 }  // namespace
 }  // namespace rcs::ftm::testing

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rcs/sim/host.hpp"
 #include "rcs/sim/simulation.hpp"
 
@@ -116,6 +118,29 @@ TEST_F(FaultFixture, CampaignArrivalsFollowRate) {
   EXPECT_LT(armed, 140);
 }
 
+TEST_F(FaultFixture, CampaignWithNonPositiveRateIsNoop) {
+  // Regression: a zero/negative/NaN rate used to divide the exponential
+  // sampler and either spin forever or dump the whole campaign on one
+  // instant, depending on the draw. It must arm nothing.
+  inject.transient_campaign(h.id(), 0, 10 * kSecond, 0.0);
+  inject.transient_campaign(h.id(), 0, 10 * kSecond, -3.5);
+  inject.transient_campaign(h.id(), 0, 10 * kSecond,
+                            std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(sim.run(), 0u) << "no fault events may be scheduled";
+  EXPECT_EQ(h.faults().transient_pending, 0);
+}
+
+TEST_F(FaultFixture, CampaignWithHugeRateTerminatesAndStaysBounded) {
+  // Regression: an enormous rate produces ~zero gaps; every draw must still
+  // advance time by at least one tick or scheduling never reaches `to`.
+  const Time to = 200;  // 200 ticks
+  inject.transient_campaign(h.id(), 0, to, 1e18);
+  sim.run();
+  EXPECT_GT(h.faults().transient_pending, 0);
+  EXPECT_LE(h.faults().transient_pending, static_cast<int>(to))
+      << "at most one arrival per tick";
+}
+
 TEST_F(FaultFixture, ApplyWithoutFaultsIsIdentity) {
   const Value v(ValueList{Value("ok"), Value(1)});
   EXPECT_EQ(FaultInjector::apply(h, v, sim.rng()), v);
@@ -174,6 +199,60 @@ TEST_F(FaultFixture, DegradeWindowPreservesOverlappingPartition) {
   EXPECT_TRUE(sim.network().link(h.id(), peer.id()).partitioned);
   sim.run_until(450 * kMillisecond);
   EXPECT_FALSE(sim.network().link(h.id(), peer.id()).partitioned);
+}
+
+TEST_F(FaultFixture, OverlappingDegradeWindowsRestoreOriginal) {
+  // Regression: with staggered windows A=[100,250) and B=[150,300), the old
+  // restore logic let B capture A's degraded parameters as its "original"
+  // and re-apply them forever once B closed. The injector now
+  // reference-counts windows and restores the pristine parameters exactly
+  // when the last one closes.
+  Host& peer = sim.add_host("peer");
+  auto& link = sim.network().link(h.id(), peer.id());
+  link.latency = 3 * kMillisecond;
+  link.drop_rate = 0.0;
+
+  LinkParams burst_a;
+  burst_a.latency = 50 * kMillisecond;
+  burst_a.drop_rate = 0.8;
+  LinkParams burst_b;
+  burst_b.latency = 80 * kMillisecond;
+  burst_b.drop_rate = 0.5;
+  inject.degrade_link_at(h.id(), peer.id(), 100 * kMillisecond,
+                         250 * kMillisecond, burst_a);
+  inject.degrade_link_at(h.id(), peer.id(), 150 * kMillisecond,
+                         300 * kMillisecond, burst_b);
+
+  sim.run_until(200 * kMillisecond);  // both open: B applied last
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).drop_rate, 0.5);
+  sim.run_until(275 * kMillisecond);  // A closed, B still open
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).drop_rate, 0.5)
+      << "closing the first window must not heal the link under the second";
+  sim.run_until(350 * kMillisecond);  // both closed
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).drop_rate, 0.0)
+      << "last window must restore the pristine parameters";
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).latency, 3 * kMillisecond);
+}
+
+TEST_F(FaultFixture, IdenticalOverlappingDegradeWindowsAreIdempotent) {
+  // Two identical windows over the same span: exercised by chaos schedules
+  // that draw the same episode twice. The link must end pristine.
+  Host& peer = sim.add_host("peer");
+  auto& link = sim.network().link(h.id(), peer.id());
+  link.latency = 3 * kMillisecond;
+
+  LinkParams burst;
+  burst.latency = 40 * kMillisecond;
+  burst.drop_rate = 1.0;
+  inject.degrade_link_at(h.id(), peer.id(), 100 * kMillisecond,
+                         200 * kMillisecond, burst);
+  inject.degrade_link_at(h.id(), peer.id(), 100 * kMillisecond,
+                         200 * kMillisecond, burst);
+  sim.run_until(150 * kMillisecond);
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).drop_rate, 1.0);
+  sim.run_until(250 * kMillisecond);
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).drop_rate, 0.0);
+  EXPECT_EQ(sim.network().link(h.id(), peer.id()).latency, 3 * kMillisecond);
 }
 
 TEST_F(FaultFixture, CorruptFuzzPreservesEncodability) {

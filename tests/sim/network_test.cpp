@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rcs/sim/simulation.hpp"
 
 namespace rcs::sim {
@@ -200,6 +202,38 @@ TEST_F(NetFixture, JitterVariesDelayWithinBounds) {
     if (deltas[i] != deltas[0]) any_diff = true;
   }
   EXPECT_TRUE(any_diff);
+}
+
+TEST_F(NetFixture, LargeJitterNeverTurnsTimeBackwards) {
+  // Regression: jitter > 1.0 could draw an effective factor below zero,
+  // scheduling a delivery before its own send time (the timer wheel then
+  // throws on the past-deadline insert — or worse, silently reorders).
+  // The factor is now clamped at zero: a wild draw can null the transfer
+  // delay but never produce a negative one.
+  auto& link = sim.network().link(a.id(), b.id());
+  link.latency = 2 * kMillisecond;
+  link.bandwidth_bps = 1'000'000.0;
+  link.jitter = 1.5;  // legal: factor drawn from [1 - 1.5, 1 + 1.5]
+
+  std::vector<Time> sent_at;
+  std::vector<Time> arrived_at;
+  b.register_handler("msg",
+                     [&](const Message&) { arrived_at.push_back(sim.now()); });
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_at(i * kMillisecond, [&] {
+      sent_at.push_back(sim.now());
+      send(Value(Bytes(50'000, 2)));
+    });
+  }
+  ASSERT_NO_THROW(sim.run());
+  ASSERT_EQ(arrived_at.size(), 200u);
+  std::sort(sent_at.begin(), sent_at.end());
+  std::sort(arrived_at.begin(), arrived_at.end());
+  for (std::size_t i = 0; i < arrived_at.size(); ++i) {
+    // Every arrival is at or after the corresponding send plus latency
+    // (jitter scales only the transfer component, and never below zero).
+    EXPECT_GE(arrived_at[i], sent_at[i] + link.latency);
+  }
 }
 
 TEST_F(NetFixture, DuplicateRateDeliversSomeMessagesTwice) {

@@ -18,7 +18,9 @@
 // slot has been recycled for a live timer (slot-generation reuse).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <set>
 #include <tuple>
@@ -265,6 +267,199 @@ TEST(SchedulerProperty, CancelHeavyInterleavings) {
   for (std::uint64_t seed = 100; seed <= 104; ++seed) {
     SCOPED_TRACE(::testing::Message() << "seed " << seed);
     run_property(mix(seed) | 1, 4'000);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned-loops property: two timer wheels advanced in conservative
+// lookahead windows, with cross-loop handoffs deferred to a mailbox and
+// merged at each window barrier in (at, seq, source) order — exactly the
+// scheme Simulation's parallel driver uses — must fire the same events at
+// the same times, event for event, as one reference wheel that schedules
+// every handoff directly.
+//
+// Timestamp classes keep the comparison exact without an ordering oracle:
+// loop-0 local chains live on times ≡ 0 (mod 4), loop-1 local chains on
+// ≡ 2; the lookahead is ≡ 1 (mod 4) and handoff delays are lookahead + 4k,
+// so arrivals land on ≡ 1 (loop 1) and ≡ 3 (loop 0) and handoff events are
+// leaves. No timestamp is ever shared by the two loops, so merging the two
+// per-loop logs by time is unambiguous, and same-loop ties always come from
+// the same insertion channel in both runs (hence identical seq order).
+
+struct TwoLoopHarness {
+  static constexpr Duration kLookahead = 257;  // ≡ 1 (mod 4)
+
+  // Token layout: bit 63 = handoff generation (a leaf), bit 62 = owner loop.
+  static constexpr std::uint64_t kHandoffBit = 1ull << 63;
+  static constexpr std::uint64_t kOwnerBit = 1ull << 62;
+  static int owner(std::uint64_t token) {
+    return (token & kOwnerBit) ? 1 : 0;
+  }
+  static bool is_leaf(std::uint64_t token) {
+    return (token & kHandoffBit) != 0;
+  }
+
+  // Deterministic per-token decisions, identical on both sides. Local
+  // fan-out is subcritical (p = 1/2, one child) so every run terminates.
+  static bool wants_local(std::uint64_t t) { return mix(t ^ 0x11) % 2 == 0; }
+  static Duration local_delay(std::uint64_t t) {
+    return 4 * static_cast<Duration>(1 + mix(t ^ 0x22) % 64);
+  }
+  static bool wants_handoff(std::uint64_t t) { return mix(t ^ 0x33) % 2 == 0; }
+  static Duration handoff_delay(std::uint64_t t) {
+    return kLookahead + 4 * static_cast<Duration>(mix(t ^ 0x44) % 64);
+  }
+  static std::uint64_t child_token(std::uint64_t parent, int owner_loop,
+                                   bool handoff) {
+    std::uint64_t t = mix(parent ^ (handoff ? 0x55 : 0x66)) >> 2;
+    if (owner_loop == 1) t |= kOwnerBit;
+    if (handoff) t |= kHandoffBit;
+    return t;
+  }
+
+  struct Fire {
+    Time at;
+    std::uint64_t token;
+    bool operator==(const Fire& o) const {
+      return at == o.at && token == o.token;
+    }
+  };
+  struct Handoff {
+    Time at;
+    std::uint64_t seq;
+    int src;
+    std::uint64_t token;
+  };
+
+  EventLoop part[2];
+  EventLoop ref;
+  std::vector<Fire> part_log[2];
+  std::vector<Fire> ref_log;
+  std::vector<Handoff> mailbox;
+  std::uint64_t seq[2] = {0, 0};
+
+  void part_fire(std::uint64_t token) {
+    const int o = owner(token);
+    const Time at = part[o].now();
+    part_log[o].push_back({at, token});
+    if (is_leaf(token)) return;
+    if (wants_local(token)) {
+      const auto c = child_token(token, o, false);
+      part[o].schedule_after(local_delay(token),
+                             [this, c] { part_fire(c); }, "prop.local");
+    }
+    if (wants_handoff(token)) {
+      const auto c = child_token(token, 1 - o, true);
+      mailbox.push_back({at + handoff_delay(token), seq[o]++, o, c});
+    }
+  }
+
+  void ref_fire(std::uint64_t token) {
+    ref_log.push_back({ref.now(), token});
+    if (is_leaf(token)) return;
+    if (wants_local(token)) {
+      const auto c = child_token(token, owner(token), false);
+      ref.schedule_after(local_delay(token), [this, c] { ref_fire(c); },
+                         "prop.local");
+    }
+    if (wants_handoff(token)) {
+      const auto c = child_token(token, 1 - owner(token), true);
+      ref.schedule_after(handoff_delay(token), [this, c] { ref_fire(c); },
+                         "prop.handoff");
+    }
+  }
+
+  void seed_workload(int per_loop) {
+    for (int o = 0; o < 2; ++o) {
+      for (int i = 0; i < per_loop; ++i) {
+        std::uint64_t token =
+            mix(0xBEEF + static_cast<std::uint64_t>(o * 1000 + i)) >> 2;
+        if (o == 1) token |= kOwnerBit;
+        // Class anchors: loop 0 seeds at ≡ 0 (mod 4), loop 1 at ≡ 2.
+        const Time at = 4 * static_cast<Time>(i) + (o == 1 ? 2 : 0);
+        part[o].schedule_at(at, [this, token] { part_fire(token); }, "prop");
+        ref.schedule_at(at, [this, token] { ref_fire(token); }, "prop");
+      }
+    }
+  }
+
+  /// Drive both partition wheels to quiescence with randomized window
+  /// widths in [1, kLookahead], merging the mailbox at every barrier.
+  void run_partitioned(std::uint64_t state) {
+    Time w = 0;
+    while (!part[0].empty() || !part[1].empty() || !mailbox.empty()) {
+      state = mix(state);
+      const auto width = 1 + static_cast<Duration>(state % kLookahead);
+      const Time h = w + width;
+      part[0].run_until(h);
+      part[1].run_until(h);
+      std::sort(mailbox.begin(), mailbox.end(),
+                [](const Handoff& x, const Handoff& y) {
+                  return std::tie(x.at, x.seq, x.src) <
+                         std::tie(y.at, y.seq, y.src);
+                });
+      for (const Handoff& m : mailbox) {
+        const int dst = owner(m.token);
+        // The conservative safety bound the engine relies on: nothing can
+        // arrive in a window that already ran.
+        ASSERT_GE(m.at, part[dst].now());
+        part[dst].schedule_at(m.at, [this, c = m.token] { part_fire(c); },
+                              "prop.merge");
+      }
+      mailbox.clear();
+      w = h;
+    }
+  }
+
+  /// Drain the reference wheel with randomized run_until horizons (different
+  /// stream than the windows — horizons must not matter on either side).
+  void run_reference(std::uint64_t state) {
+    while (!ref.empty()) {
+      state = mix(state);
+      ref.run_until(ref.now() + 1 + static_cast<Duration>(state % 1000));
+    }
+  }
+};
+
+void run_two_loop_property(std::uint64_t seed, int per_loop) {
+  TwoLoopHarness h;
+  h.seed_workload(per_loop);
+  h.run_partitioned(seed);
+  if (::testing::Test::HasFatalFailure()) return;
+  h.run_reference(mix(seed ^ 0xD15EA5E));
+
+  // Merge the two per-loop logs by time: classes guarantee no cross-loop
+  // tie, so the comparator never decides an ordering the engine wouldn't.
+  std::vector<TwoLoopHarness::Fire> merged;
+  merged.reserve(h.part_log[0].size() + h.part_log[1].size());
+  std::merge(h.part_log[0].begin(), h.part_log[0].end(),
+             h.part_log[1].begin(), h.part_log[1].end(),
+             std::back_inserter(merged),
+             [](const TwoLoopHarness::Fire& x, const TwoLoopHarness::Fire& y) {
+               return x.at < y.at;
+             });
+  ASSERT_EQ(merged.size(), h.ref_log.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    ASSERT_EQ(merged[i].at, h.ref_log[i].at) << "event " << i;
+    ASSERT_EQ(merged[i].token, h.ref_log[i].token) << "event " << i;
+  }
+}
+
+TEST(SchedulerProperty, PartitionedLoopsMatchSingleLoop) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    run_two_loop_property(mix(seed) | 1, 48);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(SchedulerProperty, PartitionedLoopsWithSparseWorkload) {
+  // Few seeds, long quiet stretches: many windows fire nothing, and the
+  // mailbox is often the only thing keeping the run alive.
+  for (std::uint64_t seed = 40; seed <= 43; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    run_two_loop_property(mix(seed) | 1, 3);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

@@ -92,6 +92,9 @@ struct Args {
   int seeds{50};
   int transition_seeds{20};
   int jobs{1};
+  /// Simulation worker threads per campaign (0 = serial). Orthogonal to
+  /// --jobs: jobs parallelizes across campaigns, threads inside one.
+  int threads{0};
   std::uint64_t base_seed{1};
   std::vector<std::string> ftms{"PBR", "LFR", "TR"};
   std::string delta{"both"};  // on | off | both
@@ -114,8 +117,8 @@ void usage() {
   std::puts(
       "usage: chaos_runner [--seeds N] [--transitions N] [--base-seed S]\n"
       "                    [--ftm A,B,..] [--delta on|off|both] [--jobs N]\n"
-      "                    [--fsim GLOB|off] [--coverage-out FILE]\n"
-      "                    [--verbose]\n"
+      "                    [--threads N] [--fsim GLOB|off]\n"
+      "                    [--coverage-out FILE] [--verbose]\n"
       "       chaos_runner --replay SEED --ftm NAME --delta on|off\n"
       "                    [--transition-to NAME] [--trace-out FILE]\n"
       "                    [--metrics-out FILE] [--coverage-out FILE]\n"
@@ -196,6 +199,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.jobs = std::atoi(v);
       if (args.jobs < 1) {
         std::fprintf(stderr, "bad --jobs value: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.threads = std::atoi(v);
+      if (args.threads < 0) {
+        std::fprintf(stderr, "bad --threads value: %s\n", v);
         return false;
       }
     } else if (arg == "--base-seed") {
@@ -365,6 +376,7 @@ int run_sweep(const Args& args, RunSummary& summary) {
         options.delta_checkpoint = delta;
         options.fsim = fsim_on;
         options.fsim_points = fsim_points;
+        options.threads = args.threads;
         plan.push_back(options);
       }
     }
@@ -387,6 +399,7 @@ int run_sweep(const Args& args, RunSummary& summary) {
     options.transition_to = spec.transition_to;
     options.fsim = fsim_on;
     options.fsim_points = fsim_points;
+    options.threads = args.threads;
     plan.push_back(options);
   }
 
@@ -486,6 +499,7 @@ int run_replay(const Args& args, RunSummary& summary) {
   options.delta_checkpoint = args.delta != "off";
   options.transition_to = args.transition_to;
   options.record_trace = !args.trace_out.empty() || !args.metrics_out.empty();
+  options.threads = args.threads;
   if (!resolve_fsim(args, options.fsim, options.fsim_points)) return 2;
   const auto result = rcs::core::run_campaign(options);
   summary.add(result);
@@ -571,6 +585,7 @@ int run_coverage_sweep(const Args& args, RunSummary& summary) {
         options.delta_checkpoint = spec.delta;
         options.transition_to = spec.transition_to;
         options.fsim_points = fsim_points;
+        options.threads = args.threads;
         const auto result = rcs::core::run_campaign(options);
         ++campaigns;
         summary.add(result);

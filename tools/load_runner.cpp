@@ -71,6 +71,8 @@ struct Args {
   std::string out;
   std::string trace_out;
   std::string metrics_out;
+  /// Simulation worker threads (0 = serial); output is byte-identical.
+  int threads{0};
   bool verbose{false};
 };
 
@@ -80,10 +82,11 @@ void usage() {
       "                   [--arrival open|closed|bursty] [--clients N]\n"
       "                   [--rps-from R] [--rps-to R] [--steps N]\n"
       "                   [--warmup SEC] [--window SEC] [--bandwidth BPS]\n"
-      "                   [--cpu-speed X] [--out FILE] [--verbose]\n"
+      "                   [--cpu-speed X] [--threads N] [--out FILE]\n"
+      "                   [--verbose]\n"
       "       load_runner --scenario adapt [--seed S] [--clients N]\n"
-      "                   [--rps R] [--bandwidth BPS] [--trace-out FILE]\n"
-      "                   [--metrics-out FILE]");
+      "                   [--rps R] [--bandwidth BPS] [--threads N]\n"
+      "                   [--trace-out FILE] [--metrics-out FILE]");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -140,6 +143,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (!next_num(args.bandwidth_bps)) return false;
     } else if (arg == "--cpu-speed") {
       if (!next_num(args.cpu_speed)) return false;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.threads = std::atoi(v);
+      if (args.threads < 0) {
+        std::fprintf(stderr, "bad --threads value: %s\n", v);
+        return false;
+      }
     } else if (arg == "--out") {
       const char* v = next();
       if (!v) return false;
@@ -193,6 +204,7 @@ int run_sweep_mode(const Args& args, RunSummary& summary) {
       static_cast<rcs::sim::Duration>(args.window_s * rcs::sim::kSecond);
   options.replica_bandwidth_bps = args.bandwidth_bps;
   options.cpu_speed = args.cpu_speed;
+  options.threads = args.threads;
 
   std::fprintf(stderr,
                "sweep: %s/%s %zu client(s) %s arrivals, %.0f..%.0f rps in %d "
@@ -231,6 +243,7 @@ int run_scenario_mode(const Args& args, RunSummary& summary) {
     options.replica_bandwidth_bps = args.bandwidth_bps;
   }
   options.record_trace = !args.trace_out.empty() || !args.metrics_out.empty();
+  options.threads = args.threads;
   const auto result = rcs::load::run_adapt_scenario(options);
   summary.events += result.events;
   summary.peak_queue_depth =
