@@ -141,10 +141,14 @@ class MetricsRegistry {
   [[nodiscard]] Value snapshot() const;
 
   /// One JSON object per line, name-sorted (deterministic byte-for-byte for
-  /// a deterministic run). `scope` is echoed into every line.
+  /// a deterministic run). `scope` is echoed into every line. Thin wrapper
+  /// over obs::snapshot_json — the single serialization path.
   [[nodiscard]] std::string to_json_lines(std::string_view scope) const;
 
  private:
+  friend std::string snapshot_json(const MetricsRegistry& registry,
+                                   std::string_view scope);
+
   // Cells live in deques so handles stay valid across registrations.
   std::map<std::string, std::size_t, std::less<>> counter_index_;
   std::deque<std::uint64_t> counters_;
@@ -153,5 +157,14 @@ class MetricsRegistry {
   std::map<std::string, std::size_t, std::less<>> histogram_index_;
   std::deque<HistogramCells> histograms_;
 };
+
+/// JSON-lines snapshot of every instrument in `registry` (one object per
+/// line, name-sorted, `scope` echoed into each). This is the one metrics
+/// serialization path in the system: chaos_runner/load_runner --metrics-out
+/// files and the gateway's WebSocket metrics frames all go through it, so
+/// a file export and a streamed frame of the same registry state are
+/// byte-identical.
+[[nodiscard]] std::string snapshot_json(const MetricsRegistry& registry,
+                                        std::string_view scope);
 
 }  // namespace rcs::obs

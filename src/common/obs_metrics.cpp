@@ -120,6 +120,17 @@ void append_int(std::string& out, std::int64_t v) {
 }  // namespace
 
 std::string MetricsRegistry::to_json_lines(std::string_view scope) const {
+  return snapshot_json(*this, scope);
+}
+
+std::string snapshot_json(const MetricsRegistry& registry,
+                          std::string_view scope) {
+  const auto& counter_index_ = registry.counter_index_;
+  const auto& counters_ = registry.counters_;
+  const auto& gauge_index_ = registry.gauge_index_;
+  const auto& gauges_ = registry.gauges_;
+  const auto& histogram_index_ = registry.histogram_index_;
+  const auto& histograms_ = registry.histograms_;
   std::string out;
   const auto open = [&](const char* type, const std::string& name) {
     out += "{\"type\":\"";

@@ -260,7 +260,7 @@ ChaosCampaignResult execute(const ChaosCampaignOptions& options,
                       has_transition ? "->" + options.transition_to : "");
   if (options.record_trace) {
     result.trace_json = system.sim().tracer().export_chrome_json();
-    result.metrics_json = system.sim().metrics().to_json_lines(result.label);
+    result.metrics_json = obs::snapshot_json(system.sim().metrics(), result.label);
   }
   result.report =
       ftm::HistoryChecker::check(recorder.records(), inputs);

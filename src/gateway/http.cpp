@@ -1,0 +1,430 @@
+#include "rcs/gateway/http.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace rcs::gateway {
+
+namespace {
+
+constexpr std::size_t kMaxBody = 1 << 20;       // 1 MiB request bodies
+constexpr std::size_t kMaxWsPayload = 1 << 20;  // 1 MiB client frames
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// %xx-decode a path segment ('+' is left alone: keys may contain it).
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size() &&
+        std::isxdigit(static_cast<unsigned char>(text[i + 1])) != 0 &&
+        std::isxdigit(static_cast<unsigned char>(text[i + 2])) != 0) {
+      const auto nibble = [](char c) -> unsigned {
+        if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+        return static_cast<unsigned>((c | 0x20) - 'a' + 10);
+      };
+      out.push_back(static_cast<char>((nibble(text[i + 1]) << 4) |
+                                      nibble(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+const char* reason_of(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 101: return "Switching Protocols";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+// --- SHA-1 (RFC 3174) for the WebSocket accept key -------------------------
+// Self-contained; only used on the (cold) upgrade path.
+
+struct Sha1 {
+  std::array<std::uint32_t, 5> h{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                 0x10325476u, 0xC3D2E1F0u};
+
+  static std::uint32_t rol(std::uint32_t v, int bits) {
+    return (v << bits) | (v >> (32 - bits));
+  }
+
+  void block(const unsigned char* p) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(p[i * 4]) << 24) |
+             (static_cast<std::uint32_t>(p[i * 4 + 1]) << 16) |
+             (static_cast<std::uint32_t>(p[i * 4 + 2]) << 8) |
+             static_cast<std::uint32_t>(p[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = rol(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      std::uint32_t f = 0, k = 0;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const std::uint32_t t = rol(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = rol(b, 30);
+      b = a;
+      a = t;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+
+  std::array<unsigned char, 20> digest(std::string_view data) {
+    std::string padded(data);
+    const std::uint64_t bits = static_cast<std::uint64_t>(data.size()) * 8;
+    padded.push_back(static_cast<char>(0x80));
+    while (padded.size() % 64 != 56) padded.push_back('\0');
+    for (int i = 7; i >= 0; --i) {
+      padded.push_back(static_cast<char>((bits >> (i * 8)) & 0xFF));
+    }
+    for (std::size_t off = 0; off < padded.size(); off += 64) {
+      block(reinterpret_cast<const unsigned char*>(padded.data()) + off);
+    }
+    std::array<unsigned char, 20> out{};
+    for (int i = 0; i < 5; ++i) {
+      out[i * 4] = static_cast<unsigned char>(h[i] >> 24);
+      out[i * 4 + 1] = static_cast<unsigned char>(h[i] >> 16);
+      out[i * 4 + 2] = static_cast<unsigned char>(h[i] >> 8);
+      out[i * 4 + 3] = static_cast<unsigned char>(h[i]);
+    }
+    return out;
+  }
+};
+
+std::string base64(const unsigned char* data, std::size_t size) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out;
+  out.reserve((size + 2) / 3 * 4);
+  for (std::size_t i = 0; i < size; i += 3) {
+    const unsigned b0 = data[i];
+    const unsigned b1 = i + 1 < size ? data[i + 1] : 0;
+    const unsigned b2 = i + 2 < size ? data[i + 2] : 0;
+    out.push_back(kAlphabet[b0 >> 2]);
+    out.push_back(kAlphabet[((b0 & 0x3) << 4) | (b1 >> 4)]);
+    out.push_back(i + 1 < size ? kAlphabet[((b1 & 0xF) << 2) | (b2 >> 6)]
+                               : '=');
+    out.push_back(i + 2 < size ? kAlphabet[b2 & 0x3F] : '=');
+  }
+  return out;
+}
+
+}  // namespace
+
+ParseStatus parse_http_request(std::string_view buffer, HttpRequest& out,
+                               std::size_t& consumed) {
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // Refuse unbounded header growth from a garbage client.
+    return buffer.size() > (16u << 10) ? ParseStatus::kBad
+                                       : ParseStatus::kIncomplete;
+  }
+  const std::string_view head = buffer.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return ParseStatus::kBad;
+  }
+  out = HttpRequest{};
+  out.method = std::string(request_line.substr(0, sp1));
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return ParseStatus::kBad;
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    out.query = std::string(target.substr(qmark + 1));
+    target = target.substr(0, qmark);
+  }
+  out.path = url_decode(target);
+
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      out.headers[to_lower(trim(line.substr(0, colon)))] =
+          std::string(trim(line.substr(colon + 1)));
+    }
+    pos = eol + 2;
+  }
+
+  std::size_t body_size = 0;
+  const auto it = out.headers.find("content-length");
+  if (it != out.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || parsed > kMaxBody) return ParseStatus::kBad;
+    body_size = static_cast<std::size_t>(parsed);
+  }
+  const std::size_t total = head_end + 4 + body_size;
+  if (buffer.size() < total) return ParseStatus::kIncomplete;
+  out.body = std::string(buffer.substr(head_end + 4, body_size));
+  consumed = total;
+  return ParseStatus::kOk;
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body,
+                          std::string_view extra_headers) {
+  std::string out;
+  out.reserve(body.size() + 256);
+  char line[96];
+  std::snprintf(line, sizeof(line), "HTTP/1.1 %d %s\r\n", status,
+                reason_of(status));
+  out += line;
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  std::snprintf(line, sizeof(line), "Content-Length: %zu\r\n", body.size());
+  out += line;
+  out += "Cache-Control: no-store\r\n";
+  out += extra_headers;
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void render_json(std::string& out, const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull: out += "null"; break;
+    case Value::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Value::Type::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(v.as_int()));
+      out += buf;
+      break;
+    }
+    case Value::Type::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.as_double());
+      out += buf;
+      break;
+    }
+    case Value::Type::kString: append_json_string(out, v.as_string()); break;
+    case Value::Type::kBytes: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "{\"bytes\":%zu}", v.as_bytes().size());
+      out += buf;
+      break;
+    }
+    case Value::Type::kList: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.as_list()) {
+        if (!first) out += ',';
+        first = false;
+        render_json(out, e);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kMap: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_map()) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, k);
+        out += ':';
+        render_json(out, e);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_of(const Value& value) {
+  std::string out;
+  render_json(out, value);
+  return out;
+}
+
+std::string ws_accept_key(std::string_view client_key) {
+  static constexpr std::string_view kGuid =
+      "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+  std::string material(client_key);
+  material += kGuid;
+  Sha1 sha;
+  const auto digest = sha.digest(material);
+  return base64(digest.data(), digest.size());
+}
+
+std::string ws_handshake_response(std::string_view client_key) {
+  std::string out =
+      "HTTP/1.1 101 Switching Protocols\r\n"
+      "Upgrade: websocket\r\n"
+      "Connection: Upgrade\r\n"
+      "Sec-WebSocket-Accept: ";
+  out += ws_accept_key(client_key);
+  out += "\r\n\r\n";
+  return out;
+}
+
+namespace {
+
+std::string ws_server_frame(int opcode, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 10);
+  out.push_back(static_cast<char>(0x80 | opcode));  // FIN + opcode
+  if (payload.size() < 126) {
+    out.push_back(static_cast<char>(payload.size()));
+  } else if (payload.size() <= 0xFFFF) {
+    out.push_back(126);
+    out.push_back(static_cast<char>(payload.size() >> 8));
+    out.push_back(static_cast<char>(payload.size() & 0xFF));
+  } else {
+    out.push_back(127);
+    for (int i = 7; i >= 0; --i) {
+      out.push_back(static_cast<char>(
+          (static_cast<std::uint64_t>(payload.size()) >> (i * 8)) & 0xFF));
+    }
+  }
+  out += payload;
+  return out;
+}
+
+}  // namespace
+
+std::string ws_text_frame(std::string_view payload) {
+  return ws_server_frame(0x1, payload);
+}
+
+std::string ws_pong_frame(std::string_view payload) {
+  return ws_server_frame(0xA, payload);
+}
+
+std::string ws_close_frame() { return ws_server_frame(0x8, {}); }
+
+ParseStatus parse_ws_frame(std::string_view buffer, WsFrame& out,
+                           std::size_t& consumed) {
+  if (buffer.size() < 2) return ParseStatus::kIncomplete;
+  const auto b0 = static_cast<unsigned char>(buffer[0]);
+  const auto b1 = static_cast<unsigned char>(buffer[1]);
+  out.fin = (b0 & 0x80) != 0;
+  out.opcode = b0 & 0x0F;
+  const bool masked = (b1 & 0x80) != 0;
+  if (!masked) return ParseStatus::kBad;  // clients must mask (RFC 6455 §5.1)
+  std::uint64_t length = b1 & 0x7F;
+  std::size_t pos = 2;
+  if (length == 126) {
+    if (buffer.size() < pos + 2) return ParseStatus::kIncomplete;
+    length = (static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(buffer[pos])) << 8) |
+             static_cast<unsigned char>(buffer[pos + 1]);
+    pos += 2;
+  } else if (length == 127) {
+    if (buffer.size() < pos + 8) return ParseStatus::kIncomplete;
+    length = 0;
+    for (int i = 0; i < 8; ++i) {
+      length = (length << 8) | static_cast<unsigned char>(buffer[pos + i]);
+    }
+    pos += 8;
+  }
+  if (length > kMaxWsPayload) return ParseStatus::kBad;
+  if (buffer.size() < pos + 4) return ParseStatus::kIncomplete;
+  unsigned char mask[4];
+  std::memcpy(mask, buffer.data() + pos, 4);
+  pos += 4;
+  if (buffer.size() < pos + length) return ParseStatus::kIncomplete;
+  out.payload.resize(static_cast<std::size_t>(length));
+  for (std::size_t i = 0; i < length; ++i) {
+    out.payload[i] =
+        static_cast<char>(static_cast<unsigned char>(buffer[pos + i]) ^
+                          mask[i % 4]);
+  }
+  consumed = pos + static_cast<std::size_t>(length);
+  return ParseStatus::kOk;
+}
+
+}  // namespace rcs::gateway

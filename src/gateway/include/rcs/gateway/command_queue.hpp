@@ -1,0 +1,158 @@
+// The async boundary between the socket edge and the deterministic core.
+//
+// The gateway's server threads never touch the simulation: they enqueue
+// Commands here and block on the CompletionBoard. The simulation thread is
+// the only consumer — it drains the queue at quantum boundaries (between
+// event executions, never mid-event), injects the requests through an
+// ftm::Client, and posts each reply back under the command's ticket. The
+// result is that external concurrency collapses onto deterministic sim
+// instants: whatever wall-clock moment a producer enqueued at, its request
+// enters the simulation exactly at the next quantum boundary.
+//
+// Both sides are mutex-guarded; the queue swap keeps the consumer's
+// critical section O(1) and allocation-free (the drained vector's storage
+// is recycled across drains).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rcs/common/value.hpp"
+
+namespace rcs::gateway {
+
+/// One unit of work for the simulation thread.
+struct Command {
+  enum class Kind {
+    kRequest,  ///< inject `request` through the gateway's ftm::Client
+    kAdapt,    ///< ask the adaptation engine to transition to FTM `target`
+  };
+
+  std::uint64_t ticket{0};
+  Kind kind{Kind::kRequest};
+  Value request;
+  std::string target;
+};
+
+/// Multi-producer (server threads), single-consumer (sim thread) queue.
+class CommandQueue {
+ public:
+  /// Enqueue a client request; returns the ticket completions are keyed by.
+  std::uint64_t push_request(Value request) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t ticket = next_ticket_++;
+    pending_.push_back(Command{ticket, Command::Kind::kRequest,
+                               std::move(request), {}});
+    ++enqueued_;
+    return ticket;
+  }
+
+  /// Enqueue an adaptation command (transition to the named FTM).
+  std::uint64_t push_adapt(std::string target) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t ticket = next_ticket_++;
+    pending_.push_back(
+        Command{ticket, Command::Kind::kAdapt, Value{}, std::move(target)});
+    ++enqueued_;
+    return ticket;
+  }
+
+  /// Consumer side: move every pending command into `out` (cleared first).
+  /// The swap recycles `out`'s storage, so a steady-state drain allocates
+  /// nothing on the consumer thread.
+  void drain(std::vector<Command>& out) {
+    out.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(pending_, out);
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+  }
+  [[nodiscard]] std::uint64_t enqueued_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return enqueued_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Command> pending_;
+  std::uint64_t next_ticket_{1};
+  std::uint64_t enqueued_{0};
+};
+
+/// Completions keyed by ticket. The sim thread posts; a server thread waits
+/// for its own ticket with a wall-clock timeout. close() releases every
+/// waiter (shutdown path) — late posts after close are dropped.
+class CompletionBoard {
+ public:
+  void post(std::uint64_t ticket, Value reply) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      done_.emplace(ticket, std::move(reply));
+      ++posted_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until `ticket`'s reply arrives, the board closes, or `timeout`
+  /// elapses. Returns nullopt on close/timeout.
+  template <typename Rep, typename Period>
+  std::optional<Value> wait(std::uint64_t ticket,
+                            std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      const auto it = done_.find(ticket);
+      if (it != done_.end()) {
+        Value reply = std::move(it->second);
+        done_.erase(it);
+        return reply;
+      }
+      if (closed_) return std::nullopt;
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // One last look: the reply may have been posted while waking up.
+        const auto again = done_.find(ticket);
+        if (again == done_.end()) return std::nullopt;
+        Value reply = std::move(again->second);
+        done_.erase(again);
+        return reply;
+      }
+    }
+  }
+
+  /// Release every waiter (they observe nullopt) and drop late posts.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  [[nodiscard]] std::uint64_t posted_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return posted_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Value> done_;
+  std::uint64_t posted_{0};
+  bool closed_{false};
+};
+
+}  // namespace rcs::gateway

@@ -1,0 +1,87 @@
+// Minimal HTTP/1.1 + WebSocket (RFC 6455) plumbing for the gateway edge.
+//
+// Just enough protocol to serve curl, a browser console, and a WebSocket
+// metrics stream: request-line + headers + Content-Length bodies on the way
+// in, status + headers + body on the way out, and the WebSocket handshake
+// (SHA-1/base64 accept key) with text/ping/pong/close frames. No chunked
+// encoding, no multipart, no compression — the deterministic core behind
+// this edge does not need them, and every line here is auditable.
+//
+// The parsers are incremental: feed them the receive buffer, get kOk plus
+// the consumed byte count, kIncomplete (read more), or kBad (close the
+// connection). Nothing here touches a socket; raw fds stay in server.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "rcs/common/value.hpp"
+
+namespace rcs::gateway {
+
+enum class ParseStatus { kOk, kIncomplete, kBad };
+
+struct HttpRequest {
+  std::string method;
+  std::string path;    // decoded path, query string stripped
+  std::string query;   // raw query string (no leading '?')
+  std::string body;
+  /// Header names lowercased.
+  std::map<std::string, std::string> headers;
+
+  [[nodiscard]] std::string_view header(std::string_view name) const {
+    const auto it = headers.find(std::string(name));
+    return it == headers.end() ? std::string_view{} : std::string_view(it->second);
+  }
+};
+
+/// Parse one request from the front of `buffer`. On kOk, `consumed` is the
+/// byte count to discard from the buffer. Bodies require Content-Length
+/// (capped at 1 MiB — kBad beyond that).
+ParseStatus parse_http_request(std::string_view buffer, HttpRequest& out,
+                               std::size_t& consumed);
+
+/// Serialize a response. `content_type` may be empty for bodyless statuses;
+/// `extra_headers` is pasted verbatim (each line must end in \r\n).
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body,
+                          std::string_view extra_headers = {});
+
+/// JSON rendering of a Value with proper string escaping (Value::to_string
+/// is a diagnostic format; this one is for wire responses). Byte blobs
+/// render as {"bytes":N} placeholders.
+std::string json_of(const Value& value);
+
+/// Append `text` JSON-escaped (with surrounding quotes) to `out`.
+void append_json_string(std::string& out, std::string_view text);
+
+// --- WebSocket -------------------------------------------------------------
+
+/// Sec-WebSocket-Accept value for a client's Sec-WebSocket-Key.
+std::string ws_accept_key(std::string_view client_key);
+
+/// The 101 Switching Protocols response completing the upgrade.
+std::string ws_handshake_response(std::string_view client_key);
+
+/// Server-to-client frame (unmasked) around a text payload.
+std::string ws_text_frame(std::string_view payload);
+/// Server-to-client pong frame echoing `payload`.
+std::string ws_pong_frame(std::string_view payload);
+/// Server-to-client close frame.
+std::string ws_close_frame();
+
+struct WsFrame {
+  int opcode{0};  // 0x1 text, 0x2 binary, 0x8 close, 0x9 ping, 0xA pong
+  bool fin{true};
+  std::string payload;  // unmasked
+};
+
+/// Parse one client frame from the front of `buffer` (client frames must be
+/// masked per RFC 6455; unmasked ones are kBad). Payloads over 1 MiB are
+/// kBad.
+ParseStatus parse_ws_frame(std::string_view buffer, WsFrame& out,
+                           std::size_t& consumed);
+
+}  // namespace rcs::gateway

@@ -1,0 +1,128 @@
+// GatewayServer: the real-socket edge.
+//
+// A plain POSIX TCP listener plus a small worker pool. Workers speak the
+// minimal HTTP/1.1 of http.hpp; application requests are bridged onto the
+// simulation through the SimBridge's command queue (the worker blocks on
+// the completion board with a wall-clock timeout — the deterministic core
+// never sees the socket). A WebSocket upgrade turns the connection into a
+// status/metrics stream: publish() (driven by the bridge's snapshot tick)
+// fans each frame out to every subscriber with non-blocking writes, so one
+// slow dashboard can stall neither the simulation nor its peers — it just
+// loses frames and is dropped once its socket backs up.
+//
+// Routes:
+//   GET  /healthz        liveness + sim clock (no sim round-trip)
+//   GET  /groups         replica-group roster with active FTM per group
+//   GET  /status         latest status frame (same JSON the WS stream sends)
+//   GET  /metrics        latest obs::snapshot_json export (JSON lines)
+//   GET  /kv/{key}       app request {"op":"get"} through the FTM group
+//   POST /kv/{key}       {"op":"put"}; body = value (integer or string)
+//   POST /kv/{key}/incr  {"op":"incr"}; optional body = increment
+//   POST /adapt/{ftm}    differential transition to the named FTM
+//   GET  /ws             WebSocket upgrade to the live stream
+//   GET  /               operations console (file from options.console_path)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rcs/gateway/bridge.hpp"
+#include "rcs/gateway/http.hpp"
+
+namespace rcs::gateway {
+
+struct ServerOptions {
+  std::string bind{"127.0.0.1"};
+  /// 0 binds an ephemeral port; read the actual one from port().
+  int port{8080};
+  int workers{4};
+  /// File served at "/" (the committed console); empty or unreadable falls
+  /// back to a built-in placeholder page.
+  std::string console_path;
+  /// Wall-clock budget a worker waits for a bridged request's completion.
+  std::chrono::milliseconds request_timeout{30'000};
+};
+
+class GatewayServer {
+ public:
+  GatewayServer(SimBridge& bridge, ServerOptions options);
+  ~GatewayServer();
+
+  GatewayServer(const GatewayServer&) = delete;
+  GatewayServer& operator=(const GatewayServer&) = delete;
+
+  /// Bind + listen + spawn accept/worker threads. False (with `error` set)
+  /// if the socket could not be bound.
+  bool start(std::string* error = nullptr);
+  /// Close the listener, wake and join every thread, close every
+  /// connection. Idempotent.
+  void stop();
+
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Fan a text frame out to every WebSocket subscriber (bridge thread).
+  void publish(const std::string& frame);
+  [[nodiscard]] std::size_t ws_subscribers() const;
+
+  /// Served and error counters (diagnostics; approximate under churn).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WsConn {
+    int fd{-1};
+    std::mutex write_mutex;
+    std::atomic<bool> dead{false};
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+  /// Serve one parsed request; returns false when the connection must close
+  /// (errors, Connection: close, or a WebSocket upgrade that has taken over
+  /// the socket).
+  bool serve(int fd, const HttpRequest& request);
+  void serve_websocket(int fd, const HttpRequest& request);
+  std::string route(const HttpRequest& request);
+  std::string bridge_roundtrip(Value request);
+  std::string console_page() const;
+
+  void track(int fd);
+  void untrack(int fd);
+
+  SimBridge& bridge_;
+  ServerOptions options_;
+  /// Atomic: stop() swaps it to -1 while accept_loop() is reading it.
+  std::atomic<int> listen_fd_{-1};
+  int port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  /// Accepted connections awaiting a worker.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+
+  /// Every open connection fd, so stop() can shutdown() blocked reads.
+  mutable std::mutex conns_mutex_;
+  std::vector<int> open_fds_;
+
+  mutable std::mutex ws_mutex_;
+  std::vector<std::shared_ptr<WsConn>> ws_conns_;
+};
+
+}  // namespace rcs::gateway

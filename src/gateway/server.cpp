@@ -1,0 +1,451 @@
+#include "rcs/gateway/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace rcs::gateway {
+
+namespace {
+
+/// Write all of `data` with MSG_NOSIGNAL (a dead peer must not SIGPIPE the
+/// process). Returns false on any error.
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort non-blocking send for broadcast frames: a subscriber whose
+/// socket buffer is full is considered lagging and gets dropped rather than
+/// blocking the publisher.
+bool send_frame_nonblocking(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EAGAIN (lagging) or a real error: drop the subscriber
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string_view after_prefix(std::string_view path, std::string_view prefix) {
+  return path.substr(prefix.size());
+}
+
+/// Body -> Value for PUT/INCR: an integer if the whole body parses as one,
+/// the raw string otherwise.
+Value body_value(const std::string& body) {
+  if (!body.empty()) {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(body.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0' && end != body.c_str()) {
+      return Value(static_cast<std::int64_t>(parsed));
+    }
+  }
+  return Value(body);
+}
+
+constexpr const char* kFallbackConsole =
+    "<!doctype html><title>rcs gateway</title>"
+    "<p>Operations console file not found. Point gateway_runner at "
+    "<code>tools/console/index.html</code> with <code>--console</code>, or "
+    "use the JSON endpoints: <a href=\"/healthz\">/healthz</a>, "
+    "<a href=\"/groups\">/groups</a>, <a href=\"/status\">/status</a>, "
+    "<a href=\"/metrics\">/metrics</a>.</p>";
+
+}  // namespace
+
+GatewayServer::GatewayServer(SimBridge& bridge, ServerOptions options)
+    : bridge_(bridge), options_(std::move(options)) {}
+
+GatewayServer::~GatewayServer() { stop(); }
+
+bool GatewayServer::start(std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) ::close(fd);
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind.c_str(), &addr.sin_addr) != 1) {
+    return fail("inet_pton");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return true;
+}
+
+void GatewayServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock accept(): swap the fd out first so the accept loop cannot reuse
+  // it, then shutdown + close to wake a blocked accept().
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  // Unblock every worker that sits in recv() on an open connection.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Anything still queued was never handled; close it.
+  std::deque<int> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::swap(leftover, pending_fds_);
+  }
+  for (const int fd : leftover) ::close(fd);
+}
+
+void GatewayServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (stop()) or fatal
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Belt-and-braces idle bound so a silent client cannot pin a worker.
+    timeval timeout{};
+    timeout.tv_sec = 60;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_fds_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void GatewayServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return !pending_fds_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (pending_fds_.empty()) return;  // stopping
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    handle_connection(fd);
+  }
+}
+
+void GatewayServer::track(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  open_fds_.push_back(fd);
+}
+
+void GatewayServer::untrack(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                  open_fds_.end());
+}
+
+void GatewayServer::handle_connection(int fd) {
+  track(fd);
+  std::string buffer;
+  char chunk[8192];
+  bool keep_going = true;
+  while (keep_going && running_.load(std::memory_order_acquire)) {
+    HttpRequest request;
+    std::size_t consumed = 0;
+    const ParseStatus status = parse_http_request(buffer, request, consumed);
+    if (status == ParseStatus::kBad) {
+      send_all(fd, http_response(400, "text/plain", "bad request\n"));
+      break;
+    }
+    if (status == ParseStatus::kIncomplete) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // peer closed, timed out, or shutdown()
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    buffer.erase(0, consumed);
+    keep_going = serve(fd, request);
+  }
+  untrack(fd);
+  ::close(fd);
+}
+
+bool GatewayServer::serve(int fd, const HttpRequest& request) {
+  // WebSocket upgrade: the socket leaves the HTTP request loop for good.
+  if (request.path == "/ws") {
+    const auto key = request.header("sec-websocket-key");
+    if (key.empty()) {
+      send_all(fd, http_response(400, "text/plain", "missing websocket key\n"));
+      return false;
+    }
+    serve_websocket(fd, request);
+    return false;
+  }
+  const std::string response = route(request);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if (!send_all(fd, response)) return false;
+  std::string connection(request.header("connection"));
+  std::transform(connection.begin(), connection.end(), connection.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return connection != "close";
+}
+
+void GatewayServer::serve_websocket(int fd, const HttpRequest& request) {
+  if (!send_all(fd, ws_handshake_response(request.header("sec-websocket-key")))) {
+    return;
+  }
+  auto conn = std::make_shared<WsConn>();
+  conn->fd = fd;
+  {
+    std::lock_guard<std::mutex> lock(ws_mutex_);
+    ws_conns_.push_back(conn);
+  }
+  // Greet the subscriber with the latest state so dashboards render
+  // immediately instead of waiting for the next snapshot tick.
+  const std::string latest = bridge_.latest_status();
+  if (!latest.empty()) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    send_all(fd, ws_text_frame(latest));
+  }
+  // Read loop: answer pings, honor close, ignore payloads (the console
+  // drives the system through the HTTP verbs, not the socket).
+  std::string buffer;
+  char chunk[4096];
+  while (running_.load(std::memory_order_acquire) &&
+         !conn->dead.load(std::memory_order_acquire)) {
+    WsFrame frame;
+    std::size_t consumed = 0;
+    const ParseStatus status = parse_ws_frame(buffer, frame, consumed);
+    if (status == ParseStatus::kBad) break;
+    if (status == ParseStatus::kIncomplete) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    buffer.erase(0, consumed);
+    if (frame.opcode == 0x8) {  // close
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      send_all(fd, ws_close_frame());
+      break;
+    }
+    if (frame.opcode == 0x9) {  // ping
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (!send_all(fd, ws_pong_frame(frame.payload))) break;
+    }
+  }
+  conn->dead.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(ws_mutex_);
+  ws_conns_.erase(std::remove(ws_conns_.begin(), ws_conns_.end(), conn),
+                  ws_conns_.end());
+}
+
+void GatewayServer::publish(const std::string& frame) {
+  const std::string encoded = ws_text_frame(frame);
+  std::vector<std::shared_ptr<WsConn>> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(ws_mutex_);
+    subscribers = ws_conns_;
+  }
+  for (const auto& conn : subscribers) {
+    if (conn->dead.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!send_frame_nonblocking(conn->fd, encoded)) {
+      conn->dead.store(true, std::memory_order_release);
+      // Wake its read loop so the subscriber is reaped promptly.
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+}
+
+std::size_t GatewayServer::ws_subscribers() const {
+  std::lock_guard<std::mutex> lock(ws_mutex_);
+  return ws_conns_.size();
+}
+
+std::string GatewayServer::bridge_roundtrip(Value request) {
+  // GCC 12 issues a spurious -Wmaybe-uninitialized for the variant move
+  // inlined through submit_request (same pattern as payload.hpp).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+  const std::uint64_t ticket = bridge_.submit_request(std::move(request));
+#pragma GCC diagnostic pop
+  auto reply = bridge_.completions().wait(ticket, options_.request_timeout);
+  if (!reply) {
+    return http_response(504, "application/json",
+                         "{\"error\":\"gateway timeout\"}\n");
+  }
+  if (reply->is_map() && reply->has("error")) {
+    const bool timeout = reply->at("error").is_string() &&
+                         reply->at("error").as_string() == "timeout";
+    return http_response(timeout ? 504 : 502, "application/json",
+                         json_of(*reply) + "\n");
+  }
+  if (reply->is_map() && reply->has("result")) {
+    return http_response(200, "application/json",
+                         json_of(reply->at("result")) + "\n");
+  }
+  return http_response(200, "application/json", json_of(*reply) + "\n");
+}
+
+std::string GatewayServer::console_page() const {
+  if (!options_.console_path.empty()) {
+    std::ifstream file(options_.console_path, std::ios::binary);
+    if (file) {
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      return http_response(200, "text/html; charset=utf-8", contents.str());
+    }
+  }
+  return http_response(200, "text/html; charset=utf-8", kFallbackConsole);
+}
+
+std::string GatewayServer::route(const HttpRequest& request) {
+  const std::string& path = request.path;
+  const bool is_get = request.method == "GET" || request.method == "HEAD";
+
+  if (path == "/healthz") {
+    if (!is_get) return http_response(405, "text/plain", "GET only\n");
+    std::string body = "{\"status\":\"ok\",\"sim_now_us\":";
+    body += std::to_string(bridge_.sim_now_us());
+    body += ",\"ws_subscribers\":";
+    body += std::to_string(ws_subscribers());
+    body += ",\"requests_served\":";
+    body += std::to_string(requests_served());
+    body += "}\n";
+    return http_response(200, "application/json", body);
+  }
+  if (path == "/groups") {
+    if (!is_get) return http_response(405, "text/plain", "GET only\n");
+    std::string body = bridge_.groups_json();
+    if (body.empty()) body = "{\"groups\":[]}";
+    return http_response(200, "application/json", body + "\n");
+  }
+  if (path == "/status") {
+    if (!is_get) return http_response(405, "text/plain", "GET only\n");
+    std::string body = bridge_.latest_status();
+    if (body.empty()) body = "{\"type\":\"status\",\"warming_up\":true}";
+    return http_response(200, "application/json", body + "\n");
+  }
+  if (path == "/metrics") {
+    if (!is_get) return http_response(405, "text/plain", "GET only\n");
+    return http_response(200, "application/jsonlines", bridge_.latest_metrics());
+  }
+  if (path.rfind("/kv/", 0) == 0) {
+    std::string key(after_prefix(path, "/kv/"));
+    const bool incr = key.size() > 5 && key.rfind("/incr") == key.size() - 5;
+    if (incr) key.resize(key.size() - 5);
+    if (key.empty()) return http_response(400, "text/plain", "missing key\n");
+    if (incr) {
+      if (request.method != "POST") {
+        return http_response(405, "text/plain", "POST only\n");
+      }
+      Value op = Value::map().set("op", "incr").set("key", key);
+      const Value by = body_value(request.body);
+      if (by.is_int()) op.set("by", by);
+      return bridge_roundtrip(std::move(op));
+    }
+    if (request.method == "GET" || request.method == "HEAD") {
+      return bridge_roundtrip(Value::map().set("op", "get").set("key", key));
+    }
+    if (request.method == "POST" || request.method == "PUT") {
+      return bridge_roundtrip(Value::map()
+                                  .set("op", "put")
+                                  .set("key", key)
+                                  .set("value", body_value(request.body)));
+    }
+    return http_response(405, "text/plain", "GET/POST/PUT only\n");
+  }
+  if (path.rfind("/adapt/", 0) == 0) {
+    if (request.method != "POST") {
+      return http_response(405, "text/plain", "POST only\n");
+    }
+    const std::string target(after_prefix(path, "/adapt/"));
+    if (target.empty()) return http_response(400, "text/plain", "missing FTM\n");
+    const std::uint64_t ticket = bridge_.submit_adapt(target);
+    // Transitions take longer than KV round-trips (repository fetch +
+    // reconfiguration scripts); give them the full budget twice over.
+    auto reply =
+        bridge_.completions().wait(ticket, 2 * options_.request_timeout);
+    if (!reply) {
+      return http_response(504, "application/json",
+                           "{\"error\":\"transition timeout\"}\n");
+    }
+    if (reply->is_map() && reply->has("error")) {
+      return http_response(409, "application/json", json_of(*reply) + "\n");
+    }
+    return http_response(200, "application/json", json_of(*reply) + "\n");
+  }
+  if (path == "/" || path == "/console" || path == "/index.html") {
+    if (!is_get) return http_response(405, "text/plain", "GET only\n");
+    return console_page();
+  }
+  return http_response(404, "application/json", "{\"error\":\"not found\"}\n");
+}
+
+}  // namespace rcs::gateway

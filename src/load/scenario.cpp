@@ -176,7 +176,7 @@ AdaptScenarioResult run_adapt_scenario(const AdaptScenarioOptions& options) {
   result.passed = result.report.ok();
   if (options.record_trace) {
     result.trace_json = sim.tracer().export_chrome_json();
-    result.metrics_json = sim.metrics().to_json_lines("adapt_scenario");
+    result.metrics_json = obs::snapshot_json(sim.metrics(), "adapt_scenario");
   }
   result.trace = strf(
       "adapt scenario seed=", options.seed, " clients=", options.clients,

@@ -1,0 +1,178 @@
+// The minimal HTTP/1.1 + WebSocket plumbing under the gateway. The HTTP
+// cases pin the incremental-parser contract (kIncomplete until a full
+// request sits in the buffer, consumed counts exact, headers lowercased,
+// paths decoded); the WebSocket cases pin the RFC 6455 handshake against the
+// spec's own test vector and round-trip masked client frames through the
+// parser.
+#include "rcs/gateway/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rcs::gateway {
+namespace {
+
+TEST(HttpParser, SimpleGet) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string raw = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(parse_http_request(raw, request, consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/healthz");
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_EQ(request.header("host"), "x");  // names lowercased
+}
+
+TEST(HttpParser, PostWithBodyAndExactConsumed) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string raw =
+      "POST /kv/a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next";
+  ASSERT_EQ(parse_http_request(raw, request, consumed), ParseStatus::kOk);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "hello");
+  // Pipelined bytes after the body are not consumed.
+  EXPECT_EQ(raw.substr(consumed), "GET /next");
+}
+
+TEST(HttpParser, IncompleteUntilHeadersThenBodyArrive) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse_http_request("POST /x HTTP/1.1\r\nContent-Le", request,
+                               consumed),
+            ParseStatus::kIncomplete);
+  EXPECT_EQ(parse_http_request("POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nab",
+                               request, consumed),
+            ParseStatus::kIncomplete);
+  EXPECT_EQ(parse_http_request("POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd",
+                               request, consumed),
+            ParseStatus::kOk);
+  EXPECT_EQ(request.body, "abcd");
+}
+
+TEST(HttpParser, QuerySplitAndPercentDecoding) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string raw = "GET /kv/a%20b?watch=1&x=2 HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(parse_http_request(raw, request, consumed), ParseStatus::kOk);
+  EXPECT_EQ(request.path, "/kv/a b");
+  EXPECT_EQ(request.query, "watch=1&x=2");
+}
+
+TEST(HttpParser, GarbageRequestLineIsBad) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse_http_request("not http at all\r\n\r\n", request, consumed),
+            ParseStatus::kBad);
+}
+
+TEST(HttpParser, OversizedBodyIsBad) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string raw =
+      "POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+  EXPECT_EQ(parse_http_request(raw, request, consumed), ParseStatus::kBad);
+}
+
+TEST(HttpResponse, StatusLineHeadersAndLength) {
+  const std::string response = http_response(200, "application/json", "{}");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 6), "\r\n\r\n{}");
+}
+
+TEST(Json, EscapesStringsAndRendersValues) {
+  Value value = Value::map()
+                    .set("s", "a\"b\\c\n")
+                    .set("n", 42)
+                    .set("d", 1.5)
+                    .set("t", true)
+                    .set("z", nullptr);
+  const std::string json = json_of(value);
+  EXPECT_NE(json.find("\"s\":\"a\\\"b\\\\c\\n\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"t\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"z\":null"), std::string::npos);
+}
+
+TEST(WebSocket, Rfc6455HandshakeVector) {
+  // The key/accept pair straight out of RFC 6455 §1.3.
+  EXPECT_EQ(ws_accept_key("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=");
+  const std::string response =
+      ws_handshake_response("dGhlIHNhbXBsZSBub25jZQ==");
+  EXPECT_EQ(response.rfind("HTTP/1.1 101 Switching Protocols\r\n", 0), 0u);
+  EXPECT_NE(
+      response.find("Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=\r\n"),
+      std::string::npos);
+}
+
+/// Mask a payload into a client frame the way a browser would.
+std::string client_frame(int opcode, std::string payload) {
+  std::string frame;
+  frame.push_back(static_cast<char>(0x80 | opcode));
+  const unsigned char mask[4] = {0x12, 0x34, 0x56, 0x78};
+  if (payload.size() < 126) {
+    frame.push_back(static_cast<char>(0x80 | payload.size()));
+  } else {
+    frame.push_back(static_cast<char>(0x80 | 126));
+    frame.push_back(static_cast<char>(payload.size() >> 8));
+    frame.push_back(static_cast<char>(payload.size() & 0xff));
+  }
+  frame.append(reinterpret_cast<const char*>(mask), 4);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    frame.push_back(static_cast<char>(payload[i] ^ mask[i % 4]));
+  }
+  return frame;
+}
+
+TEST(WebSocket, ParsesMaskedClientFrames) {
+  WsFrame frame;
+  std::size_t consumed = 0;
+  const std::string raw = client_frame(0x1, "hello sim");
+  ASSERT_EQ(parse_ws_frame(raw, frame, consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(frame.opcode, 0x1);
+  EXPECT_TRUE(frame.fin);
+  EXPECT_EQ(frame.payload, "hello sim");
+}
+
+TEST(WebSocket, ParsesExtendedLengthFrames) {
+  WsFrame frame;
+  std::size_t consumed = 0;
+  const std::string payload(300, 'x');
+  const std::string raw = client_frame(0x2, payload);
+  ASSERT_EQ(parse_ws_frame(raw, frame, consumed), ParseStatus::kOk);
+  EXPECT_EQ(frame.payload.size(), 300u);
+}
+
+TEST(WebSocket, UnmaskedClientFrameIsRejected) {
+  // Server-style (unmasked) bytes must be kBad from a client, per RFC 6455.
+  WsFrame frame;
+  std::size_t consumed = 0;
+  const std::string raw = ws_text_frame("nope");
+  EXPECT_EQ(parse_ws_frame(raw, frame, consumed), ParseStatus::kBad);
+}
+
+TEST(WebSocket, PartialFrameIsIncomplete) {
+  WsFrame frame;
+  std::size_t consumed = 0;
+  const std::string raw = client_frame(0x9, "ping");
+  EXPECT_EQ(parse_ws_frame(raw.substr(0, 3), frame, consumed),
+            ParseStatus::kIncomplete);
+}
+
+TEST(WebSocket, ServerTextFrameShape) {
+  const std::string frame = ws_text_frame("abc");
+  ASSERT_EQ(frame.size(), 5u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[0]), 0x81);  // FIN | text
+  EXPECT_EQ(static_cast<unsigned char>(frame[1]), 3);     // unmasked, len 3
+  EXPECT_EQ(frame.substr(2), "abc");
+}
+
+}  // namespace
+}  // namespace rcs::gateway
