@@ -11,17 +11,22 @@
 //
 // Modes: one serial unpartitioned run (the pre-partitioning baseline), then
 // the same workload partitioned one-group-per-partition at worker counts
-// 1/2/4/8. The determinism contract makes every counted field a function of
-// (seed, partition assignment) only, so all threaded rows must be identical
-// and two runs of the binary byte-compare — CI cmp-gates `--quick` output.
+// 1/2/4/8, an adaptive-off row (one barrier per lookahead window), and an
+// auto-partitioned row (Simulation::auto_partition instead of explicit
+// set_partition). The determinism contract makes every counted field a
+// function of (seed, partition assignment) only, so all threaded rows must
+// be identical, the adaptive-off row must agree on every counted field, the
+// auto-partitioned row must replay the manual assignment exactly, and two
+// runs of the binary byte-compare — CI cmp-gates `--quick` output.
 //
 // The interesting deterministic figure is critical_path_speedup =
 // parallel_events / makespan_events: the scheduling parallelism the
 // partitioning exposes, independent of how many cores the host actually has
 // (this container has one). Wall-clock rates are only emitted with
-// --timing, which the cmp gate does not pass.
+// --timing, and per-rendezvous coordination cost (ns/window, wakes/window,
+// merge depth) with --barrier-stats; the cmp gate passes neither flag.
 //
-//   bench_parallel_scheduler [--quick] [--timing]
+//   bench_parallel_scheduler [--quick] [--timing] [--barrier-stats]
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -41,6 +46,7 @@ using namespace rcs::sim;  // NOLINT
 struct Options {
   bool quick{false};
   bool timing{false};
+  bool barrier_stats{false};
 };
 
 constexpr int kGroups = 8;
@@ -142,12 +148,23 @@ struct Measurement {
   std::uint64_t events{0};
   std::uint64_t delivered{0};
   Simulation::ParallelStats stats{};
+  Simulation::BarrierStats barrier{};
   double wall_seconds{0.0};
 };
 
-Measurement run_mode(bool partitioned, int threads, Time horizon) {
-  Deployment d(partitioned);
-  if (threads > 0) d.sim.set_threads(threads);
+struct ModeSpec {
+  bool partitioned{false};
+  int threads{0};
+  bool adaptive{true};
+  /// Use Simulation::auto_partition instead of explicit set_partition.
+  bool auto_assign{false};
+};
+
+Measurement run_mode(const ModeSpec& spec, Time horizon) {
+  Deployment d(spec.partitioned && !spec.auto_assign);
+  if (spec.auto_assign) d.sim.auto_partition(kGroups);
+  if (spec.threads > 0) d.sim.set_threads(spec.threads);
+  d.sim.set_adaptive_windows(spec.adaptive);
   d.kick();
   const auto start_wall = std::chrono::steady_clock::now();
   Measurement m;
@@ -157,6 +174,7 @@ Measurement run_mode(bool partitioned, int threads, Time horizon) {
                        .count();
   m.delivered = d.total_delivered();
   m.stats = d.sim.parallel_stats();
+  m.barrier = d.sim.barrier_stats();
   return m;
 }
 
@@ -177,6 +195,28 @@ void emit(const char* name, int threads, const Measurement& m,
                 ",\"events_per_sec\":%.0f,\"wall_seconds\":%.3f}\n",
                 name, threads, events_per_sec, m.wall_seconds);
   }
+  if (options.barrier_stats && m.stats.windows > 0) {
+    // Coordination cost per window: wall time, futex-style transitions, and
+    // merge traffic. wakes/parks depend on scheduling timing, so this row is
+    // flag-gated and never part of the cmp gate.
+    const auto windows = static_cast<double>(m.stats.windows);
+    const double ns_per_window = m.wall_seconds * 1e9 / windows;
+    const double wakes_per_window =
+        static_cast<double>(m.barrier.wakes) / windows;
+    const double parks_per_window =
+        static_cast<double>(m.barrier.parks) / windows;
+    const double merge_depth =
+        m.barrier.merge_outboxes == 0
+            ? 0.0
+            : static_cast<double>(m.barrier.merge_entries) /
+                  static_cast<double>(m.barrier.merge_outboxes);
+    std::printf("{\"bench\":\"%s.barrier\",\"threads\":%d"
+                ",\"rendezvous\":%" PRIu64
+                ",\"ns_per_window\":%.0f,\"wakes_per_window\":%.3f"
+                ",\"parks_per_window\":%.3f,\"merge_depth\":%.2f}\n",
+                name, threads, m.barrier.rendezvous, ns_per_window,
+                wakes_per_window, parks_per_window, merge_depth);
+  }
 }
 
 }  // namespace
@@ -188,22 +228,26 @@ int main(int argc, char** argv) {
       options.quick = true;
     } else if (std::strcmp(argv[i], "--timing") == 0) {
       options.timing = true;
+    } else if (std::strcmp(argv[i], "--barrier-stats") == 0) {
+      options.barrier_stats = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_parallel_scheduler [--quick] [--timing]\n");
+                   "usage: bench_parallel_scheduler [--quick] [--timing] "
+                   "[--barrier-stats]\n");
       return 2;
     }
   }
 
   const Time horizon = (options.quick ? 2 : 20) * kSecond;
 
-  const Measurement serial = run_mode(/*partitioned=*/false, 0, horizon);
+  const Measurement serial = run_mode({}, horizon);
   emit("serial_unpartitioned", 0, serial, options);
 
   bool consistent = true;
   Measurement baseline{};
   for (const int threads : {1, 2, 4, 8}) {
-    const Measurement m = run_mode(/*partitioned=*/true, threads, horizon);
+    const Measurement m =
+        run_mode({.partitioned = true, .threads = threads}, horizon);
     emit("partitioned_8_groups", threads, m, options);
     if (threads == 1) {
       baseline = m;
@@ -223,6 +267,34 @@ int main(int argc, char** argv) {
     // Jitter is off, so the partitioned timeline replays the serial one
     // delivery-for-delivery.
     std::fprintf(stderr, "partitioned run diverged from serial baseline\n");
+    consistent = false;
+  }
+
+  // Adaptive windows off: one rendezvous per lookahead window. Every counted
+  // field must still agree — the adaptive schedule only regroups rounds.
+  const Measurement off = run_mode(
+      {.partitioned = true, .threads = 1, .adaptive = false}, horizon);
+  emit("partitioned_adaptive_off", 1, off, options);
+  if (off.events != baseline.events || off.delivered != baseline.delivered ||
+      off.stats.merged_deliveries != baseline.stats.merged_deliveries ||
+      off.stats.parallel_events != baseline.stats.parallel_events ||
+      off.stats.makespan_events != baseline.stats.makespan_events) {
+    std::fprintf(stderr, "adaptive-off run diverged on counted fields\n");
+    consistent = false;
+  }
+
+  // Topology-driven auto-assignment must recover the manual one-partition-
+  // per-group cut exactly, so the whole row replays the baseline.
+  const Measurement autop = run_mode(
+      {.partitioned = true, .threads = 1, .auto_assign = true}, horizon);
+  emit("auto_partitioned", 1, autop, options);
+  if (autop.events != baseline.events ||
+      autop.delivered != baseline.delivered ||
+      autop.stats.windows != baseline.stats.windows ||
+      autop.stats.merged_deliveries != baseline.stats.merged_deliveries ||
+      autop.stats.parallel_events != baseline.stats.parallel_events ||
+      autop.stats.makespan_events != baseline.stats.makespan_events) {
+    std::fprintf(stderr, "auto-partitioned run diverged from manual cut\n");
     consistent = false;
   }
   return consistent ? 0 : 1;

@@ -55,6 +55,8 @@ void append_client_snapshot(std::string& out,
 
 SimBridge::SimBridge(core::ResilientSystem& system, BridgeOptions options)
     : system_(system), options_(std::move(options)) {
+  queue_.set_capacity(options_.queue_capacity);
+  rejected_counter_ = system_.sim().metrics().counter("gateway.queue.rejected");
   host_ = &system_.sim().add_host("gateway");
   std::vector<HostId> replicas;
   for (std::size_t i = 0; i < system_.replica_count(); ++i) {
@@ -236,6 +238,8 @@ std::string SimBridge::build_status_frame() {
   append_u64(out, queue_.depth());
   out += ",\"enqueued\":";
   append_u64(out, queue_.enqueued_total());
+  out += ",\"rejected\":";
+  append_u64(out, queue_.rejected_total());
   out += ",\"injected\":";
   append_u64(out, injected_.load(std::memory_order_relaxed));
   out += ",\"completed\":";
@@ -335,6 +339,13 @@ std::string SimBridge::build_status_frame() {
 }
 
 void SimBridge::publish_snapshot() {
+  // Fold edge-side rejections into the metrics registry from this (the sim)
+  // thread; the registry is not written from server threads.
+  const std::uint64_t rejected = queue_.rejected_total();
+  if (rejected > seen_rejected_) {
+    rejected_counter_.add(rejected - seen_rejected_);
+    seen_rejected_ = rejected;
+  }
   const std::string status = build_status_frame();
   const std::string groups = build_groups_json();
   // Metrics ride the same serialization path as the --metrics-out file

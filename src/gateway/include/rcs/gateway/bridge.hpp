@@ -48,6 +48,9 @@ struct BridgeOptions {
   sim::Duration snapshot_every{500 * sim::kMillisecond};
   /// Scope stamped on metrics frames (and /metrics bodies).
   std::string metrics_scope{"gateway"};
+  /// Command backlog bound (0 = unbounded): pushes beyond this many pending
+  /// commands are rejected and surface as HTTP 503 at the edge.
+  std::size_t queue_capacity{CommandQueue::kDefaultCapacity};
 };
 
 class SimBridge {
@@ -65,11 +68,13 @@ class SimBridge {
   void attach_fleet(load::ClientFleet* fleet) { fleet_ = fleet; }
 
   // --- Producer side (any thread) ----------------------------------------
-  /// Enqueue an application request; returns the completion ticket.
+  /// Enqueue an application request; returns the completion ticket, or 0
+  /// when the command queue is at capacity (the caller should shed load).
   std::uint64_t submit_request(Value request) {
     return queue_.push_request(std::move(request));
   }
-  /// Enqueue a transition to the named FTM; returns the completion ticket.
+  /// Enqueue a transition to the named FTM; returns the completion ticket,
+  /// or 0 when the command queue is at capacity.
   std::uint64_t submit_adapt(std::string ftm_name) {
     return queue_.push_adapt(std::move(ftm_name));
   }
@@ -127,6 +132,11 @@ class SimBridge {
   CommandQueue queue_;
   CompletionBoard board_;
   FramePublisher publisher_;
+  /// "gateway.queue.rejected" cell; rejections happen on server threads, so
+  /// the sim thread folds the queue's counter into the registry at snapshot
+  /// time instead of letting producers write metrics concurrently.
+  obs::Counter rejected_counter_;
+  std::uint64_t seen_rejected_{0};
 
   std::atomic<bool> stop_{false};
   const std::atomic<bool>* external_stop_{nullptr};

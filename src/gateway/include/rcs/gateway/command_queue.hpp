@@ -41,11 +41,23 @@ struct Command {
 };
 
 /// Multi-producer (server threads), single-consumer (sim thread) queue.
+/// Bounded: pushes beyond `capacity` pending commands are rejected (ticket
+/// 0, counted) instead of queued, so a producer burst cannot grow the sim
+/// thread's drain latency without bound — backpressure surfaces at the edge
+/// as HTTP 503 rather than as a silently ballooning quantum.
 class CommandQueue {
  public:
-  /// Enqueue a client request; returns the ticket completions are keyed by.
+  /// Default backlog bound; generous next to the per-quantum drain rate.
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// Enqueue a client request; returns the ticket completions are keyed by,
+  /// or 0 when the queue is full (tickets start at 1, so 0 is never valid).
   std::uint64_t push_request(Value request) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ != 0 && pending_.size() >= capacity_) {
+      ++rejected_;
+      return 0;
+    }
     const std::uint64_t ticket = next_ticket_++;
     pending_.push_back(Command{ticket, Command::Kind::kRequest,
                                std::move(request), {}});
@@ -53,14 +65,30 @@ class CommandQueue {
     return ticket;
   }
 
-  /// Enqueue an adaptation command (transition to the named FTM).
+  /// Enqueue an adaptation command (transition to the named FTM); returns
+  /// the completion ticket, or 0 when the queue is full.
   std::uint64_t push_adapt(std::string target) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ != 0 && pending_.size() >= capacity_) {
+      ++rejected_;
+      return 0;
+    }
     const std::uint64_t ticket = next_ticket_++;
     pending_.push_back(
         Command{ticket, Command::Kind::kAdapt, Value{}, std::move(target)});
     ++enqueued_;
     return ticket;
+  }
+
+  /// Change the backlog bound (0 = unbounded). Already-queued commands are
+  /// never dropped; a shrink only affects future pushes.
+  void set_capacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+  }
+  [[nodiscard]] std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
   }
 
   /// Consumer side: move every pending command into `out` (cleared first).
@@ -80,12 +108,18 @@ class CommandQueue {
     std::lock_guard<std::mutex> lock(mutex_);
     return enqueued_;
   }
+  [[nodiscard]] std::uint64_t rejected_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+  }
 
  private:
   mutable std::mutex mutex_;
   std::vector<Command> pending_;
+  std::size_t capacity_{kDefaultCapacity};
   std::uint64_t next_ticket_{1};
   std::uint64_t enqueued_{0};
+  std::uint64_t rejected_{0};
 };
 
 /// Completions keyed by ticket. The sim thread posts; a server thread waits

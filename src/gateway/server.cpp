@@ -335,6 +335,10 @@ std::string GatewayServer::bridge_roundtrip(Value request) {
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
   const std::uint64_t ticket = bridge_.submit_request(std::move(request));
 #pragma GCC diagnostic pop
+  if (ticket == 0) {
+    return http_response(503, "application/json",
+                         "{\"error\":\"command queue full\"}\n");
+  }
   auto reply = bridge_.completions().wait(ticket, options_.request_timeout);
   if (!reply) {
     return http_response(504, "application/json",
@@ -428,6 +432,10 @@ std::string GatewayServer::route(const HttpRequest& request) {
     const std::string target(after_prefix(path, "/adapt/"));
     if (target.empty()) return http_response(400, "text/plain", "missing FTM\n");
     const std::uint64_t ticket = bridge_.submit_adapt(target);
+    if (ticket == 0) {
+      return http_response(503, "application/json",
+                           "{\"error\":\"command queue full\"}\n");
+    }
     // Transitions take longer than KV round-trips (repository fetch +
     // reconfiguration scripts); give them the full budget twice over.
     auto reply =

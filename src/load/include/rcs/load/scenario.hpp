@@ -24,6 +24,7 @@
 #include "rcs/core/monitoring.hpp"
 #include "rcs/ftm/history.hpp"
 #include "rcs/load/fleet.hpp"
+#include "rcs/sim/simulation.hpp"
 
 namespace rcs::load {
 
@@ -79,6 +80,8 @@ struct AdaptScenarioResult {
   std::size_t peak_queue_depth{0};
   /// Timer-wheel traffic counters for load_runner's stderr summary.
   sim::EventLoop::WheelStats wheel{};
+  /// Parallel-window accounting (all-zero for unpartitioned serial runs).
+  sim::Simulation::ParallelStats parallel{};
   bool passed{false};
 };
 

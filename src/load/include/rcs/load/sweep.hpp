@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "rcs/load/fleet.hpp"
+#include "rcs/sim/simulation.hpp"
 
 namespace rcs::load {
 
@@ -84,6 +85,8 @@ struct SweepResult {
   std::size_t peak_queue_depth{0};
   /// Timer-wheel traffic counters for load_runner's stderr summary.
   sim::EventLoop::WheelStats wheel{};
+  /// Parallel-window accounting (all-zero for unpartitioned serial runs).
+  sim::Simulation::ParallelStats parallel{};
 
   [[nodiscard]] double knee_offered_rps() const {
     return knee_index < 0 ? 0.0

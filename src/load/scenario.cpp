@@ -173,6 +173,7 @@ AdaptScenarioResult run_adapt_scenario(const AdaptScenarioOptions& options) {
   result.events = sim.loop().processed();
   result.peak_queue_depth = sim.loop().peak_pending();
   result.wheel = sim.loop().wheel_stats();
+  result.parallel = sim.parallel_stats();
   result.passed = result.report.ok();
   if (options.record_trace) {
     result.trace_json = sim.tracer().export_chrome_json();

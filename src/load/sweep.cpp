@@ -157,6 +157,7 @@ SweepResult run_sweep(const SweepOptions& options) {
   result.events = sim.loop().processed();
   result.peak_queue_depth = sim.loop().peak_pending();
   result.wheel = sim.loop().wheel_stats();
+  result.parallel = sim.parallel_stats();
   return result;
 }
 

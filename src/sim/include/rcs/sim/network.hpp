@@ -151,22 +151,41 @@ class Network {
   void begin_parallel(int partitions);
   void end_parallel();
 
-  /// Conservative lookahead: the minimum latency over every cross-partition
-  /// host pair. Materialized cross links contribute their configured
-  /// latency; if any cross pair is still unmaterialized the default link's
-  /// latency bounds it. Returns kMaxDuration when no cross pair exists.
+  /// Conservative lookahead: the minimum configured latency over every
+  /// materialized cross-partition link. Only materialized links matter —
+  /// touching an unmaterialized link during a frozen window throws before
+  /// any message can travel it, so nothing else bounds the window. Returns
+  /// kMaxDuration when no materialized cross link exists.
   [[nodiscard]] Duration cross_partition_lookahead() const;
   static constexpr Duration kMaxDuration = INT64_MAX;
 
-  /// Result of a window-boundary merge: deliveries scheduled and the
-  /// earliest timestamp among them (kMaxDuration when count == 0).
+  /// One materialized link, for topology-driven partition assignment.
+  struct LinkInfo {
+    HostId a;
+    HostId b;
+    Duration latency{0};
+  };
+  /// Every materialized link, in materialization order (deterministic).
+  [[nodiscard]] std::vector<LinkInfo> materialized_links() const;
+
+  /// Whether any partition outbox holds a captured delivery. Called at a
+  /// round barrier while every partition is quiescent (the caller's
+  /// synchronization makes the outbox writes visible).
+  [[nodiscard]] bool has_pending_outbox() const;
+
+  /// Result of a window-boundary merge: deliveries scheduled, the earliest
+  /// timestamp among them (kMaxDuration when count == 0), and how many
+  /// partition outboxes contributed (the merge depth).
   struct MergeResult {
     std::size_t count{0};
     Time min_at{kMaxDuration};
+    std::size_t outboxes{0};
   };
 
   /// Drain every partition outbox into the destination loops, ordered by
-  /// (at, seq, partition). Runs on the coordinating thread at a window
+  /// (at, seq, partition): each outbox is sorted in place, then a
+  /// preallocated k-way cursor merge schedules deliveries directly — no
+  /// global collect-and-sort. Runs on the coordinating thread at a window
   /// barrier while all workers are quiescent.
   MergeResult merge_window();
 
@@ -227,7 +246,9 @@ class Network {
   /// Global byte counter, striped per partition (single stripe when serial).
   std::vector<ByteStripe> byte_stripes_{1};
   std::vector<Outbox> outboxes_;
-  std::vector<PendingDelivery> merge_scratch_;
+  /// Cursor per nonempty outbox during a k-way merge (outbox index, next
+  /// entry position); reused across merges so a merge never allocates.
+  std::vector<std::pair<std::size_t, std::size_t>> merge_cursors_;
   /// True between begin_parallel/end_parallel with >= 2 partitions: route
   /// cross-partition sends into outboxes and reject link materialization.
   bool windowed_{false};

@@ -77,6 +77,18 @@ class Simulation {
   /// is the serial simulation). Call at setup time, before scheduling the
   /// host's workload; partitions must form a dense range starting at 0.
   void set_partition(HostId host, int partition);
+
+  /// Topology-driven partition auto-assignment: cluster hosts joined by
+  /// sub-lookahead links (greedy threshold over the materialized link
+  /// table), bin-pack the clusters into at most `max_partitions` partitions
+  /// balanced by host count, and apply the assignment via set_partition.
+  /// Accepts the largest latency threshold that yields between 2 and
+  /// host_count-1 clusters, so a topology with no latency gap (uniform
+  /// links) is left unpartitioned. Returns the resulting partition count
+  /// (1 = no assignment made). Deterministic: depends only on the
+  /// materialized links and host ids, never on map/hash order.
+  int auto_partition(int max_partitions);
+
   [[nodiscard]] int partition_of(HostId host) const {
     const auto i = static_cast<std::size_t>(host.value());
     return i < partitions_.size() ? partitions_[i] : 0;
@@ -112,12 +124,30 @@ class Simulation {
                           : extra_rngs_[static_cast<std::size_t>(partition) - 1];
   }
 
+  /// Adaptive lookahead windows (default on): when consecutive window
+  /// barriers merge zero cross-partition deliveries, the driver widens the
+  /// rendezvous to cover several lookahead-sized rounds in one worker
+  /// release (multiplier doubling up to a cap, narrowing back to 1 on the
+  /// first nonempty merge), and jumps quiet stretches straight to the
+  /// earliest pending event (grid-aligned). The schedule is a pure function
+  /// of counted merge history, so counted output stays byte-identical to an
+  /// adaptive-off run at any thread count; only rendezvous grouping (wake
+  /// counts, wall clock) changes.
+  void set_adaptive_windows(bool on) { adaptive_windows_ = on; }
+  [[nodiscard]] bool adaptive_windows() const { return adaptive_windows_; }
+
   /// Window accounting of parallel runs. makespan_events sums, over every
   /// window, the busiest partition's event count: total/makespan is the
   /// throughput speedup a perfectly parallel execution of this run could
   /// reach (the critical-path bound), independent of host core count.
+  /// windows counts executed lookahead-sized rounds; widened_windows the
+  /// subset executed beyond the first round of a fused rendezvous;
+  /// idle_jumps the grid-aligned skips over quiet stretches. All of them
+  /// are thread-count independent.
   struct ParallelStats {
     std::uint64_t windows{0};
+    std::uint64_t widened_windows{0};
+    std::uint64_t idle_jumps{0};
     std::uint64_t merged_deliveries{0};
     std::uint64_t parallel_events{0};
     std::uint64_t makespan_events{0};
@@ -130,6 +160,20 @@ class Simulation {
     }
   };
   [[nodiscard]] const ParallelStats& parallel_stats() const { return pstats_; }
+
+  /// Coordination-cost accounting of the fused barrier. rendezvous counts
+  /// coordinator round trips (each covering >= 1 window); merge_entries /
+  /// merge_outboxes the k-way merge traffic. wakes/parks count actual
+  /// futex-style transitions — timing-dependent, so they belong in stderr
+  /// summaries and --barrier-stats output, never in cmp-gated stdout.
+  struct BarrierStats {
+    std::uint64_t rendezvous{0};
+    std::uint64_t wakes{0};
+    std::uint64_t parks{0};
+    std::uint64_t merge_entries{0};
+    std::uint64_t merge_outboxes{0};
+  };
+  [[nodiscard]] const BarrierStats& barrier_stats() const { return bstats_; }
 
   // --- Time ---------------------------------------------------------------
   [[nodiscard]] Time now() const {
@@ -224,6 +268,12 @@ class Simulation {
   int partition_count_{1};
   int threads_{0};
   bool in_parallel_run_{false};
+  bool adaptive_windows_{true};
+  /// Adaptive widening state: consecutive all-empty rendezvous merges and
+  /// the current window multiplier (1 = plain lookahead windows). Pure
+  /// functions of counted merge history — never of thread timing.
+  int empty_merge_streak_{0};
+  int window_multiplier_{1};
   /// Wheels and rng streams of partitions >= 1 (partition 0 uses loop_ and
   /// rng_); deques keep addresses stable as partitions are added.
   std::deque<EventLoop> extra_loops_;
@@ -234,6 +284,7 @@ class Simulation {
   /// Handle on the global "sim.events" cell for barrier-time folding.
   obs::Counter fold_events_;
   ParallelStats pstats_;
+  BarrierStats bstats_;
   std::unique_ptr<ParallelRuntime, ParallelRuntimeDeleter> runtime_;
 };
 

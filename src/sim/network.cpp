@@ -279,64 +279,94 @@ void Network::end_parallel() {
 }
 
 Duration Network::cross_partition_lookahead() const {
+  // Only materialized cross links bound the window: an unmaterialized link
+  // cannot carry traffic during a frozen window (entry() throws on the first
+  // touch), so it cannot constrain when partitions may interact.
   Duration lookahead = kMaxDuration;
-  std::size_t cross_materialized = 0;
   for (const LinkEntry& e : entries_) {
     const HostId a{static_cast<std::uint32_t>(e.key >> 32)};
     const HostId b{static_cast<std::uint32_t>(e.key & 0xFFFFFFFFu)};
     if (sim_.partition_of(a) == sim_.partition_of(b)) continue;
-    ++cross_materialized;
     lookahead = std::min(lookahead, e.params.latency);
-  }
-  // Count the cross-partition host pairs from the partition sizes; any pair
-  // not yet materialized would be created from default_link_, so its latency
-  // bounds the lookahead too.
-  std::vector<std::uint64_t> sizes;
-  for (std::size_t i = 0; i < sim_.host_count(); ++i) {
-    const auto p = static_cast<std::size_t>(
-        sim_.partition_of(HostId{static_cast<std::uint32_t>(i)}));
-    if (p >= sizes.size()) sizes.resize(p + 1, 0);
-    ++sizes[p];
-  }
-  const auto n = static_cast<std::uint64_t>(sim_.host_count());
-  std::uint64_t same = 0;
-  for (const std::uint64_t s : sizes) same += s * s;
-  const std::uint64_t cross_pairs = (n * n - same) / 2;
-  if (cross_materialized < cross_pairs) {
-    lookahead = std::min(lookahead, default_link_.latency);
   }
   return lookahead;
 }
 
-Network::MergeResult Network::merge_window() {
-  merge_scratch_.clear();
-  for (Outbox& out : outboxes_) {
-    for (PendingDelivery& d : out.entries) {
-      merge_scratch_.push_back(std::move(d));
-    }
-    out.entries.clear();
+std::vector<Network::LinkInfo> Network::materialized_links() const {
+  std::vector<LinkInfo> links;
+  links.reserve(entries_.size());
+  for (const LinkEntry& e : entries_) {
+    links.push_back(LinkInfo{HostId{static_cast<std::uint32_t>(e.key >> 32)},
+                             HostId{static_cast<std::uint32_t>(e.key & 0xFFFFFFFFu)},
+                             e.params.latency});
   }
+  return links;
+}
+
+bool Network::has_pending_outbox() const {
+  for (const Outbox& out : outboxes_) {
+    if (!out.entries.empty()) return true;
+  }
+  return false;
+}
+
+Network::MergeResult Network::merge_window() {
   MergeResult result;
-  result.count = merge_scratch_.size();
-  if (merge_scratch_.empty()) return result;
-  // (at, seq, partition) is unique per entry — seq is a per-partition send
-  // counter — so this is a strict total order and the merge is
-  // deterministic for a fixed partition assignment.
-  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
-            [](const PendingDelivery& a, const PendingDelivery& b) {
-              if (a.at != b.at) return a.at < b.at;
-              if (a.seq != b.seq) return a.seq < b.seq;
-              return a.partition < b.partition;
-            });
-  for (PendingDelivery& d : merge_scratch_) {
+  merge_cursors_.clear();
+  for (std::size_t i = 0; i < outboxes_.size(); ++i) {
+    std::vector<PendingDelivery>& entries = outboxes_[i].entries;
+    if (entries.empty()) continue;
+    // Within one outbox seq is the unique send counter, so (at, seq) is a
+    // strict order; entries are nearly sorted already (deliveries mostly
+    // leave in timestamp order), which std::sort handles well.
+    std::sort(entries.begin(), entries.end(),
+              [](const PendingDelivery& a, const PendingDelivery& b) {
+                if (a.at != b.at) return a.at < b.at;
+                return a.seq < b.seq;
+              });
+    merge_cursors_.emplace_back(i, 0);
+    result.count += entries.size();
+  }
+  result.outboxes = merge_cursors_.size();
+  if (merge_cursors_.empty()) return result;
+  // K-way merge over the sorted outboxes: repeatedly pick the cursor whose
+  // front is least under (at, seq, partition) — unique per entry, so a
+  // strict total order deterministic for a fixed partition assignment — and
+  // schedule it straight onto the destination loop. k is at most the
+  // partition count, so the linear min-scan beats a heap for real fleets.
+  bool first = true;
+  while (!merge_cursors_.empty()) {
+    std::size_t best = 0;
+    const PendingDelivery* best_d =
+        &outboxes_[merge_cursors_[0].first].entries[merge_cursors_[0].second];
+    for (std::size_t c = 1; c < merge_cursors_.size(); ++c) {
+      const PendingDelivery& d =
+          outboxes_[merge_cursors_[c].first].entries[merge_cursors_[c].second];
+      const bool less = d.at != best_d->at  ? d.at < best_d->at
+                        : d.seq != best_d->seq ? d.seq < best_d->seq
+                                               : d.partition < best_d->partition;
+      if (less) {
+        best = c;
+        best_d = &d;
+      }
+    }
+    if (first) {
+      result.min_at = best_d->at;
+      first = false;
+    }
+    PendingDelivery& d = const_cast<PendingDelivery&>(*best_d);
     const EventLoop& dst = sim_.loop_for(d.message.to);
     ensure(d.at >= dst.now(),
            "Network::merge_window: delivery before the destination clock — "
            "lookahead bound violated");
     schedule_delivery(d.at, std::move(d.message), /*duplicate=*/false);
+    auto& [outbox, pos] = merge_cursors_[best];
+    if (++pos == outboxes_[outbox].entries.size()) {
+      outboxes_[outbox].entries.clear();
+      merge_cursors_[best] = merge_cursors_.back();
+      merge_cursors_.pop_back();
+    }
   }
-  result.min_at = merge_scratch_.front().at;
-  merge_scratch_.clear();
   return result;
 }
 

@@ -3,20 +3,29 @@
 // Scheme: every partition owns a timer wheel; run_until advances all wheels
 // in lockstep windows of at most the conservative lookahead (the minimum
 // cross-partition link latency). Within a window partitions execute
-// independently on a worker pool — a cross-partition message cannot arrive
-// earlier than its link latency, so nothing sent inside the window can
-// affect another partition before the window's horizon. At the barrier the
-// coordinating thread merges every partition's outbox in (timestamp, seq,
-// partition) order onto the destination wheels and folds the per-partition
-// event counts into the global metrics stream. Execution order is therefore
-// a pure function of (seed, partition assignment): one worker or eight
+// independently — a cross-partition message cannot arrive earlier than its
+// link latency, so nothing sent inside the window can affect another
+// partition before the window's horizon. At the barrier the coordinating
+// thread merges every partition's outbox in (timestamp, seq, partition)
+// order onto the destination wheels and folds the per-partition event
+// counts into the global metrics stream. Execution order is therefore a
+// pure function of (seed, partition assignment): one worker or eight
 // produce byte-identical runs.
 //
-// The pool is a generation-stamped barrier: the coordinator publishes a
-// horizon, bumps the generation, and workers claim partition indices from a
-// shared atomic ticket until the round is exhausted — dynamic load balance
-// without per-partition thread affinity (which the determinism argument
-// never relies on).
+// Coordination is a fused single-wake rendezvous. One release from the
+// coordinator covers up to `max_rounds` lookahead-sized rounds: between
+// rounds the participants synchronize on a packed (round, ticket) atomic —
+// the last partition to finish a round advances it in place (no condvar
+// round trip) — and the rendezvous ends early at the first round boundary
+// with a nonempty cross-partition outbox, so the coordinator merges exactly
+// where a round-per-release driver would have. Threads spin briefly on the
+// atomic before parking on the shared condvar; in the steady state a
+// multi-round rendezvous costs one wake each way, and the inline path
+// (no workers) costs none at all.
+//
+// Work is claimed by ticket, not affinity: any participant (the coordinator
+// included) runs any partition, which the determinism argument never
+// relies on — only merge points and partition-local state order matter.
 
 #include <algorithm>
 #include <atomic>
@@ -66,8 +75,7 @@ int Simulation::current_partition_slow() const {
 
 class ParallelRuntime {
  public:
-  ParallelRuntime(Simulation& sim, int workers)
-      : sim_(sim), errors_(1), window_events_(1) {
+  ParallelRuntime(Simulation& sim, int workers) : sim_(sim) {
     workers_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) {
       workers_.emplace_back([this] { worker_main(); });
@@ -75,11 +83,11 @@ class ParallelRuntime {
   }
 
   ~ParallelRuntime() {
+    stop_.store(true, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
     }
-    work_cv_.notify_all();
+    cv_.notify_all();
     for (std::thread& t : workers_) t.join();
   }
 
@@ -90,89 +98,254 @@ class ParallelRuntime {
     return static_cast<int>(workers_.size());
   }
 
-  /// Run every partition to `horizon` on the pool; returns when all are
-  /// done. Rethrows the first partition's failure (by index) if any.
-  void run_window(Time horizon, int partitions) {
-    const auto n = static_cast<std::size_t>(partitions);
-    if (errors_.size() < n) errors_.resize(n);
-    if (window_events_.size() < n) window_events_.resize(n);
-    for (std::size_t p = 0; p < n; ++p) {
-      errors_[p] = nullptr;
-      window_events_[p] = 0;
+  /// One fused rendezvous: run every partition through consecutive
+  /// lookahead-sized rounds — horizons start+width, start+2*width, ...
+  /// clamped at cap — stopping at the first round boundary where a
+  /// cross-partition outbox is nonempty, the cap is reached, max_rounds are
+  /// done, or a partition failed. Returns the number of rounds executed
+  /// (>= 1); per-round per-partition event counts are in round_events().
+  int run_rounds(Time start, Duration width, Time cap, int max_rounds,
+                 int partitions) {
+    const auto need = static_cast<std::size_t>(max_rounds) *
+                      static_cast<std::size_t>(partitions);
+    if (counts_.size() < need) counts_.resize(need);
+    if (errors_.size() < static_cast<std::size_t>(partitions)) {
+      errors_.resize(static_cast<std::size_t>(partitions));
     }
-    horizon_.store(horizon, std::memory_order_relaxed);
+    for (auto& e : errors_) e = nullptr;
+    error_.store(false, std::memory_order_relaxed);
+    partitions_.store(partitions, std::memory_order_relaxed);
+    max_rounds_ = max_rounds;
+    width_ = width;
+    cap_ = cap;
+    const Time h0 = (cap - start <= width) ? cap : start + width;
+    horizon_.store(h0, std::memory_order_relaxed);
+    horizon_is_cap_ = (h0 == cap);
+    rounds_executed_ = 0;
     done_.store(0, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      partitions_.store(partitions, std::memory_order_relaxed);
-      next_ticket_.store(0, std::memory_order_release);
-      ++generation_;
+
+    if (workers_.empty()) {
+      // Inline path: the calling thread runs every partition of every
+      // round itself — zero atomics, zero wakes. This is the whole story
+      // for --threads <= 1, where coordination used to dominate.
+      Time horizon = h0;
+      for (int r = 0;; ++r) {
+        for (int p = 0; p < partitions; ++p) {
+          run_one(r, p, partitions, horizon);
+        }
+        rounds_executed_ = r + 1;
+        if (r + 1 >= max_rounds || horizon == cap ||
+            error_.load(std::memory_order_relaxed) ||
+            sim_.network_.has_pending_outbox()) {
+          break;
+        }
+        horizon = (cap - horizon <= width) ? cap : horizon + width;
+      }
+      return rounds_executed_;
     }
-    work_cv_.notify_all();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_cv_.wait(lock, [&] {
-        return done_.load(std::memory_order_acquire) == partitions;
-      });
-    }
-    for (std::size_t p = 0; p < n; ++p) {
-      if (errors_[p]) std::rethrow_exception(errors_[p]);
+
+    // Publish round 0 and wake parked workers; then execute alongside them
+    // until some finisher declares the rendezvous over.
+    claim_.store(0, std::memory_order_release);
+    wake_all();
+    participate(/*coordinator=*/true);
+    return rounds_executed_;
+  }
+
+  [[nodiscard]] std::uint64_t round_events(int round, int partition) const {
+    const auto partitions = static_cast<std::size_t>(
+        partitions_.load(std::memory_order_relaxed));
+    return counts_[static_cast<std::size_t>(round) * partitions +
+                   static_cast<std::size_t>(partition)];
+  }
+
+  /// Rethrow the first failed partition's exception (by index), if any.
+  void rethrow_error() {
+    if (!error_.load(std::memory_order_acquire)) return;
+    for (auto& e : errors_) {
+      if (e) std::rethrow_exception(e);
     }
   }
 
-  [[nodiscard]] std::uint64_t window_events(int partition) const {
-    return window_events_[static_cast<std::size_t>(partition)];
+  [[nodiscard]] std::uint64_t take_wakes() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t n = wakes_;
+    wakes_ = 0;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t take_parks() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t n = parks_;
+    parks_ = 0;
+    return n;
   }
 
  private:
+  /// Round sentinel marking "no rendezvous active" in claim_'s high half.
+  static constexpr std::uint32_t kIdle = 0xFFFFFFFFu;
+  static constexpr std::uint64_t kIdleClaim =
+      static_cast<std::uint64_t>(kIdle) << 32;
+  /// Loads of the claim word before parking; short, because a round is
+  /// typically either instantaneous (empty window) or far longer than any
+  /// sensible spin.
+  static constexpr int kSpinIters = 256;
+
+  void run_one(int round, int partition, int partitions, Time horizon) {
+    auto& slot = counts_[static_cast<std::size_t>(round) *
+                             static_cast<std::size_t>(partitions) +
+                         static_cast<std::size_t>(partition)];
+    try {
+      slot = sim_.run_partition_window(partition, horizon);
+    } catch (...) {
+      auto& err = errors_[static_cast<std::size_t>(partition)];
+      if (!err) err = std::current_exception();
+      error_.store(true, std::memory_order_release);
+      slot = 0;
+    }
+  }
+
+  /// Last finisher of round r: end the rendezvous or advance the round in
+  /// place. Every partition is quiescent here, so reading the outboxes and
+  /// the plain round fields is race-free.
+  void finish_round(std::uint32_t round) {
+    const bool stop = static_cast<int>(round) + 1 >= max_rounds_ ||
+                      horizon_is_cap_ ||
+                      error_.load(std::memory_order_acquire) ||
+                      sim_.network_.has_pending_outbox();
+    rounds_executed_ = static_cast<int>(round) + 1;
+    if (stop) {
+      claim_.store(kIdleClaim, std::memory_order_release);
+    } else {
+      const Time h = horizon_.load(std::memory_order_relaxed);
+      const Time next = (cap_ - h <= width_) ? cap_ : h + width_;
+      horizon_.store(next, std::memory_order_relaxed);
+      horizon_is_cap_ = (next == cap_);
+      done_.store(0, std::memory_order_relaxed);
+      claim_.store(static_cast<std::uint64_t>(round + 1) << 32,
+                   std::memory_order_release);
+    }
+    wake_all();
+  }
+
+  /// Claim and run (round, partition) tickets until the rendezvous ends.
+  /// The coordinator returns at that point; workers park and wait for the
+  /// next one (or stop).
+  void participate(bool coordinator) {
+    std::uint64_t seen = claim_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t round = static_cast<std::uint32_t>(seen >> 32);
+      const std::uint32_t ticket = static_cast<std::uint32_t>(seen);
+      if (round == kIdle) {
+        if (coordinator) return;
+        if (stop_.load(std::memory_order_acquire)) return;
+        seen = wait_for_change(seen);
+        continue;
+      }
+      // The relaxed partition count may be stale for a thread holding a
+      // stale claim word; it only gates the claim attempt — the
+      // post-increment check below validates against the synced value.
+      if (ticket >= static_cast<std::uint32_t>(
+                        partitions_.load(std::memory_order_relaxed))) {
+        // Round fully claimed; wait for the finisher to advance it. The
+        // load-before-increment keeps the ticket field bounded.
+        seen = wait_for_change(seen);
+        continue;
+      }
+      const std::uint64_t got =
+          claim_.fetch_add(1, std::memory_order_acq_rel);
+      const std::uint32_t r = static_cast<std::uint32_t>(got >> 32);
+      const std::uint32_t p = static_cast<std::uint32_t>(got);
+      const int partitions = partitions_.load(std::memory_order_relaxed);
+      if (r == kIdle || p >= static_cast<std::uint32_t>(partitions)) {
+        // The round moved (or ended) between the load and the claim; the
+        // stray increment only touches the ticket half, which the next
+        // publish overwrites.
+        seen = claim_.load(std::memory_order_acquire);
+        continue;
+      }
+      run_one(static_cast<int>(r), static_cast<int>(p), partitions,
+              horizon_.load(std::memory_order_relaxed));
+      if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == partitions) {
+        finish_round(r);
+      }
+      seen = claim_.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Spin briefly on the claim word, then park on the condvar. Returns the
+  /// changed value.
+  std::uint64_t wait_for_change(std::uint64_t seen) {
+    for (int i = 0; i < kSpinIters; ++i) {
+      const std::uint64_t c = claim_.load(std::memory_order_acquire);
+      if (c != seen || stop_.load(std::memory_order_relaxed)) return c;
+      if ((i & 31) == 31) std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t c = claim_.load(std::memory_order_acquire);
+    if (c == seen && !stop_.load(std::memory_order_relaxed)) {
+      ++parks_;
+      ++parked_;
+      cv_.wait(lock, [&] {
+        c = claim_.load(std::memory_order_acquire);
+        return c != seen || stop_.load(std::memory_order_relaxed);
+      });
+      --parked_;
+    }
+    return c;
+  }
+
+  /// Publish-side wake: take the mutex (pairing with the parker's
+  /// predicate re-check) and notify only if someone is actually parked —
+  /// the single-wake property in the steady state.
+  void wake_all() {
+    bool notify;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      notify = parked_ != 0;
+      if (notify) ++wakes_;
+    }
+    if (notify) cv_.notify_all();
+  }
+
   void worker_main() {
     // Virtual timestamps on worker log lines: read the clock of whatever
     // partition this thread is currently executing.
     log().set_time_source([sim = &sim_] {
       return sim->loop_of(sim->current_partition()).now();
     });
-    std::uint64_t seen_generation = 0;
-    for (;;) {
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [&] {
-          return stop_ || generation_ != seen_generation;
-        });
-        if (stop_) break;
-        seen_generation = generation_;
-      }
-      for (;;) {
-        const int p = next_ticket_.fetch_add(1, std::memory_order_acq_rel);
-        const int partitions = partitions_.load(std::memory_order_relaxed);
-        if (p >= partitions) break;
-        const Time horizon = horizon_.load(std::memory_order_relaxed);
-        try {
-          window_events_[static_cast<std::size_t>(p)] =
-              sim_.run_partition_window(p, horizon);
-        } catch (...) {
-          errors_[static_cast<std::size_t>(p)] = std::current_exception();
-        }
-        if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == partitions) {
-          std::lock_guard<std::mutex> lock(mutex_);
-          done_cv_.notify_all();
-        }
-      }
+    while (!stop_.load(std::memory_order_acquire)) {
+      participate(/*coordinator=*/false);
     }
     log().reset_time_source();
   }
 
   Simulation& sim_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_{0};
-  bool stop_{false};
-  std::atomic<int> next_ticket_{0};
-  std::atomic<int> partitions_{0};
+  /// Packed rendezvous state: (round << 32) | next ticket. kIdle in the
+  /// round half means no rendezvous is active.
+  std::atomic<std::uint64_t> claim_{kIdleClaim};
   std::atomic<int> done_{0};
   std::atomic<Time> horizon_{0};
+  std::atomic<bool> error_{false};
+  std::atomic<bool> stop_{false};
+  /// Partition count of the current rendezvous. Atomic only because a
+  /// thread holding a stale claim word may probe it while the coordinator
+  /// rewrites it between rendezvous; real ordering comes from claim_.
+  std::atomic<int> partitions_{0};
+  // Plain rendezvous parameters: written while every participant is
+  // quiescent, published by the release store on claim_.
+  int max_rounds_{1};
+  Duration width_{0};
+  Time cap_{0};
+  bool horizon_is_cap_{false};
+  int rounds_executed_{0};
+  /// Per-(round, partition) event counts of the current rendezvous.
+  std::vector<std::uint64_t> counts_;
   std::vector<std::exception_ptr> errors_;
-  std::vector<std::uint64_t> window_events_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parked_{0};
+  std::uint64_t wakes_{0};
+  std::uint64_t parks_{0};
   std::vector<std::thread> workers_;
 };
 
@@ -234,10 +407,12 @@ std::uint64_t Simulation::run_partition_window(int partition, Time horizon) {
 std::size_t Simulation::run_until_parallel(Time t) {
   ensure(!in_parallel_run_, "Simulation::run_until: nested parallel run");
   const int partitions = partition_count_;
-  const int desired =
-      std::max(1, std::min(threads_ <= 0 ? 1 : threads_, partitions));
-  if (!runtime_ || runtime_->worker_count() != desired) {
-    runtime_.reset(new ParallelRuntime(*this, desired));
+  // The coordinator participates, so --threads N means N executing
+  // threads: N-1 pool workers plus this one. threads <= 1 runs the whole
+  // window schedule inline.
+  const int workers = std::max(0, std::min(threads_ - 1, partitions));
+  if (!runtime_ || runtime_->worker_count() != workers) {
+    runtime_.reset(new ParallelRuntime(*this, workers));
   }
   Duration lookahead = Network::kMaxDuration;
   if (partitions > 1) {
@@ -256,31 +431,60 @@ std::size_t Simulation::run_until_parallel(Time t) {
     }
   } finally{*this};
 
+  // Adaptive widening: after kWidenAfter consecutive all-empty merges the
+  // rendezvous doubles its round budget (up to kWidenCap); the first
+  // nonempty merge narrows back to single rounds. Both the streak and the
+  // multiplier are functions of the counted merge history alone.
+  constexpr int kWidenAfter = 2;
+  constexpr int kWidenCap = 64;
+
   std::size_t total = 0;
   Time window_start = loop_.now();  // all clocks agree between runs
   for (;;) {
-    const Time horizon = (t - window_start <= lookahead)
-                             ? t
-                             : window_start + lookahead;
-    runtime_->run_window(horizon, partitions);
-    std::uint64_t window_sum = 0;
-    std::uint64_t window_max = 0;
-    for (int p = 0; p < partitions; ++p) {
-      const std::uint64_t n = runtime_->window_events(p);
-      window_sum += n;
-      window_max = std::max(window_max, n);
-    }
-    total += static_cast<std::size_t>(window_sum);
-    pstats_.windows += 1;
-    pstats_.parallel_events += window_sum;
-    pstats_.makespan_events += window_max;
-    if (partitions > 1 && window_sum != 0) {
-      // Fold the per-partition event counts into the global series the
-      // serial observer would have written, at a deterministic point.
-      fold_events_.add(window_sum);
+    const int max_rounds =
+        (adaptive_windows_ && partitions > 1) ? window_multiplier_ : 1;
+    const int rounds =
+        runtime_->run_rounds(window_start, lookahead, t, max_rounds,
+                             partitions);
+    runtime_->rethrow_error();
+    bstats_.rendezvous += 1;
+    // Account per executed round, in round order: windows, the busiest
+    // partition's count (makespan), and the fold into the global event
+    // series are all exactly what a round-per-release driver would write.
+    Time horizon = window_start;
+    for (int r = 0; r < rounds; ++r) {
+      horizon = (t - horizon <= lookahead) ? t : horizon + lookahead;
+      std::uint64_t window_sum = 0;
+      std::uint64_t window_max = 0;
+      for (int p = 0; p < partitions; ++p) {
+        const std::uint64_t n = runtime_->round_events(r, p);
+        window_sum += n;
+        window_max = std::max(window_max, n);
+      }
+      total += static_cast<std::size_t>(window_sum);
+      pstats_.windows += 1;
+      if (r > 0) pstats_.widened_windows += 1;
+      pstats_.parallel_events += window_sum;
+      pstats_.makespan_events += window_max;
+      if (partitions > 1 && window_sum != 0) {
+        fold_events_.add(window_sum);
+      }
     }
     const Network::MergeResult merged = network_.merge_window();
     pstats_.merged_deliveries += static_cast<std::uint64_t>(merged.count);
+    bstats_.merge_entries += static_cast<std::uint64_t>(merged.count);
+    bstats_.merge_outboxes += static_cast<std::uint64_t>(merged.outboxes);
+    if (adaptive_windows_) {
+      if (merged.count == 0) {
+        if (++empty_merge_streak_ >= kWidenAfter &&
+            window_multiplier_ < kWidenCap) {
+          window_multiplier_ *= 2;
+        }
+      } else {
+        empty_merge_streak_ = 0;
+        window_multiplier_ = 1;
+      }
+    }
     window_start = horizon;
     if (window_start >= t) {
       // A merged delivery can land exactly at t; run_until(t) semantics
@@ -302,8 +506,28 @@ std::size_t Simulation::run_until_parallel(Time t) {
         for (int p = 0; p < partitions; ++p) (void)loop_of(p).run_until(t);
         break;
       }
+      if (adaptive_windows_ && partitions > 1) {
+        // Idle jump: advance straight to the window containing the
+        // earliest pending event, staying on the lookahead grid so every
+        // skipped round boundary is one whose merge was provably empty.
+        Time earliest = EventLoop::kNoEvent;
+        for (int p = 0; p < partitions; ++p) {
+          earliest = std::min(earliest, loop_of(p).next_event_bound());
+        }
+        if (earliest > window_start) {
+          const Duration skip =
+              ((earliest - window_start) / lookahead) * lookahead;
+          if (skip > 0) {
+            window_start =
+                (t - window_start <= skip) ? t : window_start + skip;
+            pstats_.idle_jumps += 1;
+          }
+        }
+      }
     }
   }
+  bstats_.wakes += runtime_->take_wakes();
+  bstats_.parks += runtime_->take_parks();
   return total;
 }
 

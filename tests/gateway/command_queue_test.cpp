@@ -50,6 +50,38 @@ TEST(CommandQueue, TicketsAreUniqueAndDrainMovesEverything) {
   EXPECT_TRUE(again.empty());
 }
 
+TEST(CommandQueue, CapacityBoundsBacklogAndCountsRejections) {
+  CommandQueue queue;
+  queue.set_capacity(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  const auto first = queue.push_request(Value::map().set("op", "get"));
+  const auto second = queue.push_adapt("LFR");
+  EXPECT_NE(first, 0u);
+  EXPECT_NE(second, 0u);
+
+  // Full: both kinds are rejected with the reserved ticket 0 and counted;
+  // nothing already queued is disturbed.
+  EXPECT_EQ(queue.push_request(Value::map().set("op", "get")), 0u);
+  EXPECT_EQ(queue.push_adapt("PBR"), 0u);
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.enqueued_total(), 2u);
+  EXPECT_EQ(queue.rejected_total(), 2u);
+
+  // Draining frees capacity; tickets keep advancing past the rejections.
+  std::vector<Command> drained;
+  queue.drain(drained);
+  ASSERT_EQ(drained.size(), 2u);
+  const auto third = queue.push_request(Value::map().set("op", "get"));
+  EXPECT_NE(third, 0u);
+  EXPECT_NE(third, first);
+  EXPECT_NE(third, second);
+
+  // Capacity 0 lifts the bound without resetting the rejection count.
+  queue.set_capacity(0);
+  for (int i = 0; i < 100; ++i) EXPECT_NE(queue.push_adapt("LFR"), 0u);
+  EXPECT_EQ(queue.rejected_total(), 2u);
+}
+
 TEST(CompletionBoard, PostThenWaitReturnsImmediately) {
   CompletionBoard board;
   board.post(7, Value::map().set("result", 42));
@@ -211,6 +243,35 @@ TEST(SimBridge, UnknownFtmYieldsAnErrorCompletion) {
       fx.bridge.completions().wait(ticket, std::chrono::milliseconds(0));
   ASSERT_TRUE(reply.has_value());
   EXPECT_TRUE(reply->has("error"));
+}
+
+TEST(SimBridge, QueueOverflowRejectsAndIsObservable) {
+  BridgeOptions options{.speed = 0.0};
+  options.queue_capacity = 1;
+  BridgeFixture fx(options);
+
+  const auto ticket = fx.bridge.submit_request(
+      Value::map().set("op", "get").set("key", "k"));
+  EXPECT_NE(ticket, 0u);
+  // Second push overflows the one-slot queue: rejected, not queued.
+  EXPECT_EQ(fx.bridge.submit_request(
+                Value::map().set("op", "get").set("key", "k")),
+            0u);
+  EXPECT_EQ(fx.bridge.commands().rejected_total(), 1u);
+
+  // A drain frees the slot again.
+  fx.bridge.step_quantum();
+  EXPECT_NE(fx.bridge.submit_adapt("LFR"), 0u);
+
+  // run(until already reached) publishes a final frame: the rejection rides
+  // the status JSON and folds into the gateway.queue.rejected counter.
+  (void)fx.bridge.run(fx.system.sim().now());
+  EXPECT_NE(fx.bridge.latest_status().find("\"rejected\":1"),
+            std::string::npos)
+      << "status: " << fx.bridge.latest_status();
+  EXPECT_EQ(
+      fx.system.sim().metrics().counter("gateway.queue.rejected").value(),
+      1u);
 }
 
 TEST(SimBridge, RunStopsOnWatchedFlagAndClosesBoard) {

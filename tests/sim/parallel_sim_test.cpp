@@ -166,6 +166,8 @@ TEST(ParallelSim, ThreadCountNeverChangesAnything) {
     EXPECT_EQ(metrics, baseline_metrics) << "threads=" << threads;
     const auto& stats = d.sim.parallel_stats();
     EXPECT_EQ(stats.windows, baseline_stats.windows);
+    EXPECT_EQ(stats.widened_windows, baseline_stats.widened_windows);
+    EXPECT_EQ(stats.idle_jumps, baseline_stats.idle_jumps);
     EXPECT_EQ(stats.merged_deliveries, baseline_stats.merged_deliveries);
     EXPECT_EQ(stats.parallel_events, baseline_stats.parallel_events);
     EXPECT_EQ(stats.makespan_events, baseline_stats.makespan_events);
@@ -273,6 +275,243 @@ TEST(ParallelSim, PartitionAssignmentValidation) {
   EXPECT_NO_THROW(sim.set_partition(a.id(), 0));
   EXPECT_EQ(sim.partition_count(), 1);
   EXPECT_THROW(sim.set_threads(-1), Error);
+}
+
+TEST(ParallelSim, AdaptiveOnMatchesAdaptiveOffExactly) {
+  // The adaptive schedule (widen on empty merges, narrow on the first
+  // nonempty one) is a pure function of counted merge history, so every
+  // counted quantity must be byte-identical to a run with adaptive windows
+  // forced off — the only legal difference is coordination cost.
+  std::string off_metrics;
+  std::vector<std::uint64_t> off_delivered;
+  Simulation::ParallelStats off_stats{};
+  std::uint64_t off_rendezvous = 0;
+  for (const bool adaptive : {false, true}) {
+    Deployment d(3, 3, /*partitioned=*/true, /*seed=*/33, /*jitter=*/0.02);
+    // Slow down two ring hops: the token then spends five lookahead windows
+    // in flight, producing empty-merge streaks long enough that widening
+    // actually fuses rounds (with uniform hops every window merges a
+    // delivery and the multiplier never leaves 1).
+    d.sim.network().link(d.gateways[1], d.gateways[2]).latency =
+        100 * kMillisecond;
+    d.sim.network().link(d.gateways[2], d.gateways[0]).latency =
+        100 * kMillisecond;
+    d.sim.set_adaptive_windows(adaptive);
+    d.sim.set_threads(2);
+    d.kick(1);
+    d.sim.run_until(4 * kSecond);
+    const std::string metrics = d.sim.metrics().to_json_lines("sim");
+    const auto& stats = d.sim.parallel_stats();
+    if (!adaptive) {
+      off_metrics = metrics;
+      off_delivered = d.delivered;
+      off_stats = stats;
+      off_rendezvous = d.sim.barrier_stats().rendezvous;
+      EXPECT_EQ(stats.widened_windows, 0u);
+      EXPECT_EQ(stats.idle_jumps, 0u);
+      continue;
+    }
+    EXPECT_EQ(d.delivered, off_delivered);
+    EXPECT_EQ(metrics, off_metrics);
+    EXPECT_EQ(stats.merged_deliveries, off_stats.merged_deliveries);
+    EXPECT_EQ(stats.parallel_events, off_stats.parallel_events);
+    EXPECT_EQ(stats.makespan_events, off_stats.makespan_events);
+    EXPECT_EQ(stats.critical_path_speedup(), off_stats.critical_path_speedup());
+    // The whole point of fusing: strictly fewer coordinator round trips.
+    EXPECT_GT(stats.widened_windows, 0u);
+    EXPECT_LT(d.sim.barrier_stats().rendezvous, off_rendezvous);
+    EXPECT_LE(stats.windows, off_stats.windows);
+  }
+}
+
+TEST(ParallelSim, AdaptiveSparseTrafficWidensJumpsAndStaysExact) {
+  // Randomized sparse cross-partition traffic: bursts of sub-lookahead gaps
+  // (forcing narrow-back) interleaved with quiet stretches from tens of
+  // seconds up to hours — some wider than the 2^32 us wheel page, so idle
+  // jumps land in (and drain through) overflow-page territory. The
+  // partitioned adaptive run must replay the serial reference exactly.
+  constexpr int kSends = 48;
+  const auto build = [](Simulation& sim, std::vector<std::uint64_t>& got,
+                        bool partitioned) {
+    Host& a = sim.add_host("a");
+    Host& b = sim.add_host("b");
+    if (partitioned) {
+      sim.set_partition(a.id(), 0);
+      sim.set_partition(b.id(), 1);
+    }
+    auto& link = sim.network().link(a.id(), b.id());
+    link.latency = 20 * kMillisecond;
+    link.jitter = 0.0;
+    b.register_handler("ping",
+                       [hb = &b, ga = &got, pa = a.id()](const Message& m) {
+                         ++(*ga)[1];
+                         // Reply: traffic flows both directions across the cut.
+                         hb->send(pa, "pong", m.payload);
+                       });
+    a.register_handler("pong", [ga = &got](const Message&) { ++(*ga)[0]; });
+
+    // Deterministic LCG gap schedule, identical for both simulations.
+    std::uint64_t lcg = 0x9E3779B97F4A7C15ull;
+    Time t = 0;
+    std::vector<Time> at;
+    for (int k = 0; k < kSends; ++k) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      const auto r = static_cast<Time>((lcg >> 33) % 1000);
+      if (k % 7 == 3) {
+        t += (3600 + r * 9) * kSecond;  // 1h..3.5h: crosses wheel pages
+      } else if (k % 3 == 0) {
+        t += (r + 1) * 50 * kMillisecond;  // 50ms..50s: widen, then narrow
+      } else {
+        t += (r % 40 + 5) * kMillisecond;  // sub-lookahead burst
+      }
+      at.push_back(t);
+    }
+    for (const Time when : at) {
+      sim.loop_for(a.id()).schedule_at(
+          when,
+          [ha = &a, to = b.id()] {
+            ha->send(to, "ping", Value(std::int64_t{1}));
+          },
+          "kick.ping");
+    }
+    return at.back() + 1 * kSecond;  // horizon past the last reply
+  };
+
+  Simulation serial(11);
+  std::vector<std::uint64_t> serial_got(2, 0);
+  const Time end = build(serial, serial_got, /*partitioned=*/false);
+  serial.run_until(end);
+  EXPECT_EQ(serial_got[1], static_cast<std::uint64_t>(kSends));
+  EXPECT_EQ(serial_got[0], static_cast<std::uint64_t>(kSends));
+  EXPECT_GT(serial.loop().wheel_stats().overflow_migrated, 0u)
+      << "the gap schedule must actually cross overflow pages";
+
+  Simulation::ParallelStats t1_stats{};
+  for (const int threads : {1, 2}) {
+    Simulation part(11);
+    std::vector<std::uint64_t> part_got(2, 0);
+    const Time pend = build(part, part_got, /*partitioned=*/true);
+    part.set_threads(threads);
+    part.run_until(pend);
+    EXPECT_EQ(part_got, serial_got) << "threads=" << threads;
+    EXPECT_EQ(part.network().total_bytes(), serial.network().total_bytes());
+
+    const auto& pstats = part.parallel_stats();
+    EXPECT_GT(pstats.widened_windows, 0u) << "quiet stretches must widen";
+    EXPECT_GT(pstats.idle_jumps, 0u) << "hour-scale gaps must jump";
+    // ~9 virtual hours at 20 ms lookahead is ~1.6M naive windows; the
+    // adaptive schedule must collapse that by orders of magnitude.
+    EXPECT_LT(pstats.windows, 20000u);
+    if (threads == 1) {
+      t1_stats = pstats;
+    } else {
+      EXPECT_EQ(pstats.windows, t1_stats.windows);
+      EXPECT_EQ(pstats.widened_windows, t1_stats.widened_windows);
+      EXPECT_EQ(pstats.idle_jumps, t1_stats.idle_jumps);
+      EXPECT_EQ(pstats.merged_deliveries, t1_stats.merged_deliveries);
+      EXPECT_EQ(pstats.parallel_events, t1_stats.parallel_events);
+      EXPECT_EQ(pstats.makespan_events, t1_stats.makespan_events);
+    }
+  }
+}
+
+TEST(ParallelSim, AutoPartitionRingTopologyGolden) {
+  // The 4-group deployment's link table has a clean latency gap (1 ms intra,
+  // 20 ms ring), so the partitioner must cut exactly along the groups and
+  // assign them in ascending-gateway order — and the auto-assigned run must
+  // replay a manually assigned one bit for bit.
+  Deployment manual(4, 3, /*partitioned=*/true);
+  manual.kick();
+  manual.sim.run_until(2 * kSecond);
+
+  Deployment autod(4, 3, /*partitioned=*/false);
+  EXPECT_EQ(autod.sim.auto_partition(4), 4);
+  EXPECT_EQ(autod.sim.partition_count(), 4);
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(autod.sim.partition_of(autod.host(g, i)), g)
+          << "g=" << g << " i=" << i;
+    }
+  }
+  autod.sim.set_threads(2);
+  autod.kick();
+  autod.sim.run_until(2 * kSecond);
+  EXPECT_EQ(autod.delivered, manual.delivered);
+  EXPECT_EQ(autod.sim.metrics().to_json_lines("sim"),
+            manual.sim.metrics().to_json_lines("sim"));
+}
+
+TEST(ParallelSim, AutoPartitionStarTopologyGolden) {
+  // Star: a hub with four fast satellites and one slow spoke. The largest
+  // threshold with a real cut is the slow spoke's latency, leaving two
+  // clusters; the bigger one (hub + satellites) takes partition 0.
+  Simulation sim(9);
+  Host& hub = sim.add_host("hub");
+  std::vector<Host*> sats;
+  for (int i = 0; i < 4; ++i) {
+    sats.push_back(&sim.add_host(strf("sat", i)));
+    sim.network().link(hub.id(), sats.back()->id()).latency = 1 * kMillisecond;
+  }
+  Host& repo = sim.add_host("repo");
+  sim.network().link(hub.id(), repo.id()).latency = 40 * kMillisecond;
+
+  EXPECT_EQ(sim.auto_partition(8), 2);
+  EXPECT_EQ(sim.partition_of(hub.id()), 0);
+  for (Host* s : sats) EXPECT_EQ(sim.partition_of(s->id()), 0);
+  EXPECT_EQ(sim.partition_of(repo.id()), 1);
+
+  // The cut guarantees positive lookahead: a partitioned window runs.
+  int got = 0;
+  repo.register_handler("x", [&](const Message&) { ++got; });
+  sim.loop_for(hub.id()).schedule_at(
+      0, [&] { hub.send(repo.id(), "x", Value(std::int64_t{1})); }, "kick");
+  sim.run_until(1 * kSecond);
+  EXPECT_EQ(got, 1);
+}
+
+TEST(ParallelSim, AutoPartitionUniformTopologyStaysSerial) {
+  // No latency gap, no cut: every threshold yields either one cluster or
+  // all-islands, so the simulation must stay serial.
+  Simulation sim(9);
+  std::vector<HostId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(sim.add_host(strf("h", i)).id());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      sim.network().link(ids[i], ids[j]).latency = 1 * kMillisecond;
+    }
+  }
+  EXPECT_EQ(sim.auto_partition(4), 1);
+  EXPECT_EQ(sim.partition_count(), 1);
+}
+
+TEST(ParallelSim, AutoPartitionIsDeterministicAndSingleShot) {
+  const auto assignments = [](int max_partitions) {
+    Simulation sim(9);
+    Host& hub = sim.add_host("hub");
+    std::vector<int> got;
+    std::vector<HostId> ids{hub.id()};
+    for (int i = 0; i < 5; ++i) {
+      Host& h = sim.add_host(strf("n", i));
+      ids.push_back(h.id());
+      sim.network().link(hub.id(), h.id()).latency =
+          (i < 3 ? 2 : 30) * kMillisecond;
+    }
+    sim.auto_partition(max_partitions);
+    got.reserve(ids.size());
+    for (const HostId id : ids) got.push_back(sim.partition_of(id));
+    return got;
+  };
+  EXPECT_EQ(assignments(4), assignments(4));
+  EXPECT_EQ(assignments(2), assignments(2));
+
+  Simulation sim(9);
+  Host& a = sim.add_host("a");
+  Host& b = sim.add_host("b");
+  sim.add_host("c");
+  sim.set_partition(a.id(), 0);
+  sim.set_partition(b.id(), 1);
+  EXPECT_THROW(sim.auto_partition(2), Error)
+      << "repartitioning an already-partitioned simulation must refuse";
 }
 
 TEST(ParallelSim, IdlePartitionedRunAdvancesAllClocks) {

@@ -45,6 +45,8 @@ struct RunSummary {
   std::uint64_t events{0};
   std::size_t peak_queue_depth{0};
   rcs::sim::EventLoop::WheelStats wheel{};
+  rcs::sim::Simulation::ParallelStats parallel{};
+  int max_partitions{1};
   /// Merged fsim coverage of every reported campaign. Merged in plan order
   /// (report_one), and merge() is order-insensitive anyway, so serial and
   /// --jobs sweeps accumulate identical reports.
@@ -60,6 +62,13 @@ struct RunSummary {
     wheel.overflow_migrated += result.wheel.overflow_migrated;
     wheel.overflow_peak = std::max(wheel.overflow_peak,
                                    result.wheel.overflow_peak);
+    parallel.windows += result.parallel.windows;
+    parallel.widened_windows += result.parallel.widened_windows;
+    parallel.idle_jumps += result.parallel.idle_jumps;
+    parallel.merged_deliveries += result.parallel.merged_deliveries;
+    parallel.parallel_events += result.parallel.parallel_events;
+    parallel.makespan_events += result.parallel.makespan_events;
+    max_partitions = std::max(max_partitions, result.partitions);
   }
   void print() const {
     const double seconds =
@@ -79,6 +88,18 @@ struct RunSummary {
                  static_cast<unsigned long long>(wheel.bucket_sorts),
                  static_cast<unsigned long long>(wheel.overflow_migrated),
                  wheel.overflow_peak);
+    if (parallel.windows != 0) {
+      std::fprintf(
+          stderr,
+          "parallel: %d partition(s), %llu windows (%llu widened, "
+          "%llu idle jumps), %llu merged deliveries, "
+          "critical-path speedup %.3f\n",
+          max_partitions, static_cast<unsigned long long>(parallel.windows),
+          static_cast<unsigned long long>(parallel.widened_windows),
+          static_cast<unsigned long long>(parallel.idle_jumps),
+          static_cast<unsigned long long>(parallel.merged_deliveries),
+          parallel.critical_path_speedup());
+    }
   }
 };
 
@@ -95,6 +116,13 @@ struct Args {
   /// Simulation worker threads per campaign (0 = serial). Orthogonal to
   /// --jobs: jobs parallelizes across campaigns, threads inside one.
   int threads{0};
+  /// Topology-partition each campaign (repository vs. replica cluster) so
+  /// --threads runs real concurrent windows. Requires --fsim off: the fsim
+  /// registry's consult path is shared across partitions.
+  bool auto_partition{false};
+  /// Adaptive lookahead windows; "off" forces one rendezvous per window.
+  /// Counted output is identical either way — CI cmp-gates both settings.
+  bool adaptive{true};
   std::uint64_t base_seed{1};
   std::vector<std::string> ftms{"PBR", "LFR", "TR"};
   std::string delta{"both"};  // on | off | both
@@ -117,7 +145,8 @@ void usage() {
   std::puts(
       "usage: chaos_runner [--seeds N] [--transitions N] [--base-seed S]\n"
       "                    [--ftm A,B,..] [--delta on|off|both] [--jobs N]\n"
-      "                    [--threads N] [--fsim GLOB|off]\n"
+      "                    [--threads N] [--auto-partition]\n"
+      "                    [--adaptive on|off] [--fsim GLOB|off]\n"
       "                    [--coverage-out FILE] [--verbose]\n"
       "       chaos_runner --replay SEED --ftm NAME --delta on|off\n"
       "                    [--transition-to NAME] [--trace-out FILE]\n"
@@ -247,6 +276,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.coverage_out = v;
+    } else if (arg == "--auto-partition") {
+      args.auto_partition = true;
+    } else if (arg == "--adaptive") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "on") != 0 && std::strcmp(v, "off") != 0) {
+        std::fprintf(stderr, "bad --adaptive value: %s\n", v);
+        return false;
+      }
+      args.adaptive = std::strcmp(v, "on") == 0;
     } else if (arg == "--list-points") {
       args.list_points = true;
     } else if (arg == "--coverage-sweep") {
@@ -362,6 +401,12 @@ int run_sweep(const Args& args, RunSummary& summary) {
   bool fsim_on = true;
   std::vector<int> fsim_points;
   if (!resolve_fsim(args, fsim_on, fsim_points)) return 2;
+  if (args.auto_partition && fsim_on) {
+    std::fprintf(stderr,
+                 "--auto-partition requires --fsim off (the fault-simulation "
+                 "registry is shared across partitions)\n");
+    return 2;
+  }
 
   // The full campaign plan, in canonical (seed) order. --jobs executes it
   // out of order but always reports it in this order, so the output is
@@ -377,6 +422,8 @@ int run_sweep(const Args& args, RunSummary& summary) {
         options.fsim = fsim_on;
         options.fsim_points = fsim_points;
         options.threads = args.threads;
+        options.auto_partition = args.auto_partition;
+        options.adaptive_windows = args.adaptive;
         plan.push_back(options);
       }
     }
@@ -400,6 +447,8 @@ int run_sweep(const Args& args, RunSummary& summary) {
     options.fsim = fsim_on;
     options.fsim_points = fsim_points;
     options.threads = args.threads;
+    options.auto_partition = args.auto_partition;
+    options.adaptive_windows = args.adaptive;
     plan.push_back(options);
   }
 
@@ -500,7 +549,15 @@ int run_replay(const Args& args, RunSummary& summary) {
   options.transition_to = args.transition_to;
   options.record_trace = !args.trace_out.empty() || !args.metrics_out.empty();
   options.threads = args.threads;
+  options.auto_partition = args.auto_partition;
+  options.adaptive_windows = args.adaptive;
   if (!resolve_fsim(args, options.fsim, options.fsim_points)) return 2;
+  if (options.auto_partition && options.fsim) {
+    std::fprintf(stderr,
+                 "--auto-partition requires --fsim off (the fault-simulation "
+                 "registry is shared across partitions)\n");
+    return 2;
+  }
   const auto result = rcs::core::run_campaign(options);
   summary.add(result);
   std::printf("%s", result.trace.c_str());

@@ -30,6 +30,7 @@ struct RunSummary {
   std::uint64_t events{0};
   std::size_t peak_queue_depth{0};
   rcs::sim::EventLoop::WheelStats wheel{};
+  rcs::sim::Simulation::ParallelStats parallel{};
   std::chrono::steady_clock::time_point start{std::chrono::steady_clock::now()};
 
   void print() const {
@@ -50,6 +51,17 @@ struct RunSummary {
                  static_cast<unsigned long long>(wheel.bucket_sorts),
                  static_cast<unsigned long long>(wheel.overflow_migrated),
                  wheel.overflow_peak);
+    if (parallel.windows != 0) {
+      std::fprintf(
+          stderr,
+          "parallel: %llu windows (%llu widened, %llu idle jumps), "
+          "%llu merged deliveries, critical-path speedup %.3f\n",
+          static_cast<unsigned long long>(parallel.windows),
+          static_cast<unsigned long long>(parallel.widened_windows),
+          static_cast<unsigned long long>(parallel.idle_jumps),
+          static_cast<unsigned long long>(parallel.merged_deliveries),
+          parallel.critical_path_speedup());
+    }
   }
 };
 
@@ -218,6 +230,7 @@ int run_sweep_mode(const Args& args, RunSummary& summary) {
   summary.peak_queue_depth =
       std::max(summary.peak_queue_depth, result.peak_queue_depth);
   summary.wheel = result.wheel;
+  summary.parallel = result.parallel;
   const std::string json = result.to_json_lines();
   std::fputs(json.c_str(), stdout);
   if (!args.out.empty() && !dump_to(args.out, json, "sweep curve")) return 2;
@@ -249,6 +262,7 @@ int run_scenario_mode(const Args& args, RunSummary& summary) {
   summary.peak_queue_depth =
       std::max(summary.peak_queue_depth, result.peak_queue_depth);
   summary.wheel = result.wheel;
+  summary.parallel = result.parallel;
   std::fputs(result.trace.c_str(), stdout);
   if (!args.trace_out.empty() &&
       !dump_to(args.trace_out, result.trace_json, "trace")) {
